@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the simulation substrate itself: event throughput,
+//! processor-sharing bookkeeping, wire codec, and the ablation targets
+//! DESIGN.md calls out (GPS vs FIFO sharing, migration DMA channels).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use dgsf::cuda::CostTable;
+use dgsf::prelude::*;
+use dgsf::remoting::wire::{Request, WireBuf};
+use dgsf::sim::{FifoResource, GpsResource, Sim};
+use dgsf::workloads;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("20k_sleep_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.spawn("sleeper", |ctx| {
+                for _ in 0..20_000 {
+                    ctx.sleep(Dur::from_micros(1));
+                }
+            });
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_gps_vs_fifo(c: &mut Criterion) {
+    // Ablation: processor-sharing vs serialized kernel execution with 8
+    // concurrent jobs. GPS pays re-apportioning on every arrival/departure.
+    let mut g = c.benchmark_group("sharing");
+    g.sample_size(10);
+    g.bench_function("gps_8_jobs_1k_rounds", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let r = Arc::new(GpsResource::new(&sim, 1.0));
+            for i in 0..8 {
+                let r = r.clone();
+                sim.spawn(&format!("j{i}"), move |ctx| {
+                    for _ in 0..1000 {
+                        r.acquire(ctx, 1e-6);
+                    }
+                });
+            }
+            sim.run()
+        })
+    });
+    g.bench_function("fifo_8_jobs_1k_rounds", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let r = Arc::new(FifoResource::new(&sim));
+            for i in 0..8 {
+                let r = r.clone();
+                sim.spawn(&format!("j{i}"), move |ctx| {
+                    for _ in 0..1000 {
+                        r.acquire_for(ctx, Dur::from_micros(1));
+                    }
+                });
+            }
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let launch = Request::LaunchConfigured {
+        fptr: 0xdead_beef,
+        stream: 0,
+        cfg: dgsf::remoting::wire::WireCfg {
+            grid: (128, 1, 1),
+            block: (256, 1, 1),
+        },
+        args: dgsf::remoting::wire::WireArgs {
+            ptrs: vec![1, 2, 3],
+            scalars: vec![42, 7],
+            bytes: 1 << 20,
+            work_hint: Some(0.001),
+        },
+    };
+    c.bench_function("wire/encode_launch", |b| b.iter(|| launch.encode()));
+    let frame = launch.encode();
+    c.bench_function("wire/decode_launch", |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |mut f| Request::decode(&mut f).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let h2d = Request::MemcpyH2D {
+        dst: 0x7000_0000_0000,
+        data: WireBuf::Bytes(vec![7u8; 64 * 1024]),
+    };
+    c.bench_function("wire/encode_h2d_64k", |b| b.iter(|| h2d.encode()));
+}
+
+fn bench_migration_dma_channels(c: &mut Criterion) {
+    // Ablation: 1 vs 2 DMA channels for the migration copy. Uses the
+    // functional K-means session so real pages move.
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    for channels in [1u32, 2u32] {
+        g.bench_function(format!("kmeans_migrate_{channels}ch"), |b| {
+            b.iter(|| {
+                let mut costs = CostTable::default();
+                costs.d2d_channels = channels;
+                let cfg = TestbedConfig {
+                    seed: 1,
+                    server: GpuServerConfig::paper_default().gpus(2),
+                    opts: OptConfig::full(),
+                };
+                let mut c2 = cfg;
+                c2.server.costs = costs;
+                let w: Arc<dyn Workload> = Arc::new(workloads::kmeans());
+                Testbed::run_dgsf_once(&c2, w)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional_kmeans(c: &mut Criterion) {
+    // Real math through the whole remoting stack.
+    let mut g = c.benchmark_group("functional");
+    g.sample_size(10);
+    g.bench_function("kmeans_cpu_6_threads", |b| {
+        let prob = workloads::KMeansProblem::synthetic(20_000, 8, 8, 5, 3);
+        b.iter(|| prob.run_cpu(6))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_event_throughput,
+    bench_gps_vs_fifo,
+    bench_wire_codec,
+    bench_migration_dma_channels,
+    bench_functional_kmeans,
+);
+criterion_main!(simulator);

@@ -1,0 +1,90 @@
+//! `dgsf-expt` — regenerate the paper's tables and figures.
+//!
+//! Usage: `dgsf-expt <table2|fig3|fig4|table3|fig5|table4|fig6|fig7|fig8|table5|apicounts|all> [--quick]`
+//!
+//! `--quick` shrinks the mixed-workload experiments (2 copies instead of
+//! 10) for fast smoke runs.
+
+use dgsf_bench::{mixed, single};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let copies = if quick { 2 } else { 10 };
+    let bursts = if quick { 3 } else { 10 };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let seed = 42;
+
+    let run = |name: &str| what == name || what == "all";
+
+    if run("table2") {
+        println!("== Table II: workload runtimes across execution modes ==");
+        println!("{}", single::table2_text(&single::table2()));
+    }
+    if run("fig3") {
+        println!("== Figure 3: phase breakdown (native / DGSF-noopt / DGSF) ==");
+        println!("{}", single::fig3_text(&single::fig3()));
+    }
+    if run("fig4") {
+        println!("== Figure 4: optimization ablation (download excluded) ==");
+        println!("{}", single::fig4_text(&single::fig4()));
+    }
+    if run("table3") || run("fig5") {
+        let study = mixed::heavy_load(copies, seed);
+        if run("table3") {
+            println!("== Table III: heavy load (exp gaps, mean 2 s), 4 GPUs ==");
+            println!("{}", mixed::table3_text(&study));
+        }
+        if run("fig5") {
+            println!("== Figure 5: per-workload delays under heavy load ==");
+            println!("{}", mixed::per_workload_delay_text(&study.runs));
+        }
+    }
+    if run("table4") || run("fig6") {
+        let study = mixed::light_load(copies, seed);
+        if run("table4") {
+            println!("== Table IV: light load (exp gaps, mean 3 s), 4 vs 3 GPUs ==");
+            println!("{}", mixed::table4_text(&study));
+        }
+        if run("fig6") {
+            println!("== Figure 6: per-workload delays under light load ==");
+            let runs: Vec<(&'static str, mixed::SharingMode, dgsf::RunOutput)> = study
+                .runs
+                .into_iter()
+                .map(|(g, m, o)| (if g == 4 { "4-gpus" } else { "3-gpus" }, m, o))
+                .collect();
+            println!("{}", mixed::per_workload_delay_text(&runs));
+        }
+    }
+    if run("fig7") {
+        println!("== Figure 7: GPU utilization during bursts ==");
+        println!("{}", mixed::fig7_text(&mixed::burst(bursts, seed)));
+    }
+    if run("fig8") {
+        println!("== Figure 8: migration case study (2 NLP + 2 image-classification, 2 GPUs) ==");
+        println!("{}", mixed::fig8_text(&mixed::fig8(seed)));
+    }
+    if run("table5") {
+        println!("== Table V: synthetic migration microbenchmark ==");
+        println!("{}", single::table5_text(&single::table5()));
+    }
+    if run("apicounts") {
+        println!("== §V-C: forwarded CUDA API reduction ==");
+        println!("{}", single::apicounts_text(&single::apicounts()));
+    }
+    if run("restart") {
+        println!("== Extension: live migration vs restart-from-scratch break-even ==");
+        println!("{}", single::restart_text(&single::migration_vs_restart()));
+    }
+    if run("sjf") {
+        println!("== Extension (§VIII-D future work): FCFS vs smallest-first queueing ==");
+        println!(
+            "{}",
+            mixed::queue_policy_text(&mixed::queue_policy(copies, seed))
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # dgsf-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§VIII), each
+//! returning structured results plus a paper-style text rendering:
+//!
+//! | paper artifact | function | binary subcommand |
+//! |---|---|---|
+//! | Table II  | [`single::table2`]     | `dgsf-expt table2` |
+//! | Figure 3  | [`single::fig3`]       | `dgsf-expt fig3` |
+//! | Figure 4  | [`single::fig4`]       | `dgsf-expt fig4` |
+//! | Table III | [`mixed::heavy_load`]  | `dgsf-expt table3` |
+//! | Figure 5  | [`mixed::heavy_load`]  | `dgsf-expt fig5` |
+//! | Table IV  | [`mixed::light_load`]  | `dgsf-expt table4` |
+//! | Figure 6  | [`mixed::light_load`]  | `dgsf-expt fig6` |
+//! | Figure 7  | [`mixed::burst`]       | `dgsf-expt fig7` |
+//! | Figure 8  | [`mixed::fig8`]        | `dgsf-expt fig8` |
+//! | Table V   | [`single::table5`]     | `dgsf-expt table5` |
+//! | §V-C API counts | [`single::apicounts`] | `dgsf-expt apicounts` |
+//! | §VIII-D future work (SJF) | [`mixed::queue_policy`] | `dgsf-expt sjf` |
+//!
+//! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
+//! records).
+
+#![warn(missing_docs)]
+
+pub mod mixed;
+pub mod report;
+pub mod single;

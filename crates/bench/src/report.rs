@@ -1,0 +1,112 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A rendered table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Build from string-ish headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `12.345` → `"12.3s"`.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}s")
+}
+
+/// `12.345` → `"12.35s"` (two decimals, for sub-second values).
+pub fn secs2(x: f64) -> String {
+    format!("{x:.2}s")
+}
+
+/// Relative change `b` vs baseline `a`, paper style: "(-17%)".
+pub fn rel(a: f64, b: f64) -> String {
+    if a <= 0.0 {
+        return "(n/a)".into();
+    }
+    let pct = (b - a) / a * 100.0;
+    format!("({pct:+.0}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("short"));
+        // columns align: "value" column starts at the same offset
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(12.345), "12.3s");
+        assert_eq!(secs2(0.504), "0.50s");
+        assert_eq!(rel(10.0, 8.0), "(-20%)");
+        assert_eq!(rel(10.0, 12.5), "(+25%)");
+        assert_eq!(rel(0.0, 1.0), "(n/a)");
+    }
+}

@@ -1,0 +1,238 @@
+//! The experiment testbed: one-call orchestration of the paper's
+//! measurement setups.
+//!
+//! Every table and figure in §VIII boils down to: provision a GPU server
+//! with some configuration, launch a schedule of workloads against it (or
+//! run single workloads natively / on CPU), and collect end-to-end times,
+//! queue delays, phase breakdowns and utilization timelines. [`Testbed`]
+//! packages exactly that, deterministically per seed.
+
+use std::sync::Arc;
+
+use dgsf_cuda::CostTable;
+use dgsf_remoting::OptConfig;
+use dgsf_server::{GpuServer, GpuServerConfig, InvocationRecord, MigrationRecord};
+use dgsf_serverless::{
+    invoke_cpu, invoke_dgsf, invoke_native, FunctionResult, ObjectStore, Schedule, Workload,
+};
+use dgsf_sim::{Dur, Sim, SimTime, Timeline};
+use parking_lot::Mutex;
+
+/// Configuration of one experiment run.
+#[derive(Clone)]
+pub struct TestbedConfig {
+    /// RNG seed (arrivals, jitter).
+    pub seed: u64,
+    /// GPU server shape and policies.
+    pub server: GpuServerConfig,
+    /// Guest-library optimization level.
+    pub opts: OptConfig,
+}
+
+impl TestbedConfig {
+    /// The paper's default: 4 GPUs, no sharing, full optimizations.
+    pub fn paper_default() -> TestbedConfig {
+        TestbedConfig {
+            seed: 42,
+            server: GpuServerConfig::paper_default(),
+            opts: OptConfig::full(),
+        }
+    }
+}
+
+/// Everything a schedule run produced.
+pub struct RunOutput {
+    /// Per-function results, in completion order.
+    pub results: Vec<FunctionResult>,
+    /// GPU-server-side invocation records (queue delays etc.).
+    pub records: Vec<InvocationRecord>,
+    /// Completed migrations.
+    pub migrations: Vec<MigrationRecord>,
+    /// Compute busy timelines, one per GPU.
+    pub gpu_timelines: Vec<Timeline>,
+    /// When the first function launched.
+    pub first_launch: SimTime,
+    /// When the last function finished — the provider's end-to-end time.
+    pub all_done: SimTime,
+}
+
+impl RunOutput {
+    /// Provider end-to-end time: launch of the first function to completion
+    /// of the last (Tables III/IV's "End to end").
+    pub fn provider_e2e(&self) -> Dur {
+        self.all_done.since(self.first_launch)
+    }
+
+    /// Sum of every function's end-to-end time (Tables III/IV's
+    /// "Function E2E Sum").
+    pub fn function_e2e_sum(&self) -> Dur {
+        self.results
+            .iter()
+            .fold(Dur::ZERO, |acc, r| acc + r.e2e())
+    }
+
+    /// Mean GPU utilization (busy-time fraction) over `[a, b)`.
+    pub fn mean_utilization(&self, a: SimTime, b: SimTime) -> f64 {
+        if b <= a || self.gpu_timelines.is_empty() {
+            return 0.0;
+        }
+        let span = b.since(a).as_secs_f64();
+        let total: f64 = self
+            .gpu_timelines
+            .iter()
+            .map(|tl| tl.busy_between(a, b).as_secs_f64() / span)
+            .sum();
+        total / self.gpu_timelines.len() as f64
+    }
+
+    /// Results for one workload name.
+    pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FunctionResult> {
+        self.results.iter().filter(move |r| r.name == name)
+    }
+
+    /// Queue delays (seconds) for one workload name, via server records.
+    pub fn queue_delays(&self, name: &str) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .filter_map(|r| r.queue_delay())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+}
+
+/// Deterministic experiment orchestration.
+pub struct Testbed;
+
+impl Testbed {
+    /// Run a mixed-workload `schedule` against a freshly provisioned GPU
+    /// server. Each schedule entry spawns one warm function at its launch
+    /// time; the run ends when every function completed.
+    pub fn run_schedule(
+        cfg: &TestbedConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> RunOutput {
+        let mut sim = Sim::new(cfg.seed);
+        let h = sim.handle();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let out: Arc<Mutex<Option<(Vec<InvocationRecord>, Vec<MigrationRecord>, Vec<Timeline>)>>> =
+            Arc::new(Mutex::new(None));
+        let store = Arc::new(ObjectStore::new(cfg.server.net.s3_bw));
+        let server_cfg = cfg.server.clone();
+        let opts = cfg.opts;
+        let suite: Vec<Arc<dyn Workload>> = suite.to_vec();
+        let schedule = schedule.clone();
+        let n_functions = schedule.len();
+        let results2 = Arc::clone(&results);
+        let out2 = Arc::clone(&out);
+        let h2 = h.clone();
+        sim.spawn("platform-root", move |p| {
+            let server = GpuServer::provision(p, &h2, server_cfg);
+            let done_count = Arc::new(Mutex::new(0usize));
+            for (at, widx) in schedule.entries.iter().copied() {
+                let w = Arc::clone(&suite[widx]);
+                let server = Arc::clone(&server);
+                let store = Arc::clone(&store);
+                let results = Arc::clone(&results2);
+                let done_count = Arc::clone(&done_count);
+                h2.spawn_at(&format!("fn-{}-{widx}", at.as_nanos()), at, move |p| {
+                    let r = invoke_dgsf(p, &server, &store, w.as_ref(), opts);
+                    results.lock().push(r);
+                    *done_count.lock() += 1;
+                });
+            }
+            // Collector: snapshot server state once everything finished.
+            let server2 = Arc::clone(&server);
+            let out3 = Arc::clone(&out2);
+            h2.spawn("collector", move |p| {
+                loop {
+                    p.sleep(Dur::from_millis(500));
+                    if *done_count.lock() >= n_functions {
+                        break;
+                    }
+                }
+                let timelines: Vec<Timeline> = server2
+                    .gpus
+                    .iter()
+                    .map(|g| g.compute_timeline())
+                    .collect();
+                *out3.lock() = Some((server2.records(), server2.migrations(), timelines));
+            });
+        });
+        sim.run();
+        let mut results = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|a| a.lock().clone());
+        results.sort_by_key(|r| r.finished_at);
+        let (records, migrations, gpu_timelines) = out
+            .lock()
+            .take()
+            .expect("collector observed completion");
+        let first_launch = results
+            .iter()
+            .map(|r| r.launched_at)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let all_done = results
+            .iter()
+            .map(|r| r.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunOutput {
+            results,
+            records,
+            migrations,
+            gpu_timelines,
+            first_launch,
+            all_done,
+        }
+    }
+
+    /// Run one workload alone over DGSF (warm server, no contention).
+    pub fn run_dgsf_once(cfg: &TestbedConfig, w: Arc<dyn Workload>) -> FunctionResult {
+        let suite = vec![w];
+        let schedule = Schedule {
+            entries: vec![(SimTime::ZERO, 0)],
+        };
+        let out = Self::run_schedule(cfg, &suite, &schedule);
+        out.results.into_iter().next().expect("one function ran")
+    }
+
+    /// Run one workload natively (dedicated machine with a local GPU).
+    pub fn run_native_once(seed: u64, costs: &CostTable, w: Arc<dyn Workload>) -> FunctionResult {
+        let mut sim = Sim::new(seed);
+        let h = sim.handle();
+        let store = Arc::new(ObjectStore::new(
+            dgsf_remoting::NetProfile::datacenter().s3_bw,
+        ));
+        let costs = Arc::new(costs.clone());
+        let out = Arc::new(Mutex::new(None));
+        let o = Arc::clone(&out);
+        let h2 = h.clone();
+        sim.spawn("native-root", move |p| {
+            let r = invoke_native(p, &h2, &store, w.as_ref(), costs);
+            *o.lock() = Some(r);
+        });
+        sim.run();
+        let r = out.lock().take().expect("ran");
+        r
+    }
+
+    /// Run one workload on the CPU baseline (6 threads, cost-modeled).
+    pub fn run_cpu_once(seed: u64, w: Arc<dyn Workload>) -> FunctionResult {
+        let mut sim = Sim::new(seed);
+        let store = Arc::new(ObjectStore::new(
+            dgsf_remoting::NetProfile::datacenter().s3_bw,
+        ));
+        let out = Arc::new(Mutex::new(None));
+        let o = Arc::clone(&out);
+        sim.spawn("cpu-root", move |p| {
+            let r = invoke_cpu(p, &store, w.as_ref());
+            *o.lock() = Some(r);
+        });
+        sim.run();
+        let r = out.lock().take().expect("ran");
+        r
+    }
+}

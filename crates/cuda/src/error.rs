@@ -1,0 +1,122 @@
+//! CUDA error codes, mirroring the subset of `cudaError_t` the prototype
+//! surfaces.
+
+use std::fmt;
+
+use dgsf_gpu::VmmError;
+
+/// Result alias used across the virtual CUDA API.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Errors the virtual CUDA runtime can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation` — device allocation did not fit.
+    MemoryAllocation {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free on the device.
+        free: u64,
+    },
+    /// `cudaErrorInvalidValue` — malformed argument (bad pointer, size…).
+    InvalidValue(String),
+    /// `cudaErrorInvalidDevice` — device ordinal out of range. A serverless
+    /// function always sees exactly one device (index 0), regardless of how
+    /// many GPUs the GPU server really has (§V-B of the paper).
+    InvalidDevice {
+        /// The ordinal the application asked for.
+        requested: u32,
+    },
+    /// `cudaErrorInvalidResourceHandle` — unknown stream/event/handle.
+    InvalidResourceHandle(String),
+    /// `cudaErrorNotInitialized` — call before runtime initialization.
+    NotInitialized,
+    /// Operation not supported by the prototype (e.g. multiple CUDA
+    /// contexts via `cuCtxCreate`, multi-GPU — the paper's stated
+    /// limitations).
+    Unsupported(String),
+    /// Internal transport failure in the remoting path.
+    RemotingFailure(String),
+    /// The function exceeded its declared GPU memory limit. DGSF tracks all
+    /// memory management, "and ensures that it is not violating its
+    /// limits" (§V-B).
+    MemoryLimitExceeded {
+        /// Bytes the function would be using after the request.
+        would_use: u64,
+        /// Declared limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::MemoryAllocation { requested, free } => write!(
+                f,
+                "cudaErrorMemoryAllocation: requested {requested} B, free {free} B"
+            ),
+            CudaError::InvalidValue(s) => write!(f, "cudaErrorInvalidValue: {s}"),
+            CudaError::InvalidDevice { requested } => {
+                write!(f, "cudaErrorInvalidDevice: ordinal {requested}")
+            }
+            CudaError::InvalidResourceHandle(s) => {
+                write!(f, "cudaErrorInvalidResourceHandle: {s}")
+            }
+            CudaError::NotInitialized => write!(f, "cudaErrorNotInitialized"),
+            CudaError::Unsupported(s) => write!(f, "unsupported by DGSF prototype: {s}"),
+            CudaError::RemotingFailure(s) => write!(f, "remoting failure: {s}"),
+            CudaError::MemoryLimitExceeded { would_use, limit } => write!(
+                f,
+                "function GPU memory limit exceeded: would use {would_use} B, limit {limit} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<dgsf_gpu::OutOfMemory> for CudaError {
+    fn from(e: dgsf_gpu::OutOfMemory) -> Self {
+        CudaError::MemoryAllocation {
+            requested: e.requested,
+            free: e.free,
+        }
+    }
+}
+
+impl From<VmmError> for CudaError {
+    fn from(e: VmmError) -> Self {
+        CudaError::InvalidValue(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CudaError::MemoryAllocation {
+            requested: 100,
+            free: 10,
+        };
+        assert!(e.to_string().contains("cudaErrorMemoryAllocation"));
+        let e = CudaError::InvalidDevice { requested: 3 };
+        assert!(e.to_string().contains("ordinal 3"));
+    }
+
+    #[test]
+    fn oom_converts() {
+        let oom = dgsf_gpu::OutOfMemory {
+            requested: 5,
+            free: 1,
+        };
+        assert_eq!(
+            CudaError::from(oom),
+            CudaError::MemoryAllocation {
+                requested: 5,
+                free: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,917 @@
+//! Per-function GPU session: the client-visible CUDA state an API server
+//! maintains on behalf of one serverless function, and the VA-preserving
+//! live-migration engine (paper §V-D).
+//!
+//! All device memory is allocated through the driver-level VMM
+//! (`cuMemCreate` + `cuMemAddressReserve` + `cuMemMap`) instead of plain
+//! `cudaMalloc`, so the session can move its physical allocations to another
+//! GPU while every virtual address the application ever saw stays valid —
+//! including indirect device pointers stored *inside* device data structures,
+//! which no argument-translation scheme could fix up.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dgsf_gpu::{VaRange, VaSpace, VA_GRANULARITY};
+use dgsf_sim::{Dur, ProcCtx, SimHandle, SimTime};
+use parking_lot::Mutex;
+
+use crate::context::{CudaContext, StreamCmd};
+use crate::costs::CostTable;
+use crate::error::{CudaError, CudaResult};
+use crate::module::ModuleRegistry;
+use crate::types::{
+    CublasHandle, CudnnHandle, DevPtr, EventHandle, HostBuf, KernelArgs, LaunchConfig,
+    PtrAttributes, StreamHandle,
+};
+use crate::view::DeviceView;
+
+/// One `cudaMalloc`-level allocation.
+#[derive(Debug, Clone, Copy)]
+struct SessionAlloc {
+    /// Bytes the application asked for.
+    requested: u64,
+    /// Bytes actually reserved/mapped (granularity-rounded).
+    mapped: u64,
+    /// Backing physical allocation on the *current* GPU.
+    phys: dgsf_gpu::PhysId,
+    /// The VA reservation backing this allocation.
+    range: VaRange,
+}
+
+/// Client-visible handle twins: the value the application holds, mapped to
+/// the per-context native value for every context the session has visited.
+#[derive(Default)]
+struct TwinMap {
+    /// client handle -> (context id -> native handle)
+    twins: HashMap<u64, HashMap<u64, u64>>,
+}
+
+impl TwinMap {
+    fn insert(&mut self, client: u64, ctx: u64, native: u64) {
+        self.twins.entry(client).or_default().insert(ctx, native);
+    }
+    fn get(&self, client: u64, ctx: u64) -> Option<u64> {
+        self.twins.get(&client).and_then(|m| m.get(&ctx)).copied()
+    }
+    fn remove(&mut self, client: u64) -> Option<HashMap<u64, u64>> {
+        self.twins.remove(&client)
+    }
+    /// True if the client handle is known at all.
+    fn contains(&self, client: u64) -> bool {
+        self.twins.contains_key(&client)
+    }
+    /// Drop one context's twin of a client handle (after destroying it).
+    fn remove_twin(&mut self, client: u64, ctx: u64) {
+        if let Some(m) = self.twins.get_mut(&client) {
+            m.remove(&ctx);
+        }
+    }
+    fn clients(&self) -> Vec<u64> {
+        self.twins.keys().copied().collect()
+    }
+    fn len(&self) -> usize {
+        self.twins.len()
+    }
+}
+
+/// Outcome of one live migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationReport {
+    /// Bytes of device memory moved.
+    pub bytes_moved: u64,
+    /// Number of allocations moved.
+    pub allocs_moved: usize,
+    /// Time spent quiescing in-flight work.
+    pub quiesce: Dur,
+    /// Duration of the copy/stop stage (`max(stop, copy)` — they overlap).
+    pub copy: Dur,
+    /// Pure data-movement time (overlapped across DMA channels), excluding
+    /// the handler-stop floor. This is what Table II's "approx. migration
+    /// time" reports.
+    pub data_copy: Dur,
+    /// Time spent recreating cuDNN/cuBLAS state on the target context.
+    pub lib_recreate: Dur,
+    /// Wall (virtual) time of the whole migration.
+    pub total: Dur,
+}
+
+/// The CUDA state of one application/function, bound to a *current* context
+/// but migratable between contexts (and thus between physical GPUs).
+pub struct GpuSession {
+    handle: SimHandle,
+    costs: Arc<CostTable>,
+    /// Context currently executing this session's work.
+    active: Arc<CudaContext>,
+    /// Context the session started on (the API server's home GPU).
+    home: Arc<CudaContext>,
+    /// The application's virtual address space — survives migration intact.
+    va: Arc<Mutex<VaSpace>>,
+    registry: Arc<ModuleRegistry>,
+    allocs: HashMap<u64, SessionAlloc>,
+    mem_limit: Option<u64>,
+    mem_used: u64,
+    peak_mem: u64,
+    streams: TwinMap,
+    events: TwinMap,
+    cudnn: TwinMap,
+    cublas: TwinMap,
+    /// Pending `cudaEventRecord` markers: client event → wait state.
+    event_waits: HashMap<u64, EventWait>,
+    /// Number of completed migrations.
+    pub migrations: u32,
+}
+
+/// State of a recorded event: a rendezvous that fires when every command
+/// submitted to the stream before the record has retired.
+struct EventWait {
+    rx: dgsf_sim::SimReceiver<()>,
+    completed: bool,
+}
+
+impl GpuSession {
+    /// Start a session on `ctx` with an optional declared GPU memory limit.
+    pub fn new(h: &SimHandle, ctx: Arc<CudaContext>, mem_limit: Option<u64>) -> GpuSession {
+        GpuSession {
+            handle: h.clone(),
+            costs: Arc::clone(ctx.costs()),
+            home: Arc::clone(&ctx),
+            active: ctx,
+            va: Arc::new(Mutex::new(VaSpace::new())),
+            registry: Arc::new(ModuleRegistry::new()),
+            allocs: HashMap::new(),
+            mem_limit,
+            mem_used: 0,
+            peak_mem: 0,
+            streams: TwinMap::default(),
+            events: TwinMap::default(),
+            cudnn: TwinMap::default(),
+            cublas: TwinMap::default(),
+            event_waits: HashMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// The context currently serving this session.
+    pub fn active_context(&self) -> &Arc<CudaContext> {
+        &self.active
+    }
+
+    /// The session's home context.
+    pub fn home_context(&self) -> &Arc<CudaContext> {
+        &self.home
+    }
+
+    /// Register the application's kernels (the guest library ships them at
+    /// connection time, Figure 2 step ②).
+    pub fn register_module(&mut self, registry: Arc<ModuleRegistry>) {
+        self.registry = registry;
+    }
+
+    /// The registered module.
+    pub fn registry(&self) -> &Arc<ModuleRegistry> {
+        &self.registry
+    }
+
+    /// Device memory currently allocated by the application (mapped bytes;
+    /// excludes context/library footprints).
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// Peak of [`GpuSession::mem_used`] over the session's lifetime.
+    pub fn peak_mem(&self) -> u64 {
+        self.peak_mem
+    }
+
+    // ---- memory management ----
+
+    /// `cudaMalloc`, realized through the VMM path.
+    pub fn malloc(&mut self, _proc: &ProcCtx, bytes: u64) -> CudaResult<DevPtr> {
+        if bytes == 0 {
+            return Err(CudaError::InvalidValue("cudaMalloc(0)".into()));
+        }
+        let mapped = bytes.div_ceil(VA_GRANULARITY) * VA_GRANULARITY;
+        if let Some(limit) = self.mem_limit {
+            if self.mem_used + mapped > limit {
+                return Err(CudaError::MemoryLimitExceeded {
+                    would_use: self.mem_used + mapped,
+                    limit,
+                });
+            }
+        }
+        let phys = self.active.gpu().mem_create(mapped)?;
+        let mut va = self.va.lock();
+        let range = va.reserve(mapped)?;
+        va.map(range.base, mapped, phys)?;
+        drop(va);
+        self.allocs.insert(
+            range.base,
+            SessionAlloc {
+                requested: bytes,
+                mapped,
+                phys,
+                range,
+            },
+        );
+        self.mem_used += mapped;
+        self.peak_mem = self.peak_mem.max(self.mem_used);
+        Ok(DevPtr(range.base))
+    }
+
+    /// `cudaFree`.
+    pub fn free(&mut self, _proc: &ProcCtx, ptr: DevPtr) -> CudaResult<()> {
+        let a = self
+            .allocs
+            .remove(&ptr.0)
+            .ok_or_else(|| CudaError::InvalidValue(format!("cudaFree({:#x})", ptr.0)))?;
+        let mut va = self.va.lock();
+        va.unmap(a.range.base)?;
+        va.release(a.range)?;
+        drop(va);
+        self.active.gpu().mem_free(a.phys);
+        self.mem_used -= a.mapped;
+        Ok(())
+    }
+
+    /// `cudaMemset` (asynchronous, stream-ordered).
+    pub fn memset(&mut self, proc: &ProcCtx, ptr: DevPtr, value: u8, bytes: u64) -> CudaResult<()> {
+        self.check_mapped(ptr, bytes)?;
+        self.active.submit(
+            proc,
+            StreamCmd::Memset {
+                va: Arc::clone(&self.va),
+                ptr,
+                len: bytes,
+                value,
+            },
+        );
+        Ok(())
+    }
+
+    /// `cudaMemcpy` host→device. Synchronous: drains the stream first (as a
+    /// default-stream pageable copy does), then charges PCIe time.
+    pub fn memcpy_h2d(&mut self, proc: &ProcCtx, dst: DevPtr, src: &HostBuf) -> CudaResult<()> {
+        self.check_mapped(dst, src.len())?;
+        self.active.sync(proc);
+        self.active.gpu().dma(proc, src.len());
+        if let Some(bytes) = src.as_bytes() {
+            let va = self.va.lock();
+            let mut view = DeviceView::new(&va, self.active.gpu());
+            view.write_bytes(dst, bytes);
+        }
+        Ok(())
+    }
+
+    /// `cudaMemcpy` device→host. Returns real bytes when `want_data`.
+    pub fn memcpy_d2h(
+        &mut self,
+        proc: &ProcCtx,
+        src: DevPtr,
+        bytes: u64,
+        want_data: bool,
+    ) -> CudaResult<HostBuf> {
+        self.check_mapped(src, bytes)?;
+        self.active.sync(proc);
+        self.active.gpu().dma(proc, bytes);
+        if want_data {
+            let va = self.va.lock();
+            let view = DeviceView::new(&va, self.active.gpu());
+            let mut out = vec![0u8; bytes as usize];
+            view.read_bytes(src, &mut out);
+            Ok(HostBuf::Bytes(out))
+        } else {
+            Ok(HostBuf::Logical(bytes))
+        }
+    }
+
+    fn check_mapped(&self, ptr: DevPtr, bytes: u64) -> CudaResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let va = self.va.lock();
+        va.resolve(ptr.0)?;
+        if bytes > 1 {
+            va.resolve(ptr.0 + bytes - 1)?;
+        }
+        Ok(())
+    }
+
+    /// `cudaPointerGetAttributes`, answered from session-tracked state (the
+    /// guest library does exactly this without remoting — §V-C).
+    pub fn pointer_attributes(&self, ptr: DevPtr) -> PtrAttributes {
+        let known = self
+            .allocs
+            .values()
+            .find(|a| ptr.0 >= a.range.base && ptr.0 < a.range.base + a.mapped);
+        PtrAttributes {
+            is_device: known.is_some(),
+            alloc_size: known.map(|a| a.requested),
+            device: 0,
+        }
+    }
+
+    // ---- execution ----
+
+    /// Launch a kernel by name on the default stream (the wire layer
+    /// translates client function pointers to names before calling this).
+    pub fn launch(
+        &mut self,
+        proc: &ProcCtx,
+        name: &str,
+        cfg: LaunchConfig,
+        args: KernelArgs,
+    ) -> CudaResult<()> {
+        self.launch_on(proc, None, name, cfg, args)
+    }
+
+    /// Launch a kernel on a specific (client-visible) stream, or the
+    /// default stream when `stream` is `None`. Client handles are
+    /// translated to the active context's twin, so launches stay on "the
+    /// same stream" across migrations.
+    pub fn launch_on(
+        &mut self,
+        proc: &ProcCtx,
+        stream: Option<StreamHandle>,
+        name: &str,
+        cfg: LaunchConfig,
+        args: KernelArgs,
+    ) -> CudaResult<()> {
+        if self.registry.get(name).is_none() {
+            return Err(CudaError::InvalidValue(format!("unknown kernel {name:?}")));
+        }
+        let native = match stream {
+            None => crate::context::DEFAULT_STREAM,
+            Some(s) => self.streams.get(s.0, self.active.id).ok_or_else(|| {
+                CudaError::InvalidResourceHandle(format!("stream {:#x}", s.0))
+            })?,
+        };
+        self.active.submit_on(
+            proc,
+            native,
+            StreamCmd::Exec {
+                name: name.to_string(),
+                cfg,
+                args,
+                va: Arc::clone(&self.va),
+                registry: Arc::clone(&self.registry),
+            },
+        );
+        Ok(())
+    }
+
+    /// `cudaStreamSynchronize`: drain one client stream's queue.
+    pub fn stream_synchronize(&mut self, proc: &ProcCtx, s: StreamHandle) -> CudaResult<()> {
+        let native = self
+            .streams
+            .get(s.0, self.active.id)
+            .ok_or_else(|| CudaError::InvalidResourceHandle(format!("stream {:#x}", s.0)))?;
+        self.active.sync_stream(proc, native);
+        Ok(())
+    }
+
+    /// Enqueue an aggregate cuDNN/cuBLAS operation of `work` GPU-seconds.
+    pub fn lib_op(&mut self, proc: &ProcCtx, work: f64) {
+        self.active.submit(proc, StreamCmd::LibOp { work });
+    }
+
+    /// `cudaDeviceSynchronize`.
+    pub fn synchronize(&mut self, proc: &ProcCtx) {
+        self.active.sync(proc);
+    }
+
+    // ---- handles (client-visible values are stable across migration) ----
+
+    /// `cudaStreamCreate`. The twin is pre-created on the current context;
+    /// further twins appear at migration time.
+    pub fn stream_create(&mut self, _proc: &ProcCtx) -> StreamHandle {
+        let native = self.active.create_stream();
+        self.streams.insert(native, self.active.id, native);
+        StreamHandle(native)
+    }
+
+    /// `cudaStreamDestroy`.
+    pub fn stream_destroy(&mut self, _proc: &ProcCtx, s: StreamHandle) -> CudaResult<()> {
+        let twins = self
+            .streams
+            .remove(s.0)
+            .ok_or_else(|| CudaError::InvalidResourceHandle(format!("stream {:#x}", s.0)))?;
+        if let Some(&native) = twins.get(&self.active.id) {
+            self.active.destroy_stream(native);
+        }
+        Ok(())
+    }
+
+    /// Native stream handle backing a client stream on the active context —
+    /// exercised by migration tests.
+    pub fn native_stream(&self, s: StreamHandle) -> Option<u64> {
+        self.streams.get(s.0, self.active.id)
+    }
+
+    /// `cudaEventCreate`.
+    pub fn event_create(&mut self, _proc: &ProcCtx) -> EventHandle {
+        let native = self.active.create_event();
+        self.events.insert(native, self.active.id, native);
+        EventHandle(native)
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn event_destroy(&mut self, _proc: &ProcCtx, e: EventHandle) -> CudaResult<()> {
+        let twins = self
+            .events
+            .remove(e.0)
+            .ok_or_else(|| CudaError::InvalidResourceHandle(format!("event {:#x}", e.0)))?;
+        if let Some(&native) = twins.get(&self.active.id) {
+            self.active.destroy_event(native);
+        }
+        self.event_waits.remove(&e.0);
+        Ok(())
+    }
+
+    /// `cudaEventRecord` on the default stream: the event completes once
+    /// every command submitted before this point has retired.
+    pub fn event_record(&mut self, proc: &ProcCtx, e: EventHandle) -> CudaResult<()> {
+        if !self.events.contains(e.0) {
+            return Err(CudaError::InvalidResourceHandle(format!("event {:#x}", e.0)));
+        }
+        let (tx, rx) = self.handle.channel::<()>();
+        self.active
+            .submit(proc, StreamCmd::Sync { done: tx });
+        self.event_waits.insert(e.0, EventWait { rx, completed: false });
+        Ok(())
+    }
+
+    /// `cudaEventSynchronize`: wait until the last recorded marker fires.
+    /// An event that was never recorded is complete by definition (CUDA
+    /// semantics).
+    pub fn event_synchronize(&mut self, proc: &ProcCtx, e: EventHandle) -> CudaResult<()> {
+        if let Some(w) = self.event_waits.get_mut(&e.0) {
+            if !w.completed {
+                let _ = w.rx.recv(proc);
+                w.completed = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// `cudnnCreate`. `pooled` handles come from the API server's
+    /// pre-created pool: no creation latency, no additional device memory
+    /// (it is part of the server's idle footprint). Cold handles pay both.
+    pub fn cudnn_create(&mut self, proc: &ProcCtx, pooled: bool) -> CudaResult<CudnnHandle> {
+        let native = if pooled {
+            self.active.serve_pooled_cudnn_handle()
+        } else {
+            self.active.create_cudnn_handle(proc, true)?
+        };
+        self.cudnn.insert(native, self.active.id, native);
+        Ok(CudnnHandle(native))
+    }
+
+    /// `cudnnDestroy`.
+    pub fn cudnn_destroy(&mut self, _proc: &ProcCtx, h: CudnnHandle) -> CudaResult<()> {
+        let twins = self
+            .cudnn
+            .remove(h.0)
+            .ok_or_else(|| CudaError::InvalidResourceHandle(format!("cudnn {:#x}", h.0)))?;
+        if let Some(&native) = twins.get(&self.active.id) {
+            self.active.destroy_cudnn_handle(native)?;
+        }
+        Ok(())
+    }
+
+    /// `cublasCreate`. See [`GpuSession::cudnn_create`] for the `pooled`
+    /// semantics.
+    pub fn cublas_create(&mut self, proc: &ProcCtx, pooled: bool) -> CudaResult<CublasHandle> {
+        let native = if pooled {
+            self.active.serve_pooled_cublas_handle()
+        } else {
+            self.active.create_cublas_handle(proc, true)?
+        };
+        self.cublas.insert(native, self.active.id, native);
+        Ok(CublasHandle(native))
+    }
+
+    /// `cublasDestroy`.
+    pub fn cublas_destroy(&mut self, _proc: &ProcCtx, h: CublasHandle) -> CudaResult<()> {
+        let twins = self
+            .cublas
+            .remove(h.0)
+            .ok_or_else(|| CudaError::InvalidResourceHandle(format!("cublas {:#x}", h.0)))?;
+        if let Some(&native) = twins.get(&self.active.id) {
+            self.active.destroy_cublas_handle(native)?;
+        }
+        Ok(())
+    }
+
+    /// True if the session holds any cuDNN or cuBLAS handles (migration must
+    /// then recreate library state on the target).
+    pub fn uses_dnn_libs(&self) -> bool {
+        self.cudnn.len() > 0 || self.cublas.len() > 0
+    }
+
+    // ---- migration (§V-D) ----
+
+    /// Live-migrate this session to `target` (a context on another GPU).
+    ///
+    /// 1. Quiesce: wait for all in-flight stream work to retire.
+    /// 2. For every allocation: create physical memory on the target GPU,
+    ///    copy the data D2D (overlapping allocations across DMA channels),
+    ///    and *remap the unchanged virtual range* onto the new physical
+    ///    allocation.
+    /// 3. Recreate cuDNN/cuBLAS/stream/event twins on the target context and
+    ///    extend the client→native translation maps.
+    pub fn migrate(
+        &mut self,
+        proc: &ProcCtx,
+        target: &Arc<CudaContext>,
+    ) -> CudaResult<MigrationReport> {
+        if target.id == self.active.id {
+            return Ok(MigrationReport {
+                bytes_moved: 0,
+                allocs_moved: 0,
+                quiesce: Dur::ZERO,
+                copy: Dur::ZERO,
+                data_copy: Dur::ZERO,
+                lib_recreate: Dur::ZERO,
+                total: Dur::ZERO,
+            });
+        }
+        let t0 = proc.now();
+
+        // (1) quiesce
+        self.active.sync(proc);
+        let t_quiesced = proc.now();
+
+        // (2) move memory. Admission-check the target first.
+        let need: u64 = self.allocs.values().map(|a| a.mapped).sum();
+        if target.gpu().free_mem() < need {
+            return Err(CudaError::MemoryAllocation {
+                requested: need,
+                free: target.gpu().free_mem(),
+            });
+        }
+        let src_gpu = Arc::clone(self.active.gpu());
+        let dst_gpu = Arc::clone(target.gpu());
+        let mut sizes = Vec::with_capacity(self.allocs.len());
+        for a in self.allocs.values_mut() {
+            let pa = src_gpu
+                .take_alloc(a.phys)
+                .expect("session allocation missing from source GPU");
+            sizes.push(a.mapped);
+            let new_phys = dst_gpu
+                .mem_create_from(pa.store)
+                .expect("admission-checked target ran out of memory");
+            self.va
+                .lock()
+                .remap(a.range.base, new_phys)
+                .expect("remap of session allocation failed");
+            a.phys = new_phys;
+        }
+        let copy_secs = copy_makespan(
+            &sizes,
+            self.costs.d2d_channels.max(1),
+            self.costs.d2d_bw_per_channel,
+        );
+        // The handler-stop/pending-op drain overlaps the copy (Table V's
+        // max(stop, copy) shape); only the longer of the two gates progress.
+        let gated = copy_secs.max(self.costs.migration_stop.as_secs_f64());
+        proc.sleep(Dur::from_secs_f64(gated));
+        let t_copied = proc.now();
+
+        // (3) recreate handles on the target context.
+        for client in self.streams.clients() {
+            if self.streams.get(client, target.id).is_none() {
+                let native = target.create_stream();
+                self.streams.insert(client, target.id, native);
+            }
+        }
+        for client in self.events.clients() {
+            if self.events.get(client, target.id).is_none() {
+                let native = target.create_event();
+                self.events.insert(client, target.id, native);
+            }
+        }
+        let uses_libs = self.uses_dnn_libs();
+        for client in self.cudnn.clients() {
+            if self.cudnn.get(client, target.id).is_none() {
+                let native = target.create_cudnn_handle(proc, false)?;
+                self.cudnn.insert(client, target.id, native);
+                // the old twin's footprint leaves the source GPU
+                if let Some(old) = self.cudnn.get(client, self.active.id) {
+                    self.active.destroy_cudnn_handle(old)?;
+                    self.cudnn.remove_twin(client, self.active.id);
+                }
+            }
+        }
+        for client in self.cublas.clients() {
+            if self.cublas.get(client, target.id).is_none() {
+                let native = target.create_cublas_handle(proc, false)?;
+                self.cublas.insert(client, target.id, native);
+                if let Some(old) = self.cublas.get(client, self.active.id) {
+                    self.active.destroy_cublas_handle(old)?;
+                    self.cublas.remove_twin(client, self.active.id);
+                }
+            }
+        }
+        if uses_libs {
+            proc.sleep(self.costs.migration_lib_recreate);
+        }
+        let t_end = proc.now();
+
+        self.active = Arc::clone(target);
+        self.migrations += 1;
+        Ok(MigrationReport {
+            bytes_moved: sizes.iter().sum(),
+            allocs_moved: sizes.len(),
+            quiesce: t_quiesced.since(t0),
+            copy: t_copied.since(t_quiesced),
+            data_copy: Dur::from_secs_f64(copy_secs),
+            lib_recreate: t_end.since(t_copied),
+            total: t_end.since(t0),
+        })
+    }
+
+    /// Read device memory for verification (tests/examples). Goes through
+    /// the VA layer, so it exercises the same path kernels use.
+    pub fn debug_read(&self, ptr: DevPtr, len: usize) -> Vec<u8> {
+        let va = self.va.lock();
+        let view = DeviceView::new(&va, self.active.gpu());
+        let mut out = vec![0u8; len];
+        view.read_bytes(ptr, &mut out);
+        out
+    }
+
+    /// Tear down all function-owned state: frees allocations, destroys
+    /// handle twins. Called by the API server when the function finishes
+    /// (after which the server flips back to its home GPU for the next
+    /// function — with nothing left to copy).
+    pub fn release(&mut self, proc: &ProcCtx) {
+        self.active.sync(proc);
+        let ptrs: Vec<u64> = self.allocs.keys().copied().collect();
+        for p in ptrs {
+            let _ = self.free(proc, DevPtr(p));
+        }
+        for s in self.streams.clients() {
+            let _ = self.stream_destroy(proc, StreamHandle(s));
+        }
+        for e in self.events.clients() {
+            let _ = self.event_destroy(proc, EventHandle(e));
+        }
+        for h in self.cudnn.clients() {
+            let _ = self.cudnn_destroy(proc, CudnnHandle(h));
+        }
+        for h in self.cublas.clients() {
+            let _ = self.cublas_destroy(proc, CublasHandle(h));
+        }
+        self.active = Arc::clone(&self.home);
+    }
+
+    /// Number of live allocations.
+    pub fn alloc_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Current virtual time, via the session's sim handle.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+}
+
+/// Makespan (seconds) of copying `sizes` across `channels` DMA channels at
+/// `bw` bytes/s each, using longest-processing-time-first assignment.
+fn copy_makespan(sizes: &[u64], channels: u32, bw: f64) -> f64 {
+    let mut loads = vec![0u64; channels as usize];
+    let mut sorted: Vec<u64> = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    for s in sorted {
+        let min = loads
+            .iter_mut()
+            .min_by_key(|l| **l)
+            .expect("at least one channel");
+        *min += s;
+    }
+    loads.into_iter().max().unwrap_or(0) as f64 / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_gpu::{Gpu, GpuId, MB};
+    use dgsf_sim::Sim;
+
+    use crate::module::{KernelCost, KernelDef};
+
+    fn two_gpu_session(sim: &Sim) -> (Arc<Gpu>, Arc<Gpu>) {
+        let h = sim.handle();
+        (Gpu::v100(&h, GpuId(0)), Gpu::v100(&h, GpuId(1)))
+    }
+
+    #[test]
+    fn copy_makespan_overlaps_channels() {
+        // one big array: no overlap possible
+        let one = copy_makespan(&[7_000_000_000], 2, 7.0e9);
+        assert!((one - 1.0).abs() < 1e-9);
+        // two equal arrays: perfectly overlapped
+        let two = copy_makespan(&[7_000_000_000, 7_000_000_000], 2, 7.0e9);
+        assert!((two - 1.0).abs() < 1e-9);
+        // empty
+        assert_eq!(copy_makespan(&[], 2, 7.0e9), 0.0);
+    }
+
+    #[test]
+    fn malloc_free_accounting() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g0.clone(), costs, false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, None);
+            let p = s.malloc(proc, 100 * MB).unwrap();
+            assert!(s.mem_used() >= 100 * MB);
+            assert!(s.pointer_attributes(p).is_device);
+            assert!(!s.pointer_attributes(DevPtr(0x1234)).is_device);
+            s.free(proc, p).unwrap();
+            assert_eq!(s.mem_used(), 0);
+            assert!(s.free(proc, p).is_err(), "double free rejected");
+            assert_eq!(s.peak_mem(), 100 * MB + 0 /* rounded */);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn mem_limit_enforced() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g0, costs, false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, Some(100 * MB));
+            assert!(s.malloc(proc, 64 * MB).is_ok());
+            match s.malloc(proc, 64 * MB) {
+                Err(CudaError::MemoryLimitExceeded { limit, .. }) => {
+                    assert_eq!(limit, 100 * MB)
+                }
+                other => panic!("expected limit violation, got {other:?}"),
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn migration_preserves_addresses_and_data() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, g1) = two_gpu_session(&sim);
+        let g0c = g0.clone();
+        let g1c = g1.clone();
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let home = CudaContext::create(proc, &h, g0c.clone(), costs.clone(), false).unwrap();
+            let away = CudaContext::create(proc, &h, g1c.clone(), costs, false).unwrap();
+            let mut s = GpuSession::new(&h, home, None);
+            let a = s.malloc(proc, 8 * MB).unwrap();
+            let b = s.malloc(proc, 4 * MB).unwrap();
+            s.memcpy_h2d(proc, a, &HostBuf::from_f32s(&[1.0, 2.0, 3.0]))
+                .unwrap();
+            s.memcpy_h2d(proc, b.offset(4096), &HostBuf::Bytes(b"hello".to_vec()))
+                .unwrap();
+
+            let used_before = g0c.used_mem();
+            assert!(used_before > 0);
+
+            let report = s.migrate(proc, &away).unwrap();
+            assert_eq!(report.allocs_moved, 2);
+            assert!(report.bytes_moved >= 12 * MB);
+            assert!(report.copy > Dur::ZERO);
+
+            // pointers unchanged, data intact, now served from GPU 1
+            let back = s.memcpy_d2h(proc, a, 12, true).unwrap();
+            assert_eq!(back.to_f32s().unwrap(), vec![1.0, 2.0, 3.0]);
+            assert_eq!(s.debug_read(b.offset(4096), 5), b"hello");
+            assert_eq!(g0c.alloc_count(), 0, "source GPU fully drained");
+            assert!(g1c.used_mem() >= 12 * MB);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn migration_translates_handles_but_client_values_stay() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let home = CudaContext::create(proc, &h, g0, costs.clone(), false).unwrap();
+            let away = CudaContext::create(proc, &h, g1, costs, false).unwrap();
+            let mut s = GpuSession::new(&h, home.clone(), None);
+            let stream = s.stream_create(proc);
+            let dnn = s.cudnn_create(proc, false).unwrap();
+            let native_before = s.native_stream(stream).unwrap();
+
+            let report = s.migrate(proc, &away).unwrap();
+            // cuDNN state recreation charged
+            assert!(report.lib_recreate.as_secs_f64() >= 0.4 - 1e-9);
+
+            let native_after = s.native_stream(stream).unwrap();
+            assert_ne!(native_before, native_after, "twin differs per context");
+            assert!(away.has_stream(native_after));
+            // the client-visible values are unchanged — the application
+            // never notices the migration
+            assert_eq!(s.native_stream(stream).is_some(), true);
+            s.cudnn_destroy(proc, dnn).unwrap();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn kernel_runs_identically_after_migration() {
+        // A functional kernel writing through stored device pointers keeps
+        // working after migration — the headline VA-preservation property.
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let home = CudaContext::create(proc, &h, g0, costs.clone(), false).unwrap();
+            let away = CudaContext::create(proc, &h, g1, costs, false).unwrap();
+            let mut s = GpuSession::new(&h, home, None);
+            let registry = Arc::new(ModuleRegistry::new().with(KernelDef::functional(
+                "inc",
+                KernelCost::Fixed(0.001),
+                |view, _cfg, args| {
+                    let p = args.ptrs[0];
+                    let v = view.read_f32s(p, 4);
+                    let inc: Vec<f32> = v.iter().map(|x| x + 1.0).collect();
+                    view.write_f32s(p, &inc);
+                },
+            )));
+            s.register_module(registry);
+            let buf = s.malloc(proc, 4 * MB).unwrap();
+            s.memcpy_h2d(proc, buf, &HostBuf::from_f32s(&[0.0; 4])).unwrap();
+
+            let args = KernelArgs {
+                ptrs: vec![buf],
+                ..Default::default()
+            };
+            s.launch(proc, "inc", LaunchConfig::linear(4, 32), args.clone())
+                .unwrap();
+            s.synchronize(proc);
+            s.migrate(proc, &away).unwrap();
+            s.launch(proc, "inc", LaunchConfig::linear(4, 32), args).unwrap();
+            s.synchronize(proc);
+
+            let out = s.memcpy_d2h(proc, buf, 16, true).unwrap();
+            assert_eq!(out.to_f32s().unwrap(), vec![2.0; 4]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn migration_to_full_gpu_fails_cleanly() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let home = CudaContext::create(proc, &h, g0, costs.clone(), false).unwrap();
+            let away = CudaContext::create(proc, &h, g1.clone(), costs, false).unwrap();
+            // Fill GPU 1 almost completely.
+            let _hog = g1.reserve(g1.free_mem() - MB).unwrap();
+            let mut s = GpuSession::new(&h, home, None);
+            let _p = s.malloc(proc, 64 * MB).unwrap();
+            match s.migrate(proc, &away) {
+                Err(CudaError::MemoryAllocation { .. }) => {}
+                other => panic!("expected OOM, got {other:?}"),
+            }
+            // session still fully usable on the source GPU
+            let data = s.memcpy_d2h(proc, DevPtr(dgsf_gpu::VA_BASE), 4, true).unwrap();
+            assert_eq!(data.to_f32s().unwrap(), vec![0.0]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn release_returns_all_resources() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        let g = g0.clone();
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g.clone(), costs.clone(), false).unwrap();
+            let base = g.used_mem(); // ctx footprint
+            let mut s = GpuSession::new(&h, ctx, None);
+            s.malloc(proc, 100 * MB).unwrap();
+            s.cudnn_create(proc, false).unwrap();
+            s.cublas_create(proc, false).unwrap();
+            s.stream_create(proc);
+            assert!(g.used_mem() > base);
+            s.release(proc);
+            assert_eq!(g.used_mem(), base, "everything the function owned is gone");
+            assert_eq!(s.alloc_count(), 0);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,158 @@
+//! Functional kernels' window onto device memory.
+//!
+//! A [`DeviceView`] resolves virtual addresses through the application's
+//! [`VaSpace`] and reads/writes the backing [`dgsf_gpu::PageStore`]s on the
+//! *current* physical GPU. Because resolution goes through the VA layer,
+//! functional kernels keep working unchanged after a migration — the central
+//! correctness property of DGSF's VA-preserving live migration.
+
+use dgsf_gpu::{Gpu, VaSpace};
+
+use crate::types::DevPtr;
+
+/// A view of device memory for one kernel execution.
+pub struct DeviceView<'a> {
+    va: &'a VaSpace,
+    gpu: &'a Gpu,
+}
+
+impl<'a> DeviceView<'a> {
+    /// Build a view over an address space and the GPU currently backing it.
+    pub fn new(va: &'a VaSpace, gpu: &'a Gpu) -> DeviceView<'a> {
+        DeviceView { va, gpu }
+    }
+
+    /// Read `out.len()` bytes from `ptr`, crossing mapping boundaries if
+    /// needed. Panics on unmapped addresses (a device-side fault).
+    pub fn read_bytes(&self, ptr: DevPtr, out: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let va = ptr.0 + pos as u64;
+            let (phys, off, remaining) = self
+                .va
+                .resolve(va)
+                .unwrap_or_else(|e| panic!("device fault reading {va:#x}: {e}"));
+            let n = (remaining as usize).min(out.len() - pos);
+            self.gpu
+                .with_alloc(phys, |s| s.read(off, &mut out[pos..pos + n]))
+                .unwrap_or_else(|| {
+                    panic!("mapping references allocation {phys:?} not on GPU {:?}", self.gpu.id)
+                });
+            pos += n;
+        }
+    }
+
+    /// Write `data` at `ptr`.
+    pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let va = ptr.0 + pos as u64;
+            let (phys, off, remaining) = self
+                .va
+                .resolve(va)
+                .unwrap_or_else(|e| panic!("device fault writing {va:#x}: {e}"));
+            let n = (remaining as usize).min(data.len() - pos);
+            self.gpu
+                .with_alloc_mut(phys, |s| s.write(off, &data[pos..pos + n]))
+                .unwrap_or_else(|| {
+                    panic!("mapping references allocation {phys:?} not on GPU {:?}", self.gpu.id)
+                });
+            pos += n;
+        }
+    }
+
+    /// Set `len` bytes at `ptr` to `v` (device-side memset).
+    pub fn fill(&mut self, ptr: DevPtr, len: u64, v: u8) {
+        let mut pos = 0u64;
+        while pos < len {
+            let va = ptr.0 + pos;
+            let (phys, off, remaining) = self
+                .va
+                .resolve(va)
+                .unwrap_or_else(|e| panic!("device fault memset {va:#x}: {e}"));
+            let n = remaining.min(len - pos);
+            self.gpu
+                .with_alloc_mut(phys, |s| s.fill_range(off, n, v))
+                .expect("mapping references allocation not on current GPU");
+            pos += n;
+        }
+    }
+
+    /// Read `n` little-endian `f32`s.
+    pub fn read_f32s(&self, ptr: DevPtr, n: usize) -> Vec<f32> {
+        let mut raw = vec![0u8; n * 4];
+        self.read_bytes(ptr, &mut raw);
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Write little-endian `f32`s.
+    pub fn write_f32s(&mut self, ptr: DevPtr, vals: &[f32]) {
+        let mut raw = Vec::with_capacity(vals.len() * 4);
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(ptr, &raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_gpu::{GpuId, VA_GRANULARITY};
+    use dgsf_sim::Sim;
+
+    #[test]
+    fn view_roundtrip_through_va() {
+        let sim = Sim::new(1);
+        let gpu = Gpu::v100(&sim.handle(), GpuId(0));
+        let mut va = VaSpace::new();
+        let phys = gpu.mem_create(VA_GRANULARITY).unwrap();
+        let r = va.reserve(VA_GRANULARITY).unwrap();
+        va.map(r.base, VA_GRANULARITY, phys).unwrap();
+
+        let ptr = DevPtr(r.base);
+        {
+            let mut view = DeviceView::new(&va, &gpu);
+            view.write_f32s(ptr, &[3.5, -1.0]);
+            view.fill(ptr.offset(1024), 16, 0xFF);
+        }
+        let view = DeviceView::new(&va, &gpu);
+        assert_eq!(view.read_f32s(ptr, 2), vec![3.5, -1.0]);
+        let mut b = [0u8; 16];
+        view.read_bytes(ptr.offset(1024), &mut b);
+        assert!(b.iter().all(|&x| x == 0xFF));
+    }
+
+    #[test]
+    fn reads_cross_mapping_boundaries() {
+        let sim = Sim::new(1);
+        let gpu = Gpu::v100(&sim.handle(), GpuId(0));
+        let mut va = VaSpace::new();
+        // Two adjacent mappings inside one reservation.
+        let r = va.reserve(2 * VA_GRANULARITY).unwrap();
+        let p1 = gpu.mem_create(VA_GRANULARITY).unwrap();
+        let p2 = gpu.mem_create(VA_GRANULARITY).unwrap();
+        va.map(r.base, VA_GRANULARITY, p1).unwrap();
+        va.map(r.base + VA_GRANULARITY, VA_GRANULARITY, p2).unwrap();
+
+        let straddle = DevPtr(r.base + VA_GRANULARITY - 4);
+        let mut view = DeviceView::new(&va, &gpu);
+        view.write_bytes(straddle, b"ABCDEFGH");
+        let mut out = [0u8; 8];
+        view.read_bytes(straddle, &mut out);
+        assert_eq!(&out, b"ABCDEFGH");
+    }
+
+    #[test]
+    #[should_panic(expected = "device fault")]
+    fn unmapped_access_faults() {
+        let sim = Sim::new(1);
+        let gpu = Gpu::v100(&sim.handle(), GpuId(0));
+        let va = VaSpace::new();
+        let view = DeviceView::new(&va, &gpu);
+        let mut b = [0u8; 1];
+        view.read_bytes(DevPtr(0xdead_beef), &mut b);
+    }
+}

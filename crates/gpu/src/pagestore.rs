@@ -1,0 +1,221 @@
+//! Sparse, fill-compressed backing store for device memory.
+//!
+//! Real experiments in the paper allocate up to ~13 GB of device memory; we
+//! cannot (and need not) hold that in host RAM. A [`PageStore`] *accounts*
+//! for its full logical length but only materializes 16 KiB pages that have
+//! actually been written with non-uniform data. A whole-allocation
+//! `cudaMemset` therefore costs O(1) host memory, while functional kernels
+//! (e.g. the real K-means used in tests/examples) read and write real bytes.
+
+use std::collections::HashMap;
+
+/// Page granularity of the sparse store.
+pub const PAGE_SIZE: usize = 16 * 1024;
+
+/// Sparse byte store of a fixed logical length.
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    len: u64,
+    /// Value of every byte not covered by a materialized page.
+    fill: u8,
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl PageStore {
+    /// A zero-filled store of `len` bytes.
+    pub fn new(len: u64) -> PageStore {
+        PageStore {
+            len,
+            fill: 0,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Logical length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Host memory actually materialized, in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.pages.len() * PAGE_SIZE) as u64
+    }
+
+    /// Read `out.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the logical length (an out-of-bounds
+    /// device access — a bug in the caller, as on real hardware).
+    pub fn read(&self, offset: u64, out: &mut [u8]) {
+        assert!(
+            offset.checked_add(out.len() as u64).is_some_and(|e| e <= self.len),
+            "device read out of bounds: off={offset} len={} size={}",
+            out.len(),
+            self.len
+        );
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let abs = offset + pos as u64;
+            let page = abs / PAGE_SIZE as u64;
+            let in_page = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(out.len() - pos);
+            match self.pages.get(&page) {
+                Some(p) => out[pos..pos + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => out[pos..pos + n].fill(self.fill),
+            }
+            pos += n;
+        }
+    }
+
+    /// Write `data` starting at `offset`, materializing pages as needed.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        assert!(
+            offset.checked_add(data.len() as u64).is_some_and(|e| e <= self.len),
+            "device write out of bounds: off={offset} len={} size={}",
+            data.len(),
+            self.len
+        );
+        let fill = self.fill;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let page = abs / PAGE_SIZE as u64;
+            let in_page = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - pos);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![fill; PAGE_SIZE].into_boxed_slice());
+            p[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Set every byte in `[offset, offset+len)` to `v`.
+    ///
+    /// A full-range fill drops all materialized pages (O(1) memory); partial
+    /// fills materialize only the pages they touch.
+    pub fn fill_range(&mut self, offset: u64, len: u64, v: u8) {
+        assert!(
+            offset.checked_add(len).is_some_and(|e| e <= self.len),
+            "device memset out of bounds: off={offset} len={len} size={}",
+            self.len
+        );
+        if offset == 0 && len == self.len {
+            self.pages.clear();
+            self.fill = v;
+            return;
+        }
+        // Drop fully covered pages (they become uniform == new value only if
+        // v == fill; otherwise we must materialize, since the fill byte
+        // covers the rest of the store).
+        let mut pos = 0u64;
+        let buf = [v; PAGE_SIZE];
+        while pos < len {
+            let abs = offset + pos;
+            let in_page = (abs % PAGE_SIZE as u64) as usize;
+            let n = ((PAGE_SIZE - in_page) as u64).min(len - pos);
+            if in_page == 0 && n == PAGE_SIZE as u64 && v == self.fill {
+                self.pages.remove(&(abs / PAGE_SIZE as u64));
+            } else {
+                self.write(abs, &buf[..n as usize]);
+            }
+            pos += n;
+        }
+    }
+
+    /// Convenience: read little-endian `f32`s (used by functional kernels).
+    pub fn read_f32s(&self, offset: u64, n: usize) -> Vec<f32> {
+        let mut raw = vec![0u8; n * 4];
+        self.read(offset, &mut raw);
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Convenience: write little-endian `f32`s.
+    pub fn write_f32s(&mut self, offset: u64, vals: &[f32]) {
+        let mut raw = Vec::with_capacity(vals.len() * 4);
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(offset, &raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let s = PageStore::new(1 << 20);
+        let mut buf = [1u8; 64];
+        s.read(12345, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_page_boundary() {
+        let mut s = PageStore::new(1 << 20);
+        let data: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+        let off = PAGE_SIZE as u64 - 100; // straddles pages
+        s.write(off, &data);
+        let mut out = vec![0u8; data.len()];
+        s.read(off, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn full_memset_is_o1_memory() {
+        let mut s = PageStore::new(16 << 30); // "16 GB" allocation
+        s.fill_range(0, 16 << 30, 0xAB);
+        assert_eq!(s.resident_bytes(), 0);
+        let mut b = [0u8; 8];
+        s.read(10 << 30, &mut b);
+        assert!(b.iter().all(|&x| x == 0xAB));
+    }
+
+    #[test]
+    fn partial_memset_materializes_only_touched_pages() {
+        let mut s = PageStore::new(1 << 30);
+        s.fill_range(0, PAGE_SIZE as u64 * 3, 7);
+        // 3 pages, but page-aligned full pages with v != fill materialize
+        assert!(s.resident_bytes() <= PAGE_SIZE as u64 * 3);
+        let mut b = [0u8; 1];
+        s.read(PAGE_SIZE as u64, &mut b);
+        assert_eq!(b[0], 7);
+        s.read(PAGE_SIZE as u64 * 3, &mut b);
+        assert_eq!(b[0], 0);
+    }
+
+    #[test]
+    fn memset_matching_fill_frees_pages() {
+        let mut s = PageStore::new(1 << 20);
+        s.write(0, &[1u8; PAGE_SIZE]);
+        assert_eq!(s.resident_bytes(), PAGE_SIZE as u64);
+        s.fill_range(0, PAGE_SIZE as u64, 0); // back to fill value
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn f32_helpers() {
+        let mut s = PageStore::new(1024);
+        s.write_f32s(16, &[1.5, -2.25, 0.0]);
+        assert_eq!(s.read_f32s(16, 3), vec![1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let s = PageStore::new(100);
+        let mut b = [0u8; 8];
+        s.read(96, &mut b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests: the sparse page store against a dense reference
+//! model, and VMM invariants under random operation sequences.
+
+use dgsf_gpu::{PageStore, PhysId, VaSpace, VA_GRANULARITY};
+use proptest::prelude::*;
+
+/// Operations on a byte store.
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { off: u64, data: Vec<u8> },
+    Fill { off: u64, len: u64, v: u8 },
+    Read { off: u64, len: u64 },
+}
+
+fn mem_op(size: u64) -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0..size, proptest::collection::vec(any::<u8>(), 1..512)).prop_map(move |(off, mut data)| {
+            let max = (size - off) as usize;
+            data.truncate(max.max(1).min(data.len()));
+            MemOp::Write { off, data }
+        }),
+        (0..size, 1u64..4096, any::<u8>()).prop_map(move |(off, len, v)| MemOp::Fill {
+            off,
+            len: len.min(size - off).max(1),
+            v,
+        }),
+        (0..size, 1u64..4096).prop_map(move |(off, len)| MemOp::Read {
+            off,
+            len: len.min(size - off).max(1),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sparse, fill-compressed page store behaves exactly like a dense
+    /// `Vec<u8>` under arbitrary write/fill/read sequences.
+    #[test]
+    fn pagestore_matches_dense_model(
+        ops in proptest::collection::vec(mem_op(200_000), 1..40)
+    ) {
+        const SIZE: u64 = 200_000;
+        let mut store = PageStore::new(SIZE);
+        let mut model = vec![0u8; SIZE as usize];
+        for op in ops {
+            match op {
+                MemOp::Write { off, data } => {
+                    let data = &data[..data.len().min((SIZE - off) as usize)];
+                    if data.is_empty() { continue; }
+                    store.write(off, data);
+                    model[off as usize..off as usize + data.len()].copy_from_slice(data);
+                }
+                MemOp::Fill { off, len, v } => {
+                    store.fill_range(off, len, v);
+                    model[off as usize..(off + len) as usize].fill(v);
+                }
+                MemOp::Read { off, len } => {
+                    let mut got = vec![0u8; len as usize];
+                    store.read(off, &mut got);
+                    prop_assert_eq!(&got[..], &model[off as usize..(off + len) as usize]);
+                }
+            }
+        }
+        // final full comparison
+        let mut all = vec![0u8; SIZE as usize];
+        store.read(0, &mut all);
+        prop_assert_eq!(all, model);
+    }
+
+    /// Resident memory never exceeds what writes could have materialized.
+    #[test]
+    fn pagestore_residency_bounded(
+        writes in proptest::collection::vec((0u64..1_000_000u64, 1usize..64), 0..20)
+    ) {
+        const SIZE: u64 = 1_000_000;
+        let mut store = PageStore::new(SIZE);
+        for (off, len) in &writes {
+            let len = (*len as u64).min(SIZE - off) as usize;
+            if len == 0 { continue; }
+            store.write(*off, &vec![1u8; len]);
+        }
+        // Each write touches at most len/PAGE + 2 pages.
+        let bound: u64 = writes
+            .iter()
+            .map(|(_, len)| (*len as u64 / dgsf_gpu::PAGE_SIZE as u64 + 2) * dgsf_gpu::PAGE_SIZE as u64)
+            .sum();
+        prop_assert!(store.resident_bytes() <= bound);
+        // A full-range fill collapses everything.
+        store.fill_range(0, SIZE, 0xEE);
+        prop_assert_eq!(store.resident_bytes(), 0);
+    }
+
+    /// VMM: mappings created through random reserve/map cycles never
+    /// overlap, and resolution agrees with the mapping table.
+    #[test]
+    fn vmm_mappings_never_overlap(
+        sizes in proptest::collection::vec(1u64..(8 << 20), 1..12),
+        unmap_mask in any::<u16>(),
+    ) {
+        let mut vs = VaSpace::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, sz) in sizes.iter().enumerate() {
+            let r = vs.reserve(*sz).unwrap();
+            vs.map(r.base, r.size, PhysId(i as u64)).unwrap();
+            live.push((r.base, r.size));
+            // occasionally unmap an earlier mapping
+            if unmap_mask & (1 << (i % 16)) != 0 && live.len() > 1 {
+                let (base, _) = live.remove(0);
+                vs.unmap(base).unwrap();
+            }
+        }
+        // no two live mappings overlap
+        let mut sorted = live.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "mappings overlap");
+        }
+        // resolution round-trips for every live byte range boundary
+        for (base, size) in &live {
+            let (_, off, rem) = vs.resolve(*base).unwrap();
+            prop_assert_eq!(off, 0);
+            prop_assert_eq!(rem, *size);
+            let (_, off, _) = vs.resolve(base + size - 1).unwrap();
+            prop_assert_eq!(off, size - 1);
+        }
+        // alignment invariant
+        for (base, size) in &live {
+            prop_assert_eq!(base % VA_GRANULARITY, 0);
+            prop_assert_eq!(size % VA_GRANULARITY, 0);
+        }
+    }
+
+    /// Remapping changes the physical side only: same VA, same size.
+    #[test]
+    fn vmm_remap_preserves_layout(sizes in proptest::collection::vec(1u64..(4 << 20), 1..8)) {
+        let mut vs = VaSpace::new();
+        let mut entries = Vec::new();
+        for (i, sz) in sizes.iter().enumerate() {
+            let r = vs.reserve(*sz).unwrap();
+            vs.map(r.base, r.size, PhysId(i as u64)).unwrap();
+            entries.push((r.base, r.size, i as u64));
+        }
+        for (base, size, i) in &entries {
+            let old = vs.remap(*base, PhysId(i + 1000)).unwrap();
+            prop_assert_eq!(old, PhysId(*i));
+            let (p, off, rem) = vs.resolve(*base).unwrap();
+            prop_assert_eq!(p, PhysId(i + 1000));
+            prop_assert_eq!(off, 0);
+            prop_assert_eq!(rem, *size);
+        }
+    }
+}

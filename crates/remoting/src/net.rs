@@ -1,0 +1,197 @@
+//! Network model between function hosts and GPU servers.
+//!
+//! The paper's testbed gives each p3.8xlarge "a network interface of up to
+//! 10 Gbps"; AWS Lambda adds "lower bandwidth and larger variance". A
+//! [`NetLink`] models one GPU server NIC: a pair of processor-sharing
+//! directional links (all connected functions contend) plus a per-message
+//! propagation latency with optional jitter.
+
+use std::sync::Arc;
+
+use dgsf_sim::{rng, Dur, GpsResource, ProcCtx, SimHandle};
+
+/// Calibrated network parameters of a deployment.
+#[derive(Debug, Clone)]
+pub struct NetProfile {
+    /// One-way RPC propagation latency.
+    pub rpc_latency: Dur,
+    /// Additional uniform jitter in `[0, rpc_jitter)` per message.
+    pub rpc_jitter: Dur,
+    /// GPU-server NIC bandwidth, bytes/s per direction.
+    pub nic_bw: f64,
+    /// Object-store (S3) download bandwidth per stream, bytes/s.
+    pub s3_bw: f64,
+}
+
+impl NetProfile {
+    /// The paper's OpenFaaS-on-EC2 deployment: 10 Gb/s NIC, low latency,
+    /// ~1.2 Gb/s effective S3 throughput.
+    pub fn datacenter() -> NetProfile {
+        NetProfile {
+            rpc_latency: Dur::from_micros(60),
+            rpc_jitter: Dur::ZERO,
+            nic_bw: 1.25e9,
+            s3_bw: 0.15e9,
+        }
+    }
+
+    /// The AWS Lambda deployment: higher, jittery latency and much lower
+    /// effective bandwidth *between the function and the GPU server* — the
+    /// cause of the NLP / image-classification spikes in Table II, whose
+    /// extra cost tracks the model+input bytes that must cross the remoting
+    /// link. S3 stays fast (downloads run inside AWS either way).
+    pub fn lambda() -> NetProfile {
+        NetProfile {
+            rpc_latency: Dur::from_micros(250),
+            rpc_jitter: Dur::from_micros(300),
+            nic_bw: 0.05e9,
+            s3_bw: 0.15e9,
+        }
+    }
+}
+
+/// Direction of a transfer on a [`NetLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Function host → GPU server.
+    ToServer,
+    /// GPU server → function host.
+    ToClient,
+}
+
+/// One GPU server's NIC: shared by every function currently remoting to it.
+pub struct NetLink {
+    profile: NetProfile,
+    up: GpsResource,
+    down: GpsResource,
+}
+
+impl NetLink {
+    /// Create a NIC with the given profile.
+    pub fn new(h: &SimHandle, profile: NetProfile) -> Arc<NetLink> {
+        Arc::new(NetLink {
+            up: h.gps(profile.nic_bw),
+            down: h.gps(profile.nic_bw),
+            profile,
+        })
+    }
+
+    /// The link's profile.
+    pub fn profile(&self) -> &NetProfile {
+        &self.profile
+    }
+
+    /// Move `bytes` across the link `repeat` times back-to-back (used to
+    /// model `repeat` sequential round trips of an un-batched call pattern
+    /// without creating `repeat` simulation events). Charges propagation
+    /// latency per message plus shared-bandwidth time for the payloads.
+    pub fn transfer(&self, p: &ProcCtx, dir: Direction, bytes: u64, repeat: u32) {
+        if repeat == 0 {
+            return;
+        }
+        let mut lat = Dur(self
+            .profile
+            .rpc_latency
+            .as_nanos()
+            .saturating_mul(repeat as u64));
+        if self.profile.rpc_jitter > Dur::ZERO {
+            let j = p.with_rng(|r| rng::uniform_gap(r, Dur::ZERO, self.profile.rpc_jitter));
+            lat = lat + Dur(j.as_nanos().saturating_mul(repeat as u64));
+        }
+        p.sleep(lat);
+        let link = match dir {
+            Direction::ToServer => &self.up,
+            Direction::ToClient => &self.down,
+        };
+        link.acquire(p, bytes as f64 * repeat as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_sim::Sim;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn latency_plus_bandwidth() {
+        let mut sim = Sim::new(1);
+        let link = NetLink::new(
+            &sim.handle(),
+            NetProfile {
+                rpc_latency: Dur::from_millis(1),
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e6, // 1 MB/s
+                s3_bw: 1e6,
+            },
+        );
+        let t = Arc::new(Mutex::new(0.0));
+        let t2 = t.clone();
+        sim.spawn("xfer", move |p| {
+            link.transfer(p, Direction::ToServer, 1_000_000, 1);
+            *t2.lock() = p.now().as_secs_f64();
+        });
+        sim.run();
+        let elapsed = *t.lock();
+        assert!((elapsed - 1.001).abs() < 1e-6, "1 ms latency + 1 s transfer: {elapsed}");
+    }
+
+    #[test]
+    fn repeat_charges_n_round_latencies() {
+        let mut sim = Sim::new(1);
+        let link = NetLink::new(
+            &sim.handle(),
+            NetProfile {
+                rpc_latency: Dur::from_micros(100),
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e12,
+                s3_bw: 1e12,
+            },
+        );
+        let t = Arc::new(Mutex::new(0.0));
+        let t2 = t.clone();
+        sim.spawn("xfer", move |p| {
+            link.transfer(p, Direction::ToServer, 64, 1000);
+            *t2.lock() = p.now().as_secs_f64();
+        });
+        sim.run();
+        let elapsed = *t.lock();
+        assert!((elapsed - 0.1).abs() < 1e-3, "1000 × 100 µs: {elapsed}");
+    }
+
+    #[test]
+    fn concurrent_transfers_share_bandwidth() {
+        let mut sim = Sim::new(1);
+        let link = NetLink::new(
+            &sim.handle(),
+            NetProfile {
+                rpc_latency: Dur::ZERO,
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e6,
+                s3_bw: 1e6,
+            },
+        );
+        let done = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let link = link.clone();
+            let done = done.clone();
+            sim.spawn(&format!("x{i}"), move |p| {
+                link.transfer(p, Direction::ToServer, 500_000, 1);
+                done.lock().push(p.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        for t in done.lock().iter() {
+            assert!((t - 1.0).abs() < 1e-6, "two halves share the MB/s: {t}");
+        }
+    }
+
+    #[test]
+    fn lambda_profile_is_slower_and_jittery() {
+        let dc = NetProfile::datacenter();
+        let lam = NetProfile::lambda();
+        assert!(lam.rpc_latency > dc.rpc_latency);
+        assert!(lam.rpc_jitter > Dur::ZERO);
+        assert!(lam.nic_bw < dc.nic_bw);
+    }
+}

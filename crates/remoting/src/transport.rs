@@ -1,0 +1,194 @@
+//! RPC transport between a guest library and an API server.
+//!
+//! The client serializes a [`Request`], charges uplink network time, and
+//! hands the frame to the server's inbox channel; the server decodes,
+//! executes, charges downlink time for the (serialized) response, and
+//! replies. `repeat` models a run of identical sequential round trips (the
+//! un-batched call pattern) in O(1) simulation events: the client pays
+//! `repeat` round-trip latencies and `repeat × size` bandwidth while the
+//! server executes the aggregate once.
+
+use bytes::Bytes;
+use dgsf_sim::{ProcCtx, SimHandle, SimReceiver, SimSender};
+use std::sync::Arc;
+
+use crate::net::{Direction, NetLink};
+use crate::wire::{Request, Response, WireError};
+
+/// A framed request in flight, with its reply path.
+pub struct RpcEnvelope {
+    /// Encoded request.
+    pub frame: Bytes,
+    /// How many identical sequential round trips this stands for.
+    pub repeat: u32,
+    /// Reply channel (encoded response).
+    pub reply: SimSender<Bytes>,
+}
+
+/// Server side of a connection: the inbox an API server drains.
+pub struct RpcInbox {
+    rx: SimReceiver<RpcEnvelope>,
+}
+
+impl RpcInbox {
+    /// Wait for the next request; `None` at simulation shutdown.
+    pub fn next(&self, p: &ProcCtx) -> Option<RpcEnvelope> {
+        self.rx.recv(p)
+    }
+
+    /// Decode an envelope's frame.
+    pub fn decode(env: &RpcEnvelope) -> Result<Request, WireError> {
+        let mut frame = env.frame.clone();
+        Request::decode(&mut frame)
+    }
+
+    /// Encode and send a response, charging downlink time for its wire size
+    /// (times the envelope's repeat factor).
+    pub fn respond(&self, p: &ProcCtx, link: &NetLink, env: &RpcEnvelope, resp: &Response) {
+        let frame = resp.encode();
+        link.transfer(p, Direction::ToClient, resp.wire_size(), env.repeat);
+        env.reply.send(p, frame);
+    }
+}
+
+/// Client side of a connection: what the guest library holds after the
+/// monitor hands it an API server address.
+pub struct RpcClient {
+    handle: SimHandle,
+    link: Arc<NetLink>,
+    tx: SimSender<RpcEnvelope>,
+}
+
+impl RpcClient {
+    /// Create a connected client/inbox pair over `link`.
+    pub fn connect(h: &SimHandle, link: Arc<NetLink>) -> (RpcClient, RpcInbox) {
+        let (tx, rx) = h.channel::<RpcEnvelope>();
+        (
+            RpcClient {
+                handle: h.clone(),
+                link,
+                tx,
+            },
+            RpcInbox { rx },
+        )
+    }
+
+    /// One round trip.
+    pub fn call(&self, p: &ProcCtx, req: &Request) -> Response {
+        self.call_repeated(p, req, 1)
+    }
+
+    /// `repeat` sequential identical round trips, executed as one aggregate
+    /// on the server.
+    pub fn call_repeated(&self, p: &ProcCtx, req: &Request, repeat: u32) -> Response {
+        assert!(repeat >= 1, "call_repeated needs at least one round trip");
+        let frame = req.encode();
+        self.link
+            .transfer(p, Direction::ToServer, req.wire_size(), repeat);
+        let (reply_tx, reply_rx) = self.handle.channel::<Bytes>();
+        self.tx.send(
+            p,
+            RpcEnvelope {
+                frame,
+                repeat,
+                reply: reply_tx,
+            },
+        );
+        let Some(mut reply) = reply_rx.recv(p) else {
+            // Simulation shutting down; surface a transport error.
+            return Response::Err {
+                class: crate::wire::err_class::OTHER,
+                msg: "transport closed".into(),
+            };
+        };
+        Response::decode(&mut reply).unwrap_or_else(|e| Response::Err {
+            class: crate::wire::err_class::OTHER,
+            msg: e.to_string(),
+        })
+    }
+
+    /// The link this client rides on.
+    pub fn link(&self) -> &Arc<NetLink> {
+        &self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetProfile;
+    use dgsf_sim::{Dur, Sim};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn echo_round_trip_charges_both_directions() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let link = NetLink::new(
+            &h,
+            NetProfile {
+                rpc_latency: Dur::from_millis(1),
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e12,
+                s3_bw: 1e12,
+            },
+        );
+        let (client, inbox) = RpcClient::connect(&h, link.clone());
+        let srv_link = link.clone();
+        sim.spawn("server", move |p| {
+            while let Some(env) = inbox.next(p) {
+                let req = RpcInbox::decode(&env).unwrap();
+                assert_eq!(req, Request::GetDeviceCount);
+                inbox.respond(p, &srv_link, &env, &Response::Count(1));
+            }
+        });
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        sim.spawn("client", move |p| {
+            let resp = client.call(p, &Request::GetDeviceCount);
+            *o.lock() = Some((resp, p.now().as_secs_f64()));
+        });
+        sim.run();
+        let (resp, t) = out.lock().take().unwrap();
+        assert_eq!(resp, Response::Count(1));
+        // one uplink + one downlink latency
+        assert!((t - 0.002).abs() < 1e-6, "round trip is 2 ms: {t}");
+    }
+
+    #[test]
+    fn repeated_calls_cost_n_round_trips_but_one_execution() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let link = NetLink::new(
+            &h,
+            NetProfile {
+                rpc_latency: Dur::from_micros(100),
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e12,
+                s3_bw: 1e12,
+            },
+        );
+        let (client, inbox) = RpcClient::connect(&h, link.clone());
+        let executions = Arc::new(Mutex::new(0u32));
+        let e2 = executions.clone();
+        let srv_link = link.clone();
+        sim.spawn("server", move |p| {
+            while let Some(env) = inbox.next(p) {
+                *e2.lock() += 1;
+                inbox.respond(p, &srv_link, &env, &Response::Ok);
+            }
+        });
+        let t_out = Arc::new(Mutex::new(0.0));
+        let t2 = t_out.clone();
+        sim.spawn("client", move |p| {
+            let r = client.call_repeated(p, &Request::Sync, 500);
+            assert_eq!(r, Response::Ok);
+            *t2.lock() = p.now().as_secs_f64();
+        });
+        sim.run();
+        assert_eq!(*executions.lock(), 1, "aggregate executes once");
+        let t = *t_out.lock();
+        // 500 × (100 µs up + 100 µs down) = 0.1 s
+        assert!((t - 0.1).abs() < 1e-3, "500 round trips: {t}");
+    }
+}

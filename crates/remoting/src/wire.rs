@@ -1,0 +1,1125 @@
+//! The DGSF wire protocol.
+//!
+//! Every interposed API call that must be remoted is serialized into a
+//! length-framed binary message and shipped to the API server; responses
+//! come back the same way. The codec is hand-rolled over [`bytes`] — no
+//! format crate — so framing is explicit, deterministic, and cheap.
+//!
+//! Trace-modeled workloads move *logical* payloads (size-only); the codec
+//! encodes them as an 9-byte marker but [`Request::wire_size`] reports the
+//! size the real bytes would have had, which is what the network model
+//! charges. Functional workloads move real bytes end to end.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgsf_cuda::{DescriptorKind, HostBuf, KernelArgs, LaunchConfig};
+
+/// Decode failure (malformed or truncated frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+impl std::error::Error for WireError {}
+
+type WireResult<T> = Result<T, WireError>;
+
+/// A remotable API request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Connect / initialize. `pooled_context` tells the server whether a
+    /// pre-initialized context may be used (the startup optimization).
+    Init {
+        /// Use a pre-initialized pooled CUDA context.
+        pooled_context: bool,
+    },
+    /// Ship the application's kernel metadata (Figure 2 step ②); the
+    /// response carries the context-specific function pointers.
+    RegisterModule {
+        /// Kernel symbol names.
+        kernels: Vec<String>,
+    },
+    /// `cudaGetDeviceCount`.
+    GetDeviceCount,
+    /// `cudaGetDeviceProperties`.
+    GetDeviceProps {
+        /// Device ordinal.
+        dev: u32,
+    },
+    /// `cudaSetDevice`.
+    SetDevice {
+        /// Device ordinal.
+        dev: u32,
+    },
+    /// `cudaMalloc`.
+    Malloc {
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// `cudaFree`.
+    Free {
+        /// Device pointer.
+        ptr: u64,
+    },
+    /// `cudaMemset`.
+    Memset {
+        /// Device pointer.
+        ptr: u64,
+        /// Fill byte.
+        value: u8,
+        /// Length.
+        bytes: u64,
+    },
+    /// `cudaMemcpy` host→device.
+    MemcpyH2D {
+        /// Destination pointer.
+        dst: u64,
+        /// Payload.
+        data: WireBuf,
+    },
+    /// `cudaMemcpy` device→host.
+    MemcpyD2H {
+        /// Source pointer.
+        src: u64,
+        /// Length.
+        bytes: u64,
+        /// Whether real bytes must come back.
+        want_data: bool,
+    },
+    /// Unoptimized launch prelude (`__cudaPushCallConfiguration`).
+    PushCallConfiguration {
+        /// Launch geometry.
+        cfg: WireCfg,
+    },
+    /// Unoptimized launch (consumes the pushed configuration).
+    Launch {
+        /// Context-specific function pointer (client view).
+        fptr: u64,
+        /// Arguments.
+        args: WireArgs,
+    },
+    /// Optimized launch with the configuration piggybacked (§V-C).
+    LaunchConfigured {
+        /// Context-specific function pointer (client view).
+        fptr: u64,
+        /// Client stream handle (0 = default stream).
+        stream: u64,
+        /// Launch geometry.
+        cfg: WireCfg,
+        /// Arguments.
+        args: WireArgs,
+    },
+    /// `cudaDeviceSynchronize`.
+    Sync,
+    /// `cudaStreamCreate`.
+    StreamCreate,
+    /// `cudaStreamDestroy`.
+    StreamDestroy {
+        /// Client stream handle.
+        h: u64,
+    },
+    /// `cudaStreamSynchronize`.
+    StreamSync {
+        /// Client stream handle.
+        h: u64,
+    },
+    /// `cudaEventCreate`.
+    EventCreate,
+    /// `cudaEventRecord`.
+    EventRecord {
+        /// Client event handle.
+        h: u64,
+    },
+    /// `cudaEventSynchronize`.
+    EventSync {
+        /// Client event handle.
+        h: u64,
+    },
+    /// `cudaPointerGetAttributes` (only remoted when localization is off).
+    PointerGetAttributes {
+        /// Pointer to query.
+        ptr: u64,
+    },
+    /// `cudaMallocHost` (only remoted when localization is off).
+    MallocHost {
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// `cudnnCreate`. `pooled` selects a pre-created handle.
+    CudnnCreate {
+        /// Serve from the pre-created pool.
+        pooled: bool,
+    },
+    /// `cudnnDestroy`.
+    CudnnDestroy {
+        /// Client handle.
+        h: u64,
+    },
+    /// `cudnnCreate*Descriptor` × n (only remoted when guest pools are off).
+    CudnnCreateDescriptors {
+        /// Descriptor kind.
+        kind: u8,
+        /// Count.
+        n: u64,
+    },
+    /// `cudnnSet*Descriptor` × n.
+    CudnnSetDescriptors {
+        /// Count.
+        n: u64,
+    },
+    /// `cudnnDestroy*Descriptor` × n.
+    CudnnDestroyDescriptors {
+        /// Count.
+        n: u64,
+    },
+    /// Aggregate cuDNN operation.
+    CudnnOp {
+        /// Client handle.
+        h: u64,
+        /// GPU-seconds.
+        work: f64,
+        /// Device bytes touched.
+        bytes: u64,
+        /// API calls this stands for.
+        api_calls: u64,
+    },
+    /// `cublasCreate`.
+    CublasCreate {
+        /// Serve from the pre-created pool.
+        pooled: bool,
+    },
+    /// `cublasDestroy`.
+    CublasDestroy {
+        /// Client handle.
+        h: u64,
+    },
+    /// Aggregate cuBLAS operation.
+    CublasOp {
+        /// Client handle.
+        h: u64,
+        /// GPU-seconds.
+        work: f64,
+        /// Device bytes touched.
+        bytes: u64,
+        /// API calls this stands for.
+        api_calls: u64,
+    },
+    /// A batch of deferred asynchronous calls flushed in one round trip.
+    Batch(Vec<Request>),
+    /// Function finished; release all of its state.
+    EndFunction,
+}
+
+/// Payload crossing the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireBuf {
+    /// Real bytes.
+    Bytes(Vec<u8>),
+    /// Size-only payload (trace-modeled data); charged at full size by the
+    /// network model without materializing.
+    Logical(u64),
+}
+
+impl WireBuf {
+    /// Logical length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            WireBuf::Bytes(b) => b.len() as u64,
+            WireBuf::Logical(n) => *n,
+        }
+    }
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<HostBuf> for WireBuf {
+    fn from(h: HostBuf) -> Self {
+        match h {
+            HostBuf::Bytes(b) => WireBuf::Bytes(b),
+            HostBuf::Logical(n) => WireBuf::Logical(n),
+        }
+    }
+}
+
+impl From<WireBuf> for HostBuf {
+    fn from(w: WireBuf) -> Self {
+        match w {
+            WireBuf::Bytes(b) => HostBuf::Bytes(b),
+            WireBuf::Logical(n) => HostBuf::Logical(n),
+        }
+    }
+}
+
+/// Launch geometry on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCfg {
+    /// Grid dims.
+    pub grid: (u32, u32, u32),
+    /// Block dims.
+    pub block: (u32, u32, u32),
+}
+
+impl From<LaunchConfig> for WireCfg {
+    fn from(c: LaunchConfig) -> Self {
+        WireCfg {
+            grid: c.grid,
+            block: c.block,
+        }
+    }
+}
+impl From<WireCfg> for LaunchConfig {
+    fn from(c: WireCfg) -> Self {
+        LaunchConfig {
+            grid: c.grid,
+            block: c.block,
+        }
+    }
+}
+
+/// Kernel arguments on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireArgs {
+    /// Device-pointer arguments.
+    pub ptrs: Vec<u64>,
+    /// Scalar arguments.
+    pub scalars: Vec<u64>,
+    /// Bytes the kernel touches.
+    pub bytes: u64,
+    /// GPU-seconds hint for trace-modeled kernels.
+    pub work_hint: Option<f64>,
+}
+
+impl From<KernelArgs> for WireArgs {
+    fn from(a: KernelArgs) -> Self {
+        WireArgs {
+            ptrs: a.ptrs.into_iter().map(|p| p.0).collect(),
+            scalars: a.scalars,
+            bytes: a.bytes,
+            work_hint: a.work_hint,
+        }
+    }
+}
+impl From<WireArgs> for KernelArgs {
+    fn from(a: WireArgs) -> Self {
+        KernelArgs {
+            ptrs: a.ptrs.into_iter().map(dgsf_cuda::DevPtr).collect(),
+            scalars: a.scalars,
+            bytes: a.bytes,
+            work_hint: a.work_hint,
+        }
+    }
+}
+
+/// Device properties on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireProps {
+    /// Device name.
+    pub name: String,
+    /// Total device memory.
+    pub total_mem: u64,
+    /// SM count.
+    pub sm_count: u32,
+    /// Compute capability.
+    pub cc: (u32, u32),
+}
+
+/// A response from the API server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success, no payload.
+    Ok,
+    /// Failure with a coarse error class and message.
+    Err {
+        /// Error class (see [`err_class`]).
+        class: u8,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// A pointer (`cudaMalloc`).
+    Ptr(u64),
+    /// A count (`cudaGetDeviceCount`).
+    Count(u32),
+    /// Device properties.
+    Props(WireProps),
+    /// A handle (stream/event/cudnn/cublas).
+    Handle(u64),
+    /// Data coming back from the device.
+    Data(WireBuf),
+    /// A batch of fresh handles (descriptors).
+    Handles(Vec<u64>),
+    /// Kernel name → function pointer assignments.
+    Fptrs(Vec<(String, u64)>),
+    /// Pointer attributes.
+    Attrs {
+        /// Pointer refers to device memory.
+        is_device: bool,
+        /// Owning allocation size, if known.
+        alloc_size: Option<u64>,
+        /// Device ordinal as seen by the app.
+        device: u32,
+    },
+}
+
+/// Error classes carried on the wire.
+pub mod err_class {
+    /// Out of device memory.
+    pub const OOM: u8 = 1;
+    /// Invalid value / pointer.
+    pub const INVALID_VALUE: u8 = 2;
+    /// Invalid device ordinal.
+    pub const INVALID_DEVICE: u8 = 3;
+    /// Bad handle.
+    pub const INVALID_HANDLE: u8 = 4;
+    /// Unsupported by the prototype.
+    pub const UNSUPPORTED: u8 = 5;
+    /// Function memory limit exceeded.
+    pub const MEM_LIMIT: u8 = 6;
+    /// Other.
+    pub const OTHER: u8 = 0;
+}
+
+// ---------------- codec helpers ----------------
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_str(b: &mut Bytes) -> WireResult<String> {
+    let n = get_u32(b)? as usize;
+    if b.remaining() < n {
+        return Err(WireError("truncated string".into()));
+    }
+    let raw = b.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError("invalid utf8".into()))
+}
+
+fn get_u8(b: &mut Bytes) -> WireResult<u8> {
+    if b.remaining() < 1 {
+        return Err(WireError("truncated u8".into()));
+    }
+    Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut Bytes) -> WireResult<u32> {
+    if b.remaining() < 4 {
+        return Err(WireError("truncated u32".into()));
+    }
+    Ok(b.get_u32_le())
+}
+
+fn get_u64(b: &mut Bytes) -> WireResult<u64> {
+    if b.remaining() < 8 {
+        return Err(WireError("truncated u64".into()));
+    }
+    Ok(b.get_u64_le())
+}
+
+fn get_f64(b: &mut Bytes) -> WireResult<f64> {
+    if b.remaining() < 8 {
+        return Err(WireError("truncated f64".into()));
+    }
+    Ok(b.get_f64_le())
+}
+
+fn put_vec_u64(b: &mut BytesMut, v: &[u64]) {
+    b.put_u32_le(v.len() as u32);
+    for x in v {
+        b.put_u64_le(*x);
+    }
+}
+
+fn get_vec_u64(b: &mut Bytes) -> WireResult<Vec<u64>> {
+    let n = get_u32(b)? as usize;
+    if b.remaining() < n * 8 {
+        return Err(WireError("truncated u64 vec".into()));
+    }
+    Ok((0..n).map(|_| b.get_u64_le()).collect())
+}
+
+fn put_buf(b: &mut BytesMut, buf: &WireBuf) {
+    match buf {
+        WireBuf::Bytes(raw) => {
+            b.put_u8(0);
+            b.put_u64_le(raw.len() as u64);
+            b.put_slice(raw);
+        }
+        WireBuf::Logical(n) => {
+            b.put_u8(1);
+            b.put_u64_le(*n);
+        }
+    }
+}
+
+fn get_buf(b: &mut Bytes) -> WireResult<WireBuf> {
+    match get_u8(b)? {
+        0 => {
+            let n = get_u64(b)? as usize;
+            if b.remaining() < n {
+                return Err(WireError("truncated payload".into()));
+            }
+            Ok(WireBuf::Bytes(b.split_to(n).to_vec()))
+        }
+        1 => Ok(WireBuf::Logical(get_u64(b)?)),
+        t => Err(WireError(format!("bad WireBuf tag {t}"))),
+    }
+}
+
+fn put_cfg(b: &mut BytesMut, c: &WireCfg) {
+    for v in [c.grid.0, c.grid.1, c.grid.2, c.block.0, c.block.1, c.block.2] {
+        b.put_u32_le(v);
+    }
+}
+
+fn get_cfg(b: &mut Bytes) -> WireResult<WireCfg> {
+    let mut v = [0u32; 6];
+    for x in &mut v {
+        *x = get_u32(b)?;
+    }
+    Ok(WireCfg {
+        grid: (v[0], v[1], v[2]),
+        block: (v[3], v[4], v[5]),
+    })
+}
+
+fn put_args(b: &mut BytesMut, a: &WireArgs) {
+    put_vec_u64(b, &a.ptrs);
+    put_vec_u64(b, &a.scalars);
+    b.put_u64_le(a.bytes);
+    match a.work_hint {
+        Some(w) => {
+            b.put_u8(1);
+            b.put_f64_le(w);
+        }
+        None => b.put_u8(0),
+    }
+}
+
+fn get_args(b: &mut Bytes) -> WireResult<WireArgs> {
+    let ptrs = get_vec_u64(b)?;
+    let scalars = get_vec_u64(b)?;
+    let bytes = get_u64(b)?;
+    let work_hint = match get_u8(b)? {
+        0 => None,
+        1 => Some(get_f64(b)?),
+        t => return Err(WireError(format!("bad option tag {t}"))),
+    };
+    Ok(WireArgs {
+        ptrs,
+        scalars,
+        bytes,
+        work_hint,
+    })
+}
+
+/// Map a [`DescriptorKind`] to its wire byte.
+pub fn descriptor_kind_to_u8(k: DescriptorKind) -> u8 {
+    match k {
+        DescriptorKind::Tensor => 0,
+        DescriptorKind::Filter => 1,
+        DescriptorKind::Convolution => 2,
+        DescriptorKind::Pooling => 3,
+        DescriptorKind::Activation => 4,
+    }
+}
+
+/// Inverse of [`descriptor_kind_to_u8`].
+pub fn descriptor_kind_from_u8(v: u8) -> WireResult<DescriptorKind> {
+    Ok(match v {
+        0 => DescriptorKind::Tensor,
+        1 => DescriptorKind::Filter,
+        2 => DescriptorKind::Convolution,
+        3 => DescriptorKind::Pooling,
+        4 => DescriptorKind::Activation,
+        t => return Err(WireError(format!("bad descriptor kind {t}"))),
+    })
+}
+
+impl Request {
+    /// Serialize into a fresh frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        use Request::*;
+        match self {
+            Init { pooled_context } => {
+                b.put_u8(1);
+                b.put_u8(*pooled_context as u8);
+            }
+            RegisterModule { kernels } => {
+                b.put_u8(2);
+                b.put_u32_le(kernels.len() as u32);
+                for k in kernels {
+                    put_str(b, k);
+                }
+            }
+            GetDeviceCount => b.put_u8(3),
+            GetDeviceProps { dev } => {
+                b.put_u8(4);
+                b.put_u32_le(*dev);
+            }
+            SetDevice { dev } => {
+                b.put_u8(5);
+                b.put_u32_le(*dev);
+            }
+            Malloc { bytes } => {
+                b.put_u8(6);
+                b.put_u64_le(*bytes);
+            }
+            Free { ptr } => {
+                b.put_u8(7);
+                b.put_u64_le(*ptr);
+            }
+            Memset { ptr, value, bytes } => {
+                b.put_u8(8);
+                b.put_u64_le(*ptr);
+                b.put_u8(*value);
+                b.put_u64_le(*bytes);
+            }
+            MemcpyH2D { dst, data } => {
+                b.put_u8(9);
+                b.put_u64_le(*dst);
+                put_buf(b, data);
+            }
+            MemcpyD2H {
+                src,
+                bytes,
+                want_data,
+            } => {
+                b.put_u8(10);
+                b.put_u64_le(*src);
+                b.put_u64_le(*bytes);
+                b.put_u8(*want_data as u8);
+            }
+            PushCallConfiguration { cfg } => {
+                b.put_u8(11);
+                put_cfg(b, cfg);
+            }
+            Launch { fptr, args } => {
+                b.put_u8(12);
+                b.put_u64_le(*fptr);
+                put_args(b, args);
+            }
+            LaunchConfigured {
+                fptr,
+                stream,
+                cfg,
+                args,
+            } => {
+                b.put_u8(13);
+                b.put_u64_le(*fptr);
+                b.put_u64_le(*stream);
+                put_cfg(b, cfg);
+                put_args(b, args);
+            }
+            Sync => b.put_u8(14),
+            StreamCreate => b.put_u8(15),
+            StreamDestroy { h } => {
+                b.put_u8(16);
+                b.put_u64_le(*h);
+            }
+            StreamSync { h } => {
+                b.put_u8(17);
+                b.put_u64_le(*h);
+            }
+            EventCreate => b.put_u8(18),
+            EventRecord { h } => {
+                b.put_u8(19);
+                b.put_u64_le(*h);
+            }
+            EventSync { h } => {
+                b.put_u8(20);
+                b.put_u64_le(*h);
+            }
+            PointerGetAttributes { ptr } => {
+                b.put_u8(21);
+                b.put_u64_le(*ptr);
+            }
+            MallocHost { bytes } => {
+                b.put_u8(22);
+                b.put_u64_le(*bytes);
+            }
+            CudnnCreate { pooled } => {
+                b.put_u8(23);
+                b.put_u8(*pooled as u8);
+            }
+            CudnnDestroy { h } => {
+                b.put_u8(24);
+                b.put_u64_le(*h);
+            }
+            CudnnCreateDescriptors { kind, n } => {
+                b.put_u8(25);
+                b.put_u8(*kind);
+                b.put_u64_le(*n);
+            }
+            CudnnSetDescriptors { n } => {
+                b.put_u8(26);
+                b.put_u64_le(*n);
+            }
+            CudnnDestroyDescriptors { n } => {
+                b.put_u8(27);
+                b.put_u64_le(*n);
+            }
+            CudnnOp {
+                h,
+                work,
+                bytes,
+                api_calls,
+            } => {
+                b.put_u8(28);
+                b.put_u64_le(*h);
+                b.put_f64_le(*work);
+                b.put_u64_le(*bytes);
+                b.put_u64_le(*api_calls);
+            }
+            CublasCreate { pooled } => {
+                b.put_u8(29);
+                b.put_u8(*pooled as u8);
+            }
+            CublasDestroy { h } => {
+                b.put_u8(30);
+                b.put_u64_le(*h);
+            }
+            CublasOp {
+                h,
+                work,
+                bytes,
+                api_calls,
+            } => {
+                b.put_u8(31);
+                b.put_u64_le(*h);
+                b.put_f64_le(*work);
+                b.put_u64_le(*bytes);
+                b.put_u64_le(*api_calls);
+            }
+            Batch(reqs) => {
+                b.put_u8(32);
+                b.put_u32_le(reqs.len() as u32);
+                for r in reqs {
+                    r.encode_into(b);
+                }
+            }
+            EndFunction => b.put_u8(33),
+        }
+    }
+
+    /// Deserialize from a frame.
+    pub fn decode(frame: &mut Bytes) -> WireResult<Request> {
+        use Request::*;
+        let tag = get_u8(frame)?;
+        Ok(match tag {
+            1 => Init {
+                pooled_context: get_u8(frame)? != 0,
+            },
+            2 => {
+                let n = get_u32(frame)? as usize;
+                // n is untrusted: cap the pre-allocation, let decode errors bound growth
+                let mut kernels = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    kernels.push(get_str(frame)?);
+                }
+                RegisterModule { kernels }
+            }
+            3 => GetDeviceCount,
+            4 => GetDeviceProps {
+                dev: get_u32(frame)?,
+            },
+            5 => SetDevice {
+                dev: get_u32(frame)?,
+            },
+            6 => Malloc {
+                bytes: get_u64(frame)?,
+            },
+            7 => Free {
+                ptr: get_u64(frame)?,
+            },
+            8 => Memset {
+                ptr: get_u64(frame)?,
+                value: get_u8(frame)?,
+                bytes: get_u64(frame)?,
+            },
+            9 => MemcpyH2D {
+                dst: get_u64(frame)?,
+                data: get_buf(frame)?,
+            },
+            10 => MemcpyD2H {
+                src: get_u64(frame)?,
+                bytes: get_u64(frame)?,
+                want_data: get_u8(frame)? != 0,
+            },
+            11 => PushCallConfiguration {
+                cfg: get_cfg(frame)?,
+            },
+            12 => Launch {
+                fptr: get_u64(frame)?,
+                args: get_args(frame)?,
+            },
+            13 => LaunchConfigured {
+                fptr: get_u64(frame)?,
+                stream: get_u64(frame)?,
+                cfg: get_cfg(frame)?,
+                args: get_args(frame)?,
+            },
+            14 => Sync,
+            15 => StreamCreate,
+            16 => StreamDestroy {
+                h: get_u64(frame)?,
+            },
+            17 => StreamSync {
+                h: get_u64(frame)?,
+            },
+            18 => EventCreate,
+            19 => EventRecord {
+                h: get_u64(frame)?,
+            },
+            20 => EventSync {
+                h: get_u64(frame)?,
+            },
+            21 => PointerGetAttributes {
+                ptr: get_u64(frame)?,
+            },
+            22 => MallocHost {
+                bytes: get_u64(frame)?,
+            },
+            23 => CudnnCreate {
+                pooled: get_u8(frame)? != 0,
+            },
+            24 => CudnnDestroy {
+                h: get_u64(frame)?,
+            },
+            25 => CudnnCreateDescriptors {
+                kind: get_u8(frame)?,
+                n: get_u64(frame)?,
+            },
+            26 => CudnnSetDescriptors {
+                n: get_u64(frame)?,
+            },
+            27 => CudnnDestroyDescriptors {
+                n: get_u64(frame)?,
+            },
+            28 => CudnnOp {
+                h: get_u64(frame)?,
+                work: get_f64(frame)?,
+                bytes: get_u64(frame)?,
+                api_calls: get_u64(frame)?,
+            },
+            29 => CublasCreate {
+                pooled: get_u8(frame)? != 0,
+            },
+            30 => CublasDestroy {
+                h: get_u64(frame)?,
+            },
+            31 => CublasOp {
+                h: get_u64(frame)?,
+                work: get_f64(frame)?,
+                bytes: get_u64(frame)?,
+                api_calls: get_u64(frame)?,
+            },
+            32 => {
+                let n = get_u32(frame)? as usize;
+                let mut reqs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    reqs.push(Request::decode(frame)?);
+                }
+                Batch(reqs)
+            }
+            33 => EndFunction,
+            t => return Err(WireError(format!("bad request tag {t}"))),
+        })
+    }
+
+    /// Bytes this request occupies on the wire, counting logical payloads at
+    /// their full size (what the network model must charge).
+    pub fn wire_size(&self) -> u64 {
+        let encoded = {
+            let mut b = BytesMut::new();
+            self.encode_into(&mut b);
+            b.len() as u64
+        };
+        encoded + self.logical_extra()
+    }
+
+    fn logical_extra(&self) -> u64 {
+        match self {
+            Request::MemcpyH2D {
+                data: WireBuf::Logical(n),
+                ..
+            } => *n,
+            Request::Batch(reqs) => reqs.iter().map(|r| r.logical_extra()).sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl Response {
+    /// Serialize into a fresh frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        use Response::*;
+        match self {
+            Ok => b.put_u8(0),
+            Err { class, msg } => {
+                b.put_u8(1);
+                b.put_u8(*class);
+                put_str(&mut b, msg);
+            }
+            Ptr(p) => {
+                b.put_u8(2);
+                b.put_u64_le(*p);
+            }
+            Count(c) => {
+                b.put_u8(3);
+                b.put_u32_le(*c);
+            }
+            Props(p) => {
+                b.put_u8(4);
+                put_str(&mut b, &p.name);
+                b.put_u64_le(p.total_mem);
+                b.put_u32_le(p.sm_count);
+                b.put_u32_le(p.cc.0);
+                b.put_u32_le(p.cc.1);
+            }
+            Handle(h) => {
+                b.put_u8(5);
+                b.put_u64_le(*h);
+            }
+            Data(d) => {
+                b.put_u8(6);
+                put_buf(&mut b, d);
+            }
+            Handles(hs) => {
+                b.put_u8(7);
+                put_vec_u64(&mut b, hs);
+            }
+            Fptrs(fs) => {
+                b.put_u8(8);
+                b.put_u32_le(fs.len() as u32);
+                for (name, fptr) in fs {
+                    put_str(&mut b, name);
+                    b.put_u64_le(*fptr);
+                }
+            }
+            Attrs {
+                is_device,
+                alloc_size,
+                device,
+            } => {
+                b.put_u8(9);
+                b.put_u8(*is_device as u8);
+                match alloc_size {
+                    Some(s) => {
+                        b.put_u8(1);
+                        b.put_u64_le(*s);
+                    }
+                    None => b.put_u8(0),
+                }
+                b.put_u32_le(*device);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialize from a frame.
+    pub fn decode(frame: &mut Bytes) -> WireResult<Response> {
+        use Response::*;
+        let tag = get_u8(frame)?;
+        std::result::Result::Ok(match tag {
+            0 => Ok,
+            1 => Err {
+                class: get_u8(frame)?,
+                msg: get_str(frame)?,
+            },
+            2 => Ptr(get_u64(frame)?),
+            3 => Count(get_u32(frame)?),
+            4 => Props(WireProps {
+                name: get_str(frame)?,
+                total_mem: get_u64(frame)?,
+                sm_count: get_u32(frame)?,
+                cc: (get_u32(frame)?, get_u32(frame)?),
+            }),
+            5 => Handle(get_u64(frame)?),
+            6 => Data(get_buf(frame)?),
+            7 => Handles(get_vec_u64(frame)?),
+            8 => {
+                let n = get_u32(frame)? as usize;
+                let mut fs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = get_str(frame)?;
+                    let fptr = get_u64(frame)?;
+                    fs.push((name, fptr));
+                }
+                Fptrs(fs)
+            }
+            9 => Attrs {
+                is_device: get_u8(frame)? != 0,
+                alloc_size: match get_u8(frame)? {
+                    0 => None,
+                    1 => Some(get_u64(frame)?),
+                    t => return std::result::Result::Err(WireError(format!("bad opt tag {t}"))),
+                },
+                device: get_u32(frame)?,
+            },
+            t => return std::result::Result::Err(WireError(format!("bad response tag {t}"))),
+        })
+    }
+
+    /// Bytes on the wire, counting logical payloads at full size.
+    pub fn wire_size(&self) -> u64 {
+        let extra = match self {
+            Response::Data(WireBuf::Logical(n)) => *n,
+            _ => 0,
+        };
+        self.encode().len() as u64 + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_req(r: &Request) {
+        let mut frame = r.encode();
+        let back = Request::decode(&mut frame).expect("decode");
+        assert_eq!(&back, r);
+        assert_eq!(frame.remaining(), 0, "frame fully consumed");
+    }
+
+    fn roundtrip_resp(r: &Response) {
+        let mut frame = r.encode();
+        let back = Response::decode(&mut frame).expect("decode");
+        assert_eq!(&back, r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(&Request::Init {
+            pooled_context: true,
+        });
+        roundtrip_req(&Request::RegisterModule {
+            kernels: vec!["kmeans_assign".into(), "kmeans_update".into()],
+        });
+        roundtrip_req(&Request::MemcpyH2D {
+            dst: 0x7000_0000_0000,
+            data: WireBuf::Bytes(vec![1, 2, 3]),
+        });
+        roundtrip_req(&Request::LaunchConfigured {
+            fptr: 42,
+            stream: 7,
+            cfg: WireCfg {
+                grid: (1, 2, 3),
+                block: (4, 5, 6),
+            },
+            args: WireArgs {
+                ptrs: vec![1, 2],
+                scalars: vec![99],
+                bytes: 1000,
+                work_hint: Some(0.5),
+            },
+        });
+        roundtrip_req(&Request::Batch(vec![
+            Request::Memset {
+                ptr: 1,
+                value: 0,
+                bytes: 100,
+            },
+            Request::Sync,
+        ]));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(&Response::Ok);
+        roundtrip_resp(&Response::Err {
+            class: err_class::OOM,
+            msg: "requested 1 GB".into(),
+        });
+        roundtrip_resp(&Response::Props(WireProps {
+            name: "V100".into(),
+            total_mem: 16 << 30,
+            sm_count: 80,
+            cc: (7, 0),
+        }));
+        roundtrip_resp(&Response::Fptrs(vec![("k".into(), 7)]));
+        roundtrip_resp(&Response::Attrs {
+            is_device: true,
+            alloc_size: Some(100),
+            device: 0,
+        });
+        roundtrip_resp(&Response::Data(WireBuf::Logical(1 << 30)));
+    }
+
+    #[test]
+    fn logical_payloads_counted_at_full_size_but_encoded_small() {
+        let r = Request::MemcpyH2D {
+            dst: 0,
+            data: WireBuf::Logical(1 << 30),
+        };
+        assert!(r.encode().len() < 64, "marker only");
+        assert!(r.wire_size() >= 1 << 30, "network charge is the real size");
+        // nested in a batch too
+        let b = Request::Batch(vec![r]);
+        assert!(b.wire_size() >= 1 << 30);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let full = Request::Malloc { bytes: 123 }.encode();
+        for cut in 0..full.len() {
+            let mut frame = full.slice(..cut);
+            let _ = Request::decode(&mut frame); // must not panic
+        }
+        let mut empty = Bytes::new();
+        assert!(Request::decode(&mut empty).is_err());
+    }
+
+    #[test]
+    fn descriptor_kind_wire_mapping_is_bijective() {
+        for k in DescriptorKind::ALL {
+            assert_eq!(descriptor_kind_from_u8(descriptor_kind_to_u8(k)).unwrap(), k);
+        }
+        assert!(descriptor_kind_from_u8(200).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_launch_args_roundtrip(
+            ptrs in proptest::collection::vec(any::<u64>(), 0..8),
+            scalars in proptest::collection::vec(any::<u64>(), 0..8),
+            bytes in any::<u64>(),
+            work in proptest::option::of(0.0f64..1e6),
+            fptr in any::<u64>(),
+        ) {
+            let r = Request::Launch {
+                fptr,
+                args: WireArgs { ptrs, scalars, bytes, work_hint: work },
+            };
+            let mut frame = r.encode();
+            let back = Request::decode(&mut frame).unwrap();
+            prop_assert_eq!(back, r);
+        }
+
+        #[test]
+        fn prop_h2d_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048), dst in any::<u64>()) {
+            let r = Request::MemcpyH2D { dst, data: WireBuf::Bytes(data) };
+            let mut frame = r.encode();
+            prop_assert_eq!(Request::decode(&mut frame).unwrap(), r);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic_decoder(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut frame = Bytes::from(raw);
+            let _ = Request::decode(&mut frame);
+            let mut frame2 = frame.clone();
+            let _ = Response::decode(&mut frame2);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The API server process: "a process that handles exclusively one
+//! serverless function at a time and executes them on an actual physical
+//! GPU" (§V-A).
+//!
+//! Each API server is provisioned with a pre-initialized CUDA context on its
+//! *home* GPU plus pre-created cuDNN/cuBLAS handle pools (the 755 MB idle
+//! footprint). While serving a function it may be live-migrated to another
+//! GPU; migration happens at API-call boundaries, and when the function
+//! finishes the server reverts to its home GPU.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dgsf_cuda::{CostTable, CudaContext, GpuSession, MigrationReport, ModuleRegistry};
+use dgsf_gpu::{Gpu, GpuId};
+use dgsf_remoting::{Dispatcher, NetLink, RpcInbox};
+use dgsf_sim::{ProcCtx, SimHandle, SimReceiver, SimSender, SimTime};
+use parking_lot::Mutex;
+
+use crate::monitor::MonitorMsg;
+
+/// A function assignment handed to an API server by the monitor.
+pub(crate) struct Assignment {
+    pub inbox: RpcInbox,
+    pub registry: Arc<ModuleRegistry>,
+    pub mem_limit: u64,
+    pub invocation: u64,
+}
+
+/// One completed migration, for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationRecord {
+    /// API server that moved.
+    pub server: u32,
+    /// Source GPU.
+    pub from: GpuId,
+    /// Destination GPU.
+    pub to: GpuId,
+    /// Detailed timing.
+    pub report: MigrationReport,
+    /// When the migration completed.
+    pub at: SimTime,
+}
+
+struct ApiSrvState {
+    current_gpu: GpuId,
+    contexts: HashMap<GpuId, Arc<CudaContext>>,
+    /// Set by the monitor (or a forced-migration experiment); consumed at
+    /// the next API-call boundary.
+    migration_request: Option<GpuId>,
+}
+
+/// State shared between an API server process, the monitor and the
+/// experiment harness.
+pub struct ApiServerShared {
+    /// Server id (unique within the GPU server).
+    pub id: u32,
+    /// The GPU this server is provisioned on.
+    pub home_gpu: GpuId,
+    state: Mutex<ApiSrvState>,
+}
+
+impl ApiServerShared {
+    pub(crate) fn new(id: u32, home_gpu: GpuId, home_ctx: Arc<CudaContext>) -> ApiServerShared {
+        let mut contexts = HashMap::new();
+        contexts.insert(home_gpu, home_ctx);
+        ApiServerShared {
+            id,
+            home_gpu,
+            state: Mutex::new(ApiSrvState {
+                current_gpu: home_gpu,
+                contexts,
+                migration_request: None,
+            }),
+        }
+    }
+
+    /// GPU the server is currently executing on.
+    pub fn current_gpu(&self) -> GpuId {
+        self.state.lock().current_gpu
+    }
+
+    /// Ask the server to migrate to `target` at its next API-call boundary.
+    pub fn request_migration(&self, target: GpuId) {
+        self.state.lock().migration_request = Some(target);
+    }
+
+    /// True if a migration request is pending (not yet executed).
+    pub fn migration_pending(&self) -> bool {
+        self.state.lock().migration_request.is_some()
+    }
+
+    fn take_migration_request(&self) -> Option<GpuId> {
+        self.state.lock().migration_request.take()
+    }
+
+    fn context(&self, gpu: GpuId) -> Option<Arc<CudaContext>> {
+        self.state.lock().contexts.get(&gpu).cloned()
+    }
+
+    fn set_current(&self, gpu: GpuId) {
+        self.state.lock().current_gpu = gpu;
+    }
+
+    fn insert_context(&self, gpu: GpuId, ctx: Arc<CudaContext>) {
+        self.state.lock().contexts.insert(gpu, ctx);
+    }
+}
+
+/// Everything an API server process needs.
+pub(crate) struct ApiServerArgs {
+    pub h: SimHandle,
+    pub shared: Arc<ApiServerShared>,
+    pub gpus: Vec<Arc<Gpu>>,
+    pub costs: Arc<CostTable>,
+    pub link: Arc<NetLink>,
+    pub assign_rx: SimReceiver<Assignment>,
+    pub monitor_tx: SimSender<MonitorMsg>,
+    pub migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+}
+
+/// Body of the API server process. Returns when the simulation shuts down.
+pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
+    while let Some(asg) = a.assign_rx.recv(p) {
+        let home_ctx = a
+            .shared
+            .context(a.shared.home_gpu)
+            .expect("home context provisioned");
+        let session = GpuSession::new(&a.h, home_ctx, Some(asg.mem_limit));
+        let mut d = Dispatcher::new(session, asg.registry);
+        loop {
+            let Some(env) = asg.inbox.next(p) else {
+                return; // simulation shutting down
+            };
+            // Migration happens at API-call boundaries (§V-A).
+            maybe_migrate(p, &a, &mut d);
+            let resp = match RpcInbox::decode(&env) {
+                Ok(req) => d.handle(p, req, env.repeat),
+                Err(e) => dgsf_remoting::wire::Response::Err {
+                    class: dgsf_remoting::wire::err_class::OTHER,
+                    msg: e.to_string(),
+                },
+            };
+            asg.inbox.respond(p, &a.link, &env, &resp);
+            if d.finished() {
+                break;
+            }
+        }
+        // "When the current serverless function finishes, the API server
+        // changes its current GPU to the originally assigned one" — with
+        // nothing left to copy, since the session was released.
+        a.shared.set_current(a.shared.home_gpu);
+        a.monitor_tx.send(
+            p,
+            MonitorMsg::FunctionDone {
+                server: a.shared.id,
+                invocation: asg.invocation,
+            },
+        );
+    }
+}
+
+fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
+    let Some(target) = a.shared.take_migration_request() else {
+        return;
+    };
+    if target == a.shared.current_gpu() {
+        return;
+    }
+    // Lazily create this server's context on the target GPU. The creation
+    // latency is assumed amortized by the pool (the context persists for
+    // future migrations); only the footprint is charged.
+    let ctx = match a.shared.context(target) {
+        Some(c) => c,
+        None => {
+            let gpu = a.gpus[target.0 as usize].clone();
+            match CudaContext::create(p, &a.h, gpu, Arc::clone(&a.costs), false) {
+                Ok(c) => {
+                    a.shared.insert_context(target, Arc::clone(&c));
+                    c
+                }
+                Err(_) => return, // target can't even fit a context; skip
+            }
+        }
+    };
+    let from = a.shared.current_gpu();
+    match d.migrate(p, &ctx) {
+        Ok(report) => {
+            a.shared.set_current(target);
+            let at = p.now();
+            a.migration_log.lock().push(MigrationRecord {
+                server: a.shared.id,
+                from,
+                to: target,
+                report,
+                at,
+            });
+            a.monitor_tx.send(
+                p,
+                MonitorMsg::Migrated {
+                    server: a.shared.id,
+                    from,
+                    to: target,
+                },
+            );
+        }
+        Err(_) => {
+            // Target ran out of memory between decision and execution; the
+            // session stays where it was.
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! GPU server configuration.
+
+use dgsf_cuda::CostTable;
+use dgsf_remoting::NetProfile;
+use dgsf_sim::Dur;
+
+/// How the monitor picks a GPU for an incoming function (§VIII-D/E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Pack: the GPU with the *least* free (uncommitted) memory that still
+    /// fits the request.
+    BestFit,
+    /// Spread: the GPU with the *most* free memory.
+    WorstFit,
+}
+
+/// Queue discipline at the GPU server. The paper evaluates strict FCFS and
+/// "leaves exploration of policies like shortest-function-first, which
+/// could improve throughput at some loss of fairness, for future work"
+/// (§VIII-D) — implemented here as [`QueuePolicy::SmallestFirst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Strict first-come-first-serve with head-of-line blocking (the
+    /// paper's evaluated policy).
+    Fcfs,
+    /// Serve the queued function with the smallest declared GPU memory
+    /// first (a practical proxy for shortest-function-first: small
+    /// footprints correlate with short runs in the paper's suite). Improves
+    /// throughput; large functions can be bypassed repeatedly.
+    SmallestFirst,
+}
+
+/// Configuration of one disaggregated GPU server.
+#[derive(Debug, Clone)]
+pub struct GpuServerConfig {
+    /// Number of physical GPUs (the paper's testbed has 4 per machine).
+    pub num_gpus: u32,
+    /// API servers per GPU: 1 = no sharing, 2 = the paper's "Sharing (Two)".
+    pub api_servers_per_gpu: u32,
+    /// Placement policy for incoming functions.
+    pub policy: PlacementPolicy,
+    /// Queue discipline for functions that cannot be placed immediately.
+    pub queue: QueuePolicy,
+    /// Whether the monitor may live-migrate API servers to fix imbalance.
+    pub migration: bool,
+    /// Monitor tick: utilization sampling / migration checks. The paper
+    /// samples NVML every 200 ms.
+    pub monitor_period: Dur,
+    /// Network profile of the server's NIC.
+    pub net: NetProfile,
+    /// Calibrated CUDA cost table.
+    pub costs: CostTable,
+    /// Minimum utilization imbalance window before migrating.
+    pub migration_min_busy: Dur,
+}
+
+impl GpuServerConfig {
+    /// The paper's default evaluation box: 4 GPUs, no sharing, FCFS.
+    pub fn paper_default() -> GpuServerConfig {
+        GpuServerConfig {
+            num_gpus: 4,
+            api_servers_per_gpu: 1,
+            policy: PlacementPolicy::BestFit,
+            queue: QueuePolicy::Fcfs,
+            migration: false,
+            monitor_period: Dur::from_millis(200),
+            net: NetProfile::datacenter(),
+            costs: CostTable::default(),
+            migration_min_busy: Dur::from_millis(600),
+        }
+    }
+
+    /// Builder-style: set GPU count.
+    pub fn gpus(mut self, n: u32) -> Self {
+        self.num_gpus = n;
+        self
+    }
+
+    /// Builder-style: set API servers per GPU.
+    pub fn sharing(mut self, per_gpu: u32) -> Self {
+        self.api_servers_per_gpu = per_gpu;
+        self
+    }
+
+    /// Builder-style: set placement policy.
+    pub fn with_policy(mut self, p: PlacementPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Builder-style: set the queue discipline.
+    pub fn with_queue_policy(mut self, q: QueuePolicy) -> Self {
+        self.queue = q;
+        self
+    }
+
+    /// Builder-style: enable migration.
+    pub fn with_migration(mut self, on: bool) -> Self {
+        self.migration = on;
+        self
+    }
+
+    /// Builder-style: set the network profile.
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Total API servers this configuration provisions.
+    pub fn total_api_servers(&self) -> u32 {
+        self.num_gpus * self.api_servers_per_gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = GpuServerConfig::paper_default()
+            .gpus(3)
+            .sharing(2)
+            .with_policy(PlacementPolicy::WorstFit)
+            .with_migration(true);
+        assert_eq!(c.num_gpus, 3);
+        assert_eq!(c.total_api_servers(), 6);
+        assert_eq!(c.policy, PlacementPolicy::WorstFit);
+        assert!(c.migration);
+    }
+}

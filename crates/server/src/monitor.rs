@@ -1,0 +1,365 @@
+//! The GPU server's monitor: "the main piece of the GPU server" (§V-A).
+//!
+//! The monitor tracks per-GPU memory commitments and utilization, assigns
+//! incoming function requests to idle API servers under a best-fit or
+//! worst-fit policy with a strict FCFS queue (head-of-line blocking is the
+//! paper's stated behaviour), and — when migration is enabled — moves an API
+//! server off an overloaded GPU onto an idle one.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dgsf_cuda::ModuleRegistry;
+use dgsf_gpu::{Gpu, GpuId};
+use dgsf_remoting::{NetLink, RpcClient};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
+use parking_lot::Mutex;
+
+use crate::api_server::{ApiServerShared, Assignment};
+use crate::config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
+
+/// A function's request for a virtual GPU.
+pub(crate) struct FnRequest {
+    pub mem: u64,
+    pub registry: Arc<ModuleRegistry>,
+    pub reply: SimSender<RpcClient>,
+    pub invocation: u64,
+}
+
+/// Messages the monitor consumes.
+pub(crate) enum MonitorMsg {
+    /// A function wants a GPU.
+    Request(FnRequest),
+    /// An API server finished its function.
+    FunctionDone { server: u32, invocation: u64 },
+    /// An API server completed a migration.
+    Migrated { server: u32, from: GpuId, to: GpuId },
+}
+
+/// Lifecycle record of one invocation, kept for the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationRecord {
+    /// Platform-assigned invocation id.
+    pub invocation: u64,
+    /// Function name.
+    pub name: String,
+    /// Declared GPU memory requirement.
+    pub mem: u64,
+    /// When the GPU request reached the monitor.
+    pub requested_at: SimTime,
+    /// When an API server was assigned (None while queued).
+    pub assigned_at: Option<SimTime>,
+    /// When the function finished on the API server.
+    pub done_at: Option<SimTime>,
+    /// Assigned API server.
+    pub server: Option<u32>,
+    /// GPU the server was homed on at assignment.
+    pub gpu: Option<GpuId>,
+}
+
+impl InvocationRecord {
+    /// Queueing delay at the GPU server (None while queued).
+    pub fn queue_delay(&self) -> Option<Dur> {
+        self.assigned_at.map(|a| a.since(self.requested_at))
+    }
+
+    /// Execution time on the API server.
+    pub fn exec_time(&self) -> Option<Dur> {
+        match (self.assigned_at, self.done_at) {
+            (Some(a), Some(d)) => Some(d.since(a)),
+            _ => None,
+        }
+    }
+}
+
+struct SrvBook {
+    shared: Arc<ApiServerShared>,
+    assign_tx: SimSender<Assignment>,
+    busy: Option<BusyInfo>,
+}
+
+struct BusyInfo {
+    #[allow(dead_code)]
+    invocation: u64,
+    mem: u64,
+}
+
+pub(crate) struct MonitorArgs {
+    pub h: SimHandle,
+    pub cfg: GpuServerConfig,
+    pub gpus: Vec<Arc<Gpu>>,
+    pub link: Arc<NetLink>,
+    pub servers: Vec<(Arc<ApiServerShared>, SimSender<Assignment>)>,
+    pub rx: SimReceiver<MonitorMsg>,
+    pub records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
+}
+
+/// Immutable monitor context shared by the helpers below.
+struct MonCtx {
+    h: SimHandle,
+    cfg: GpuServerConfig,
+    gpus: Vec<Arc<Gpu>>,
+    link: Arc<NetLink>,
+    records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
+}
+
+/// Body of the monitor process.
+pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
+    let MonitorArgs {
+        h,
+        cfg,
+        gpus,
+        link,
+        servers,
+        rx,
+        records,
+    } = args;
+    let a = MonCtx {
+        h,
+        cfg,
+        gpus,
+        link,
+        records,
+    };
+    let mut servers: Vec<SrvBook> = servers
+        .into_iter()
+        .map(|(shared, assign_tx)| SrvBook {
+            shared,
+            assign_tx,
+            busy: None,
+        })
+        .collect();
+    // Static per-GPU overhead: each homed server holds its 755 MB idle
+    // footprint; lazily created migration contexts add 303 MB each.
+    let idle_fp = a.cfg.costs.idle_worker_mem();
+    let ctx_fp = a.cfg.costs.cuda_ctx_mem;
+    let mut overhead: HashMap<GpuId, u64> = HashMap::new();
+    for s in &servers {
+        *overhead.entry(s.shared.home_gpu).or_insert(0) += idle_fp;
+    }
+    let mut known_ctxs: std::collections::HashSet<(u32, GpuId)> = servers
+        .iter()
+        .map(|s| (s.shared.id, s.shared.home_gpu))
+        .collect();
+    let mut queue: VecDeque<FnRequest> = VecDeque::new();
+    // Migration damping: never overlap migrations, and let the system
+    // settle before judging imbalance again.
+    let mut last_migration_request = SimTime::ZERO;
+    let migration_cooldown = Dur(a.cfg.monitor_period.as_nanos() * 15);
+
+    loop {
+        // Periodic ticks exist only to drive the migration policy; they are
+        // armed only while work is in flight. An idle monitor blocks
+        // indefinitely, which lets the simulation's event queue drain and
+        // `Sim::run` terminate naturally.
+        let work_in_flight = servers.iter().any(|s| s.busy.is_some()) || !queue.is_empty();
+        let msg = if a.cfg.migration && work_in_flight {
+            rx.recv_timeout(p, a.cfg.monitor_period)
+        } else {
+            match rx.recv(p) {
+                Some(m) => Ok(m),
+                None => Err(RecvError::Shutdown),
+            }
+        };
+        match msg {
+            Ok(MonitorMsg::Request(req)) => {
+                queue.push_back(req);
+                drain_queue(p, &a, &mut servers, &overhead, &mut queue);
+            }
+            Ok(MonitorMsg::FunctionDone { server, invocation }) => {
+                if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
+                    s.busy = None;
+                }
+                if let Some(rec) = a.records.lock().get_mut(&invocation) {
+                    rec.done_at = Some(p.now());
+                }
+                drain_queue(p, &a, &mut servers, &overhead, &mut queue);
+            }
+            Ok(MonitorMsg::Migrated { server, from, to }) => {
+                let _ = from; // informative in logs; unused by the policy
+                if known_ctxs.insert((server, to)) {
+                    *overhead.entry(to).or_insert(0) += ctx_fp;
+                }
+            }
+            Err(RecvError::Timeout) => {
+                let any_pending = servers.iter().any(|s| s.shared.migration_pending());
+                let cooled = p.now().since(last_migration_request) >= migration_cooldown
+                    || last_migration_request == SimTime::ZERO;
+                if a.cfg.migration && !any_pending && cooled
+                    && migration_tick(p, &a, &servers, &overhead)
+                {
+                    last_migration_request = p.now();
+                }
+            }
+            Err(RecvError::Shutdown) => return,
+        }
+    }
+}
+
+/// Declared-memory availability of a GPU, as the monitor sees it.
+fn avail(
+    gpus: &[Arc<Gpu>],
+    servers: &[SrvBook],
+    overhead: &HashMap<GpuId, u64>,
+    gpu: GpuId,
+) -> i64 {
+    let total = gpus[gpu.0 as usize].total_mem() as i64;
+    let oh = *overhead.get(&gpu).unwrap_or(&0) as i64;
+    let committed: i64 = servers
+        .iter()
+        .filter(|s| s.busy.is_some() && s.shared.current_gpu() == gpu)
+        .map(|s| s.busy.as_ref().expect("filtered busy").mem as i64)
+        .sum();
+    total - oh - committed
+}
+
+/// Drain the queue under the configured discipline: strict FCFS assigns
+/// from the head only (head-of-line blocking, the paper's policy);
+/// smallest-first scans for the smallest placeable request.
+fn drain_queue(
+    p: &ProcCtx,
+    a: &MonCtx,
+    servers: &mut [SrvBook],
+    overhead: &HashMap<GpuId, u64>,
+    queue: &mut VecDeque<FnRequest>,
+) {
+    loop {
+        let pos = match a.cfg.queue {
+            QueuePolicy::Fcfs => {
+                if queue.is_empty() {
+                    return;
+                }
+                0
+            }
+            QueuePolicy::SmallestFirst => {
+                let Some(pos) = (0..queue.len()).min_by_key(|&i| queue[i].mem) else {
+                    return;
+                };
+                pos
+            }
+        };
+        let Some(srv_idx) = pick_server(a, servers, overhead, queue[pos].mem) else {
+            if a.cfg.queue == QueuePolicy::SmallestFirst {
+                // Even the smallest queued function cannot be placed.
+                return;
+            }
+            return; // head-of-line blocks (the paper's FCFS policy)
+        };
+        let req = queue.remove(pos).expect("index in bounds");
+        let (client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
+        let s = &mut servers[srv_idx];
+        s.busy = Some(BusyInfo {
+            invocation: req.invocation,
+            mem: req.mem,
+        });
+        {
+            let mut recs = a.records.lock();
+            if let Some(rec) = recs.get_mut(&req.invocation) {
+                rec.assigned_at = Some(p.now());
+                rec.server = Some(s.shared.id);
+                rec.gpu = Some(s.shared.home_gpu);
+            }
+        }
+        s.assign_tx.send(
+            p,
+            Assignment {
+                inbox,
+                registry: req.registry,
+                mem_limit: req.mem,
+                invocation: req.invocation,
+            },
+        );
+        req.reply.send(p, client);
+    }
+}
+
+/// Choose an idle API server whose home GPU fits `mem`, by policy.
+fn pick_server(
+    a: &MonCtx,
+    servers: &[SrvBook],
+    overhead: &HashMap<GpuId, u64>,
+    mem: u64,
+) -> Option<usize> {
+    let mut best: Option<(usize, i64)> = None;
+    for (i, s) in servers.iter().enumerate() {
+        if s.busy.is_some() {
+            continue;
+        }
+        let gpu = s.shared.home_gpu;
+        let free = avail(&a.gpus, servers, overhead, gpu);
+        if free < mem as i64 {
+            continue;
+        }
+        let better = match (best, a.cfg.policy) {
+            (None, _) => true,
+            (Some((_, bf)), PlacementPolicy::BestFit) => free < bf,
+            (Some((_, bf)), PlacementPolicy::WorstFit) => free > bf,
+        };
+        if better {
+            best = Some((i, free));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Detect load imbalance and request a migration: a GPU running ≥2 busy API
+/// servers at high utilization while another GPU is idle (the §VIII-E
+/// scenario).
+fn migration_tick(
+    p: &ProcCtx,
+    a: &MonCtx,
+    servers: &[SrvBook],
+    overhead: &HashMap<GpuId, u64>,
+) -> bool {
+    let now = p.now();
+    let window = Dur(a.cfg.monitor_period.as_nanos() * 3);
+    let since = SimTime(now.as_nanos().saturating_sub(window.as_nanos()));
+    if now.since(since) < a.cfg.migration_min_busy {
+        return false; // too early to judge
+    }
+    let num_gpus = a.gpus.len();
+    let mut busy_count = vec![0u32; num_gpus];
+    for s in servers {
+        if s.busy.is_some() {
+            busy_count[s.shared.current_gpu().0 as usize] += 1;
+        }
+    }
+    let Some(idle_gpu) = (0..num_gpus).find(|&g| busy_count[g] == 0) else {
+        return false;
+    };
+    for g in 0..num_gpus {
+        if busy_count[g] < 2 {
+            continue;
+        }
+        let busy = a.gpus[g].busy_between(since, now).as_secs_f64();
+        let util = busy / window.as_secs_f64().max(1e-9);
+        if util < 0.8 {
+            continue; // contended in count but not in compute
+        }
+        // Move the smallest-footprint migratable function.
+        let target = GpuId(idle_gpu as u32);
+        let mut cand: Option<(&SrvBook, u64)> = None;
+        for s in servers {
+            if s.shared.current_gpu().0 as usize != g || s.shared.migration_pending() {
+                continue;
+            }
+            let Some(b) = &s.busy else { continue };
+            let extra_ctx = if s.shared.home_gpu == target {
+                0
+            } else {
+                a.cfg.costs.cuda_ctx_mem
+            };
+            if avail(&a.gpus, servers, overhead, target) < (b.mem + extra_ctx) as i64 {
+                continue;
+            }
+            if cand.map(|(_, m)| b.mem < m).unwrap_or(true) {
+                cand = Some((s, b.mem));
+            }
+        }
+        if let Some((s, _)) = cand {
+            s.shared.request_migration(target);
+            return true; // one migration per tick
+        }
+    }
+    false
+}

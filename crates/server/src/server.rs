@@ -1,0 +1,230 @@
+//! Provisioning and the public handle of one disaggregated GPU server.
+//!
+//! The *manager* "is responsible for setting up the environment, checking
+//! the available GPUs and creating the monitor and the initial idle API
+//! servers" (§V-A). [`GpuServer::provision`] plays that role: it builds the
+//! physical GPUs, pre-initializes one CUDA context plus cuDNN/cuBLAS handle
+//! pools per API server (the 755 MB idle footprint, charged immediately but
+//! off any function's critical path), and spawns the monitor and API server
+//! processes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
+use dgsf_gpu::{Gpu, GpuId};
+use dgsf_remoting::{NetLink, RpcClient};
+use dgsf_sim::{Dur, ProcCtx, SimHandle, SimSender, SimTime};
+use parking_lot::Mutex;
+
+use crate::api_server::{
+    run_api_server, ApiServerArgs, ApiServerShared, Assignment, MigrationRecord,
+};
+use crate::config::GpuServerConfig;
+use crate::monitor::{run_monitor, FnRequest, InvocationRecord, MonitorArgs, MonitorMsg};
+
+/// A provisioned, running GPU server.
+pub struct GpuServer {
+    /// The physical GPUs.
+    pub gpus: Vec<Arc<Gpu>>,
+    /// The server's NIC.
+    pub link: Arc<NetLink>,
+    /// Calibrated cost table in force.
+    pub costs: Arc<CostTable>,
+    cfg: GpuServerConfig,
+    handle: SimHandle,
+    monitor_tx: SimSender<MonitorMsg>,
+    servers: Vec<Arc<ApiServerShared>>,
+    records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
+    migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+    next_invocation: AtomicU64,
+    provisioned_at: SimTime,
+}
+
+impl GpuServer {
+    /// Provision a GPU server. Must be called from a simulated process (the
+    /// platform's root); API servers and the monitor are spawned as
+    /// sibling processes and are ready immediately (warm pool — the paper
+    /// always measures warm starts, §VI).
+    pub fn provision(p: &ProcCtx, h: &SimHandle, cfg: GpuServerConfig) -> Arc<GpuServer> {
+        let costs = Arc::new(cfg.costs.clone());
+        let gpus: Vec<Arc<Gpu>> = (0..cfg.num_gpus)
+            .map(|i| Gpu::v100(h, GpuId(i)))
+            .collect();
+        let link = NetLink::new(h, cfg.net.clone());
+        let (monitor_tx, monitor_rx) = h.channel::<MonitorMsg>();
+        let records = Arc::new(Mutex::new(HashMap::new()));
+        let migration_log = Arc::new(Mutex::new(Vec::new()));
+
+        let mut servers = Vec::new();
+        let mut monitor_servers: Vec<(Arc<ApiServerShared>, SimSender<Assignment>)> = Vec::new();
+        for id in 0..cfg.total_api_servers() {
+            let home = GpuId(id % cfg.num_gpus);
+            let gpu = Arc::clone(&gpus[home.0 as usize]);
+            // Pre-initialized context (303 MB) — the pool fill happens at
+            // provisioning, so no sleep is charged here.
+            let ctx = CudaContext::create(p, h, Arc::clone(&gpu), Arc::clone(&costs), false)
+                .expect("fresh GPU fits a context");
+            // Pre-created cuDNN + cuBLAS pool footprint (452 MB), held for
+            // the server's lifetime.
+            gpu.reserve(costs.cudnn_mem + costs.cublas_mem)
+                .expect("fresh GPU fits the handle pools");
+            let shared = Arc::new(ApiServerShared::new(id, home, ctx));
+            let (assign_tx, assign_rx) = h.channel::<Assignment>();
+            let args = ApiServerArgs {
+                h: h.clone(),
+                shared: Arc::clone(&shared),
+                gpus: gpus.clone(),
+                costs: Arc::clone(&costs),
+                link: Arc::clone(&link),
+                assign_rx,
+                monitor_tx: monitor_tx.clone(),
+                migration_log: Arc::clone(&migration_log),
+            };
+            h.spawn(&format!("api-server-{id}"), move |pp| run_api_server(pp, args));
+            monitor_servers.push((Arc::clone(&shared), assign_tx));
+            servers.push(shared);
+        }
+
+        let margs = MonitorArgs {
+            h: h.clone(),
+            cfg: cfg.clone(),
+            gpus: gpus.clone(),
+            link: Arc::clone(&link),
+            servers: monitor_servers,
+            rx: monitor_rx,
+            records: Arc::clone(&records),
+        };
+        h.spawn("monitor", move |pp| run_monitor(pp, margs));
+
+        Arc::new(GpuServer {
+            gpus,
+            link,
+            costs,
+            cfg,
+            handle: h.clone(),
+            monitor_tx,
+            servers,
+            records,
+            migration_log,
+            next_invocation: AtomicU64::new(1),
+            provisioned_at: p.now(),
+        })
+    }
+
+    /// The configuration this server was provisioned with.
+    pub fn config(&self) -> &GpuServerConfig {
+        &self.cfg
+    }
+
+    /// Request a virtual GPU for a function: blocks (in virtual time,
+    /// including FCFS queueing) until an API server is assigned, then
+    /// returns the connected guest-side RPC client and the invocation id.
+    pub fn request_gpu(
+        &self,
+        p: &ProcCtx,
+        name: &str,
+        mem: u64,
+        registry: Arc<ModuleRegistry>,
+    ) -> (RpcClient, u64) {
+        let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
+        let now = p.now();
+        self.records.lock().insert(
+            invocation,
+            InvocationRecord {
+                invocation,
+                name: name.to_string(),
+                mem,
+                requested_at: now,
+                assigned_at: None,
+                done_at: None,
+                server: None,
+                gpu: None,
+            },
+        );
+        let (reply_tx, reply_rx) = self.handle.channel::<RpcClient>();
+        self.monitor_tx.send(
+            p,
+            MonitorMsg::Request(FnRequest {
+                mem,
+                registry,
+                reply: reply_tx,
+                invocation,
+            }),
+        );
+        let client = reply_rx
+            .recv(p)
+            .expect("monitor alive for the run's duration");
+        (client, invocation)
+    }
+
+    /// Force an API server to migrate to `target` at its next API-call
+    /// boundary (Table V's forced-migration microbenchmark).
+    pub fn force_migration(&self, server: u32, target: GpuId) {
+        self.servers[server as usize].request_migration(target);
+    }
+
+    /// GPU an API server currently executes on.
+    pub fn server_current_gpu(&self, server: u32) -> GpuId {
+        self.servers[server as usize].current_gpu()
+    }
+
+    /// Functions currently on this server: assigned-but-unfinished plus
+    /// queued. The serverless backend's load-balancing policies key off
+    /// this (§IV: "choosing the least loaded GPU server to optimize
+    /// latency or the opposite to increase utilization").
+    pub fn active_functions(&self) -> usize {
+        self.records
+            .lock()
+            .values()
+            .filter(|r| r.done_at.is_none())
+            .count()
+    }
+
+    /// Functions still waiting in the monitor's queue.
+    pub fn queued_functions(&self) -> usize {
+        self.records
+            .lock()
+            .values()
+            .filter(|r| r.assigned_at.is_none() && r.done_at.is_none())
+            .count()
+    }
+
+    /// Snapshot of all invocation records.
+    pub fn records(&self) -> Vec<InvocationRecord> {
+        let mut v: Vec<InvocationRecord> = self.records.lock().values().cloned().collect();
+        v.sort_by_key(|r| r.invocation);
+        v
+    }
+
+    /// All completed migrations.
+    pub fn migrations(&self) -> Vec<MigrationRecord> {
+        self.migration_log.lock().clone()
+    }
+
+    /// NVML-style utilization samples for one GPU over `[start, end)`.
+    pub fn utilization(&self, gpu: u32, start: SimTime, end: SimTime, period: Dur) -> Vec<f64> {
+        self.gpus[gpu as usize].utilization_samples(start, end, period)
+    }
+
+    /// Mean utilization across all GPUs over `[start, end)` (busy-time
+    /// fraction).
+    pub fn mean_utilization(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let span = end.since(start).as_secs_f64();
+        let total: f64 = self
+            .gpus
+            .iter()
+            .map(|g| g.busy_between(start, end).as_secs_f64() / span)
+            .sum();
+        total / self.gpus.len() as f64
+    }
+
+    /// When the server finished provisioning.
+    pub fn provisioned_at(&self) -> SimTime {
+        self.provisioned_at
+    }
+}

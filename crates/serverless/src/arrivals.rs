@@ -1,0 +1,162 @@
+//! Arrival processes for mixed-workload experiments (§VIII-D).
+//!
+//! The paper launches 10 instances of each of the 6 workloads in a "random
+//! (but consistent) order", with gaps drawn from exponential distributions
+//! (mean 2 s = heavy load, mean 3 s = light load) or as bursts of all six
+//! every 2 s.
+
+use dgsf_sim::{rng, Dur, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How function launches are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Fixed gap between consecutive launches.
+    Fixed(Dur),
+    /// Exponentially distributed gaps with the given mean.
+    Exponential {
+        /// Mean inter-arrival gap.
+        mean: Dur,
+    },
+    /// Launch `group_size` functions at once, then wait `gap`.
+    Burst {
+        /// Functions per burst.
+        group_size: usize,
+        /// Gap between bursts.
+        gap: Dur,
+    },
+}
+
+/// A schedule: which workload index launches when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// `(launch_time, workload_index)` pairs, sorted by time.
+    pub entries: Vec<(SimTime, usize)>,
+}
+
+impl Schedule {
+    /// Build a schedule of `copies` × `num_workloads` launches in a seeded
+    /// random (but consistent) order, spaced per `pattern`.
+    pub fn mixed(
+        seed: u64,
+        num_workloads: usize,
+        copies: usize,
+        pattern: ArrivalPattern,
+    ) -> Schedule {
+        let mut order: Vec<usize> = (0..num_workloads)
+            .flat_map(|w| std::iter::repeat(w).take(copies))
+            .collect();
+        let mut r = StdRng::seed_from_u64(seed);
+        match pattern {
+            ArrivalPattern::Burst { .. } => {
+                // Bursts launch one of each workload together; shuffle the
+                // within-burst order only.
+                order.clear();
+                for _ in 0..copies {
+                    let mut burst: Vec<usize> = (0..num_workloads).collect();
+                    rng::shuffle(&mut r, &mut burst);
+                    order.extend(burst);
+                }
+            }
+            _ => rng::shuffle(&mut r, &mut order),
+        }
+        let mut entries = Vec::with_capacity(order.len());
+        let mut t = SimTime::ZERO;
+        for (i, w) in order.into_iter().enumerate() {
+            match pattern {
+                ArrivalPattern::Fixed(gap) => {
+                    entries.push((t, w));
+                    t += gap;
+                }
+                ArrivalPattern::Exponential { mean } => {
+                    entries.push((t, w));
+                    t += rng::exp_gap(&mut r, mean);
+                }
+                ArrivalPattern::Burst { group_size, gap } => {
+                    entries.push((t, w));
+                    if (i + 1) % group_size == 0 {
+                        t += gap;
+                    }
+                }
+            }
+        }
+        Schedule { entries }
+    }
+
+    /// Number of launches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Time of the last launch.
+    pub fn last_launch(&self) -> SimTime {
+        self.entries.last().map(|e| e.0).unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_schedule_has_copies_of_each() {
+        let s = Schedule::mixed(42, 6, 10, ArrivalPattern::Fixed(Dur::from_secs(3)));
+        assert_eq!(s.len(), 60);
+        for w in 0..6 {
+            assert_eq!(s.entries.iter().filter(|e| e.1 == w).count(), 10);
+        }
+        // fixed spacing
+        assert_eq!(s.entries[1].0.since(s.entries[0].0), Dur::from_secs(3));
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let a = Schedule::mixed(7, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
+        let b = Schedule::mixed(7, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
+        let c = Schedule::mixed(8, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let s = Schedule::mixed(
+            3,
+            6,
+            200,
+            ArrivalPattern::Exponential { mean: Dur::from_secs(2) },
+        );
+        let total = s.last_launch().as_secs_f64();
+        let mean = total / (s.len() - 1) as f64;
+        assert!((mean - 2.0).abs() < 0.3, "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn bursts_launch_groups_together() {
+        let s = Schedule::mixed(
+            5,
+            6,
+            10,
+            ArrivalPattern::Burst {
+                group_size: 6,
+                gap: Dur::from_secs(2),
+            },
+        );
+        assert_eq!(s.len(), 60);
+        // first six entries share a timestamp and cover all six workloads
+        let t0 = s.entries[0].0;
+        let first: Vec<usize> = s.entries.iter().take(6).map(|e| e.1).collect();
+        assert!(s.entries.iter().take(6).all(|e| e.0 == t0));
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        // next burst is 2 s later
+        assert_eq!(s.entries[6].0.since(t0), Dur::from_secs(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! The serverless backend's GPU-server selection (§IV).
+//!
+//! "Our prototype uses a fixed policy to choose, given a function requesting
+//! a GPU, which GPU server to use. Different policies can be used in a
+//! commercial deployment, such as choosing the least loaded GPU server to
+//! optimize latency or the opposite to increase utilization." This module
+//! implements that policy space over multiple provisioned [`GpuServer`]s;
+//! scaling out is exactly as simple as the paper describes — a new server
+//! registers itself and becomes a choice.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dgsf_remoting::OptConfig;
+use dgsf_server::GpuServer;
+use dgsf_sim::ProcCtx;
+
+use crate::invoke::{invoke_dgsf, FunctionResult};
+use crate::store::ObjectStore;
+use crate::workload::Workload;
+
+/// How the backend picks a GPU server for a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerPolicy {
+    /// Rotate through servers (the fixed policy of the prototype).
+    RoundRobin,
+    /// Fewest active functions — optimizes latency.
+    LeastLoaded,
+    /// Most active functions — consolidates to maximize utilization (and
+    /// lets the provider idle whole servers).
+    MostLoaded,
+}
+
+/// The central serverless backend: a registry of GPU servers plus a
+/// selection policy.
+pub struct Backend {
+    servers: Vec<Arc<GpuServer>>,
+    policy: ServerPolicy,
+    rr: AtomicUsize,
+}
+
+impl Backend {
+    /// Build a backend over already-provisioned servers.
+    pub fn new(servers: Vec<Arc<GpuServer>>, policy: ServerPolicy) -> Backend {
+        assert!(!servers.is_empty(), "a backend needs at least one GPU server");
+        Backend {
+            servers,
+            policy,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// A GPU server announcing readiness (§IV: "it annouces it is ready
+    /// ... and becomes a choice when a function requests a GPU").
+    pub fn register(&mut self, server: Arc<GpuServer>) {
+        self.servers.push(server);
+    }
+
+    /// The registered servers.
+    pub fn servers(&self) -> &[Arc<GpuServer>] {
+        &self.servers
+    }
+
+    /// Choose a server for the next function under the configured policy.
+    pub fn choose(&self) -> &Arc<GpuServer> {
+        match self.policy {
+            ServerPolicy::RoundRobin => {
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+                &self.servers[i]
+            }
+            ServerPolicy::LeastLoaded => self
+                .servers
+                .iter()
+                .min_by_key(|s| s.active_functions())
+                .expect("non-empty"),
+            ServerPolicy::MostLoaded => self
+                .servers
+                .iter()
+                .max_by_key(|s| s.active_functions())
+                .expect("non-empty"),
+        }
+    }
+
+    /// Invoke a workload through the backend: choose a server, then run the
+    /// full DGSF path against it.
+    pub fn invoke(
+        &self,
+        p: &ProcCtx,
+        store: &ObjectStore,
+        w: &dyn Workload,
+        opts: OptConfig,
+    ) -> FunctionResult {
+        let server = self.choose();
+        invoke_dgsf(p, server, store, w, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_cuda::{KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+    use dgsf_gpu::GB;
+    use dgsf_remoting::NetProfile;
+    use dgsf_server::GpuServerConfig;
+    use dgsf_sim::{Dur, Sim};
+    use parking_lot::Mutex;
+
+    use crate::phases::PhaseRecorder;
+
+    struct Spin;
+    impl Workload for Spin {
+        fn name(&self) -> &str {
+            "spin"
+        }
+        fn registry(&self) -> Arc<ModuleRegistry> {
+            Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+        }
+        fn required_gpu_mem(&self) -> u64 {
+            GB
+        }
+        fn download_bytes(&self) -> u64 {
+            0
+        }
+        fn run(&self, p: &ProcCtx, api: &mut dyn dgsf_cuda::CudaApi, rec: &mut PhaseRecorder) {
+            rec.enter(p, crate::phases::phase::PROCESSING);
+            api.launch_kernel(p, "k", LaunchConfig::linear(1, 32), KernelArgs::timed(1.0, 0))
+                .expect("launch");
+            api.device_synchronize(p).expect("sync");
+            rec.close(p);
+        }
+        fn cpu_secs(&self) -> f64 {
+            30.0
+        }
+    }
+
+    fn two_server_backend(p: &ProcCtx, h: &dgsf_sim::SimHandle, policy: ServerPolicy) -> Backend {
+        let cfg = GpuServerConfig::paper_default().gpus(1);
+        let s1 = GpuServer::provision(p, h, cfg.clone());
+        let s2 = GpuServer::provision(p, h, cfg);
+        Backend::new(vec![s1, s2], policy)
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.spawn("root", move |p| {
+            let b = two_server_backend(p, &h, ServerPolicy::RoundRobin);
+            let a = Arc::as_ptr(b.choose());
+            let c = Arc::as_ptr(b.choose());
+            let d = Arc::as_ptr(b.choose());
+            assert_ne!(a, c);
+            assert_eq!(a, d);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn least_loaded_spreads_most_loaded_packs() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let spread = Arc::new(Mutex::new((0usize, 0usize)));
+        let s2 = spread.clone();
+        sim.spawn("root", move |p| {
+            let b = Arc::new(two_server_backend(p, &h, ServerPolicy::LeastLoaded));
+            let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+            // launch 4 concurrent functions through the backend
+            for i in 0..4 {
+                let b = Arc::clone(&b);
+                let store = Arc::clone(&store);
+                h.spawn(&format!("fn{i}"), move |p| {
+                    let _ = b.invoke(p, &store, &Spin, OptConfig::full());
+                });
+            }
+            p.sleep(Dur::from_secs(30));
+            *s2.lock() = (
+                b.servers()[0].records().len(),
+                b.servers()[1].records().len(),
+            );
+        });
+        sim.run();
+        let (a, c) = *spread.lock();
+        assert_eq!(a + c, 4);
+        assert_eq!(a, 2, "least-loaded balances 2/2, got {a}/{c}");
+    }
+
+    #[test]
+    fn most_loaded_consolidates_onto_one_server() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let spread = Arc::new(Mutex::new((0usize, 0usize)));
+        let s2 = spread.clone();
+        sim.spawn("root", move |p| {
+            let b = Arc::new(two_server_backend(p, &h, ServerPolicy::MostLoaded));
+            let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+            for i in 0..3 {
+                let b = Arc::clone(&b);
+                let store = Arc::clone(&store);
+                h.spawn(&format!("fn{i}"), move |p| {
+                    // stagger so load is observable at choice time
+                    p.sleep(Dur::from_millis(200 * i as u64));
+                    let _ = b.invoke(p, &store, &Spin, OptConfig::full());
+                });
+            }
+            p.sleep(Dur::from_secs(30));
+            *s2.lock() = (
+                b.servers()[0].records().len(),
+                b.servers()[1].records().len(),
+            );
+        });
+        sim.run();
+        let (a, c) = *spread.lock();
+        assert_eq!(a + c, 3);
+        assert!(
+            a == 3 || c == 3,
+            "most-loaded packs everything onto one server: {a}/{c}"
+        );
+    }
+}

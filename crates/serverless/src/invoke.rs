@@ -1,0 +1,138 @@
+//! Invocation paths: the same workload trace executed natively, over DGSF,
+//! or on CPUs — the three columns of Table II.
+
+use std::sync::Arc;
+
+use dgsf_cuda::{CostTable, CudaApi, NativeCuda};
+use dgsf_gpu::{Gpu, GpuId};
+use dgsf_remoting::{OptConfig, RemoteCuda};
+use dgsf_server::GpuServer;
+use dgsf_sim::{Dur, ProcCtx, SimHandle, SimTime};
+
+use crate::phases::{phase, PhaseRecorder};
+use crate::store::ObjectStore;
+use crate::workload::Workload;
+
+/// Outcome of one function execution.
+#[derive(Debug, Clone)]
+pub struct FunctionResult {
+    /// Workload name.
+    pub name: String,
+    /// Execution mode label ("native" / "dgsf" / "cpu").
+    pub mode: String,
+    /// When the (warm) function began executing.
+    pub launched_at: SimTime,
+    /// When it finished.
+    pub finished_at: SimTime,
+    /// Per-phase breakdown.
+    pub phases: PhaseRecorder,
+    /// Guest-side API statistics (empty for CPU runs).
+    pub api_stats: dgsf_cuda::ApiStats,
+    /// GPU-server invocation id, when one was involved.
+    pub invocation: Option<u64>,
+}
+
+impl FunctionResult {
+    /// End-to-end time of the function (from warm start to completion).
+    pub fn e2e(&self) -> Dur {
+        self.finished_at.since(self.launched_at)
+    }
+}
+
+/// Run `w` over DGSF: download, request a virtual GPU (FCFS queueing
+/// included), then remote every CUDA call to the assigned API server.
+pub fn invoke_dgsf(
+    p: &ProcCtx,
+    server: &GpuServer,
+    store: &ObjectStore,
+    w: &dyn Workload,
+    opts: OptConfig,
+) -> FunctionResult {
+    let launched_at = p.now();
+    let mut rec = PhaseRecorder::new();
+
+    rec.enter(p, phase::DOWNLOAD);
+    store.download(p, w.download_bytes());
+
+    rec.enter(p, phase::QUEUE);
+    let (client, invocation) = server.request_gpu(p, w.name(), w.required_gpu_mem(), w.registry());
+    let mut api = RemoteCuda::new(client, opts);
+
+    rec.enter(p, phase::INIT);
+    api.runtime_init(p).expect("init");
+    api.register_module(p, w.registry()).expect("module");
+    rec.close(p);
+
+    w.run(p, &mut api, &mut rec);
+    api.finish(p).expect("clean teardown");
+    rec.close(p);
+
+    FunctionResult {
+        name: w.name().to_string(),
+        mode: "dgsf".into(),
+        launched_at,
+        finished_at: p.now(),
+        phases: rec,
+        api_stats: api.stats(),
+        invocation: Some(invocation),
+    }
+}
+
+/// Run `w` natively: a dedicated machine with a local GPU, paying CUDA
+/// initialization on the critical path.
+pub fn invoke_native(
+    p: &ProcCtx,
+    h: &SimHandle,
+    store: &ObjectStore,
+    w: &dyn Workload,
+    costs: Arc<CostTable>,
+) -> FunctionResult {
+    let launched_at = p.now();
+    let mut rec = PhaseRecorder::new();
+
+    rec.enter(p, phase::DOWNLOAD);
+    store.download(p, w.download_bytes());
+
+    // A fresh local GPU: the native baseline runs on its own machine.
+    let gpu = Gpu::v100(h, GpuId(0));
+    let mut api = NativeCuda::new(h, gpu, costs);
+
+    rec.enter(p, phase::INIT);
+    api.runtime_init(p).expect("init");
+    api.register_module(p, w.registry()).expect("module");
+    rec.close(p);
+
+    w.run(p, &mut api, &mut rec);
+    rec.close(p);
+
+    FunctionResult {
+        name: w.name().to_string(),
+        mode: "native".into(),
+        launched_at,
+        finished_at: p.now(),
+        phases: rec,
+        api_stats: api.stats(),
+        invocation: None,
+    }
+}
+
+/// Run `w` on CPUs (6 threads, the AWS Lambda per-function core cap) using
+/// the workload's calibrated CPU cost model.
+pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> FunctionResult {
+    let launched_at = p.now();
+    let mut rec = PhaseRecorder::new();
+    rec.enter(p, phase::DOWNLOAD);
+    store.download(p, w.download_bytes());
+    rec.enter(p, phase::PROCESSING);
+    p.sleep(Dur::from_secs_f64(w.cpu_secs()));
+    rec.close(p);
+    FunctionResult {
+        name: w.name().to_string(),
+        mode: "cpu".into(),
+        launched_at,
+        finished_at: p.now(),
+        phases: rec,
+        api_stats: dgsf_cuda::ApiStats::default(),
+        invocation: None,
+    }
+}

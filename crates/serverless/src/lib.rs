@@ -1,0 +1,28 @@
+//! # dgsf-serverless — the serverless platform substrate
+//!
+//! The paper deploys DGSF under OpenFaaS and AWS Lambda; this crate is the
+//! equivalent substrate: a [`Workload`] abstraction (function bodies written
+//! against the interposable CUDA API), per-phase accounting
+//! ([`PhaseRecorder`]), an S3-like [`ObjectStore`], the three invocation
+//! paths of Table II ([`invoke_native`], [`invoke_dgsf`], [`invoke_cpu`]),
+//! and the arrival processes of the mixed-workload experiments
+//! ([`Schedule`]).
+//!
+//! Cold-start management is out of scope exactly as in the paper (§IV):
+//! every invocation assumes a warm execution context.
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod backend;
+mod invoke;
+mod phases;
+mod store;
+mod workload;
+
+pub use arrivals::{ArrivalPattern, Schedule};
+pub use backend::{Backend, ServerPolicy};
+pub use invoke::{invoke_cpu, invoke_dgsf, invoke_native, FunctionResult};
+pub use phases::{phase, PhaseRecorder};
+pub use store::ObjectStore;
+pub use workload::Workload;

@@ -1,0 +1,109 @@
+//! Phase accounting for function executions.
+//!
+//! Figures 3 and 4 of the paper break a function's run into phases (CUDA
+//! initialization, download, model loading, processing/inference). Workloads
+//! and invokers record phases into a [`PhaseRecorder`]; the experiment
+//! harness reads them back by name.
+
+use dgsf_sim::{Dur, ProcCtx, SimTime};
+
+/// Canonical phase names used across workloads and harnesses.
+pub mod phase {
+    /// Downloading model + inputs from the object store.
+    pub const DOWNLOAD: &str = "download";
+    /// CUDA runtime (and module) initialization.
+    pub const INIT: &str = "init";
+    /// Queueing at the GPU server waiting for an API server.
+    pub const QUEUE: &str = "queue";
+    /// Loading the model onto the GPU (weights + descriptors + handles).
+    pub const MODEL_LOAD: &str = "model_load";
+    /// Inference / main computation.
+    pub const PROCESSING: &str = "processing";
+}
+
+/// Accumulates named phase durations for one function execution.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseRecorder {
+    phases: Vec<(String, Dur)>,
+    open: Option<(String, SimTime)>,
+}
+
+impl PhaseRecorder {
+    /// Fresh recorder.
+    pub fn new() -> PhaseRecorder {
+        PhaseRecorder::default()
+    }
+
+    /// Begin a phase (closing any open one).
+    pub fn enter(&mut self, p: &ProcCtx, name: &str) {
+        self.close(p);
+        self.open = Some((name.to_string(), p.now()));
+    }
+
+    /// Close the currently open phase, if any.
+    pub fn close(&mut self, p: &ProcCtx) {
+        if let Some((name, start)) = self.open.take() {
+            let d = p.now().since(start);
+            self.add(&name, d);
+        }
+    }
+
+    /// Add a duration to a named phase directly.
+    pub fn add(&mut self, name: &str, d: Dur) {
+        if let Some(e) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            e.1 = e.1 + d;
+        } else {
+            self.phases.push((name.to_string(), d));
+        }
+    }
+
+    /// Duration of a named phase (zero if absent).
+    pub fn get(&self, name: &str) -> Dur {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// All phases in recording order.
+    pub fn all(&self) -> &[(String, Dur)] {
+        &self.phases
+    }
+
+    /// Sum of all recorded phases.
+    pub fn total(&self) -> Dur {
+        self.phases.iter().fold(Dur::ZERO, |acc, (_, d)| acc + *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_sim::Sim;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn phases_accumulate_by_name() {
+        let mut sim = Sim::new(1);
+        let out = Arc::new(Mutex::new(PhaseRecorder::new()));
+        let o = out.clone();
+        sim.spawn("f", move |p| {
+            let mut rec = PhaseRecorder::new();
+            rec.enter(p, phase::DOWNLOAD);
+            p.sleep(Dur::from_secs(2));
+            rec.enter(p, phase::PROCESSING);
+            p.sleep(Dur::from_secs(3));
+            rec.close(p);
+            rec.add(phase::PROCESSING, Dur::from_secs(1));
+            *o.lock() = rec;
+        });
+        sim.run();
+        let rec = out.lock().clone();
+        assert_eq!(rec.get(phase::DOWNLOAD), Dur::from_secs(2));
+        assert_eq!(rec.get(phase::PROCESSING), Dur::from_secs(4));
+        assert_eq!(rec.get("nonexistent"), Dur::ZERO);
+        assert_eq!(rec.total(), Dur::from_secs(6));
+    }
+}

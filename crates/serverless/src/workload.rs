@@ -1,0 +1,35 @@
+//! The workload abstraction: a serverless function body written against the
+//! interposable CUDA API.
+
+use std::sync::Arc;
+
+use dgsf_cuda::{CudaApi, ModuleRegistry};
+use dgsf_sim::ProcCtx;
+
+use crate::phases::PhaseRecorder;
+
+/// A GPU-accelerated serverless function.
+///
+/// Implementations issue the same CUDA/cuDNN/cuBLAS call sequence whether
+/// the `api` is [`dgsf_cuda::NativeCuda`] or the DGSF guest library — that
+/// transparency is challenge **C1** of the paper.
+pub trait Workload: Send + Sync {
+    /// Function name (as deployed).
+    fn name(&self) -> &str;
+
+    /// Kernels this function ships (registered at deploy time).
+    fn registry(&self) -> Arc<ModuleRegistry>;
+
+    /// Declared GPU memory requirement — what the developer specifies at
+    /// deployment, and what the monitor uses for placement.
+    fn required_gpu_mem(&self) -> u64;
+
+    /// Bytes of models + inputs downloaded from the object store per run.
+    fn download_bytes(&self) -> u64;
+
+    /// Execute the function body against `api`, recording phases.
+    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder);
+
+    /// Calibrated CPU execution time (6 threads), for the CPU baseline row.
+    fn cpu_secs(&self) -> f64;
+}

@@ -1,0 +1,667 @@
+//! The discrete-event simulation kernel.
+//!
+//! The kernel is a *conservative, sequential* event executor: exactly one
+//! simulated process runs at any moment, so a run with a fixed seed is fully
+//! deterministic. Processes are backed by OS threads for ergonomics — a
+//! simulated GPU server or serverless function is written as ordinary
+//! straight-line Rust that calls blocking primitives ([`ProcCtx::sleep`],
+//! channel `recv`, resource `acquire`) — but the kernel only ever lets one of
+//! those threads make progress.
+//!
+//! # Handshake
+//!
+//! The driver thread (the one inside [`Sim::run`]) pops the earliest event
+//! from a binary heap. For a `Wake` event it sends a resume token to the
+//! target process over an mpsc channel and then blocks until that process
+//! *yields* (parks on a primitive or exits). For a `Call` event it executes a
+//! boxed closure against the kernel state directly — resources use these as
+//! cancellable completion timers.
+//!
+//! # Wake generations
+//!
+//! Every park increments the process's generation counter; wake events carry
+//! the generation they were scheduled for and are ignored if stale. This is
+//! what makes `recv_timeout` (a race between a sender's wake and a timer
+//! wake) correct without any cancellation machinery.
+//!
+//! # Shutdown
+//!
+//! Dropping [`Sim`] (or finishing `run` with processes still blocked) raises
+//! a shutdown flag and resumes every parked process; blocking primitives then
+//! unwind the process via a [`ShutdownSignal`] panic, which the process
+//! wrapper catches. Well-behaved loops exit earlier by observing `None` from
+//! channel `recv`.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{Dur, SimTime};
+
+/// Identifier of a simulated process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcId(pub u64);
+
+/// Panic payload used to unwind simulated processes when the run shuts down.
+pub struct ShutdownSignal;
+
+pub(crate) type BoxCall = Box<dyn FnOnce(&mut SimState) + Send>;
+
+pub(crate) enum EventKind {
+    /// Resume a parked process, if its park generation still matches.
+    Wake { pid: ProcId, generation: u64 },
+    /// Run a closure against the kernel state (resource completion timers).
+    Call(BoxCall),
+}
+
+pub(crate) struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct ProcRec {
+    name: String,
+    resume_tx: Sender<()>,
+    /// Park generation; incremented on every park.
+    generation: u64,
+    parked: bool,
+    alive: bool,
+}
+
+enum YieldMsg {
+    Parked(ProcId),
+    Exited {
+        pid: ProcId,
+        panic: Option<Box<dyn Any + Send>>,
+    },
+}
+
+/// Mutable kernel state, guarded by a single mutex. Lock ordering throughout
+/// the crate is: kernel state first, then any resource/channel state.
+pub(crate) struct SimState {
+    pub(crate) now: SimTime,
+    seq: u64,
+    next_pid: u64,
+    queue: BinaryHeap<Event>,
+    procs: HashMap<ProcId, ProcRec>,
+    pub(crate) shutdown: bool,
+    pub(crate) rng: StdRng,
+}
+
+impl SimState {
+    pub(crate) fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    pub(crate) fn schedule_wake(&mut self, time: SimTime, pid: ProcId, generation: u64) {
+        self.schedule(time, EventKind::Wake { pid, generation });
+    }
+
+    pub(crate) fn schedule_call(&mut self, time: SimTime, f: BoxCall) {
+        self.schedule(time, EventKind::Call(f));
+    }
+
+    /// Mark `pid` as about to park and return the generation a waker must
+    /// present to resume it.
+    pub(crate) fn begin_park(&mut self, pid: ProcId) -> u64 {
+        let rec = self.procs.get_mut(&pid).expect("begin_park: unknown pid");
+        rec.generation += 1;
+        rec.parked = true;
+        rec.generation
+    }
+
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<SimState>,
+    yield_tx: Sender<YieldMsg>,
+    handles: Mutex<Vec<(ProcId, JoinHandle<()>)>>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use dgsf_sim::{Sim, Dur};
+/// let mut sim = Sim::new(42);
+/// let (tx, rx) = sim.channel::<u32>();
+/// sim.spawn("producer", move |ctx| {
+///     ctx.sleep(Dur::from_millis(5));
+///     tx.send(ctx, 7);
+/// });
+/// sim.spawn("consumer", move |ctx| {
+///     let v = rx.recv(ctx).unwrap();
+///     assert_eq!(v, 7);
+///     assert_eq!(ctx.now().as_nanos(), 5_000_000);
+/// });
+/// sim.run();
+/// ```
+pub struct Sim {
+    pub(crate) shared: Arc<Shared>,
+    yield_rx: Receiver<YieldMsg>,
+}
+
+impl Sim {
+    /// Create a simulation whose internal RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Sim {
+        let (yield_tx, yield_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SimState {
+                now: SimTime::ZERO,
+                seq: 0,
+                next_pid: 0,
+                queue: BinaryHeap::new(),
+                procs: HashMap::new(),
+                shutdown: false,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            yield_tx,
+            handles: Mutex::new(Vec::new()),
+        });
+        Sim { shared, yield_rx }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Spawn a process that becomes runnable at the current virtual time.
+    pub fn spawn<F>(&self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let at = self.now();
+        spawn_inner(&self.shared, name, at, f)
+    }
+
+    /// Spawn a process that becomes runnable at virtual time `at`.
+    pub fn spawn_at<F>(&self, name: &str, at: SimTime, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name, at, f)
+    }
+
+    /// Create an MPMC simulation channel (see [`crate::channel`]).
+    pub fn channel<T: Send + 'static>(&self) -> (crate::SimSender<T>, crate::SimReceiver<T>) {
+        crate::channel::channel(&self.shared)
+    }
+
+    /// Run until the event queue is exhausted, then shut down any processes
+    /// still blocked on channels. Returns the final virtual time.
+    ///
+    /// Panics (re-raising the payload) if any simulated process panicked.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run events with `time <= deadline`; later events stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            let next = {
+                let mut st = self.shared.state.lock();
+                match st.queue.peek() {
+                    Some(ev) if ev.time <= deadline => {
+                        let ev = st.queue.pop().expect("peeked");
+                        st.now = st.now.max(ev.time);
+                        Some(ev)
+                    }
+                    _ => None,
+                }
+            };
+            let Some(ev) = next else { break };
+            match ev.kind {
+                EventKind::Call(f) => {
+                    let mut st = self.shared.state.lock();
+                    f(&mut st);
+                }
+                EventKind::Wake { pid, generation } => {
+                    let resume = {
+                        let st = self.shared.state.lock();
+                        match st.procs.get(&pid) {
+                            Some(rec)
+                                if rec.alive && rec.parked && rec.generation == generation =>
+                            {
+                                Some(rec.resume_tx.clone())
+                            }
+                            _ => None, // stale wake
+                        }
+                    };
+                    if let Some(tx) = resume {
+                        self.resume_and_wait(pid, &tx);
+                    }
+                }
+            }
+        }
+        self.now()
+    }
+
+    /// Resume `pid` and block the driver until it parks again or exits.
+    fn resume_and_wait(&mut self, pid: ProcId, tx: &Sender<()>) {
+        {
+            let mut st = self.shared.state.lock();
+            if let Some(rec) = st.procs.get_mut(&pid) {
+                rec.parked = false;
+            }
+        }
+        if tx.send(()).is_err() {
+            // Thread already gone; treat as exited.
+            let mut st = self.shared.state.lock();
+            if let Some(rec) = st.procs.get_mut(&pid) {
+                rec.alive = false;
+            }
+            return;
+        }
+        loop {
+            match self.yield_rx.recv() {
+                Ok(YieldMsg::Parked(p)) => {
+                    debug_assert_eq!(p, pid, "only the resumed process may yield");
+                    break;
+                }
+                Ok(YieldMsg::Exited { pid: p, panic }) => {
+                    {
+                        let mut st = self.shared.state.lock();
+                        if let Some(rec) = st.procs.get_mut(&p) {
+                            rec.alive = false;
+                            rec.parked = false;
+                        }
+                    }
+                    if let Some(payload) = panic {
+                        if !payload.is::<ShutdownSignal>() {
+                            panic::resume_unwind(payload);
+                        }
+                    }
+                    break;
+                }
+                Err(_) => break, // all senders gone; nothing left to wait for
+            }
+        }
+    }
+
+    /// Names of processes still alive (parked); useful for debugging hangs.
+    pub fn blocked_processes(&self) -> Vec<String> {
+        let st = self.shared.state.lock();
+        st.procs
+            .values()
+            .filter(|r| r.alive)
+            .map(|r| r.name.clone())
+            .collect()
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Raise the shutdown flag, then resume every parked process one at a
+        // time so each can unwind via ShutdownSignal.
+        let pids: Vec<(ProcId, Sender<()>)> = {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            st.queue.clear();
+            st.procs
+                .iter()
+                .filter(|(_, r)| r.alive)
+                .map(|(pid, r)| (*pid, r.resume_tx.clone()))
+                .collect()
+        };
+        for (pid, tx) in pids {
+            // A process may park a bounded number of times while unwinding.
+            for _ in 0..64 {
+                let alive_parked = {
+                    let st = self.shared.state.lock();
+                    st.procs
+                        .get(&pid)
+                        .map(|r| r.alive && r.parked)
+                        .unwrap_or(false)
+                };
+                if !alive_parked {
+                    break;
+                }
+                self.resume_and_wait(pid, &tx);
+            }
+        }
+        let handles = std::mem::take(&mut *self.shared.handles.lock());
+        for (_, h) in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_inner<F>(shared: &Arc<Shared>, name: &str, at: SimTime, f: F) -> ProcId
+where
+    F: FnOnce(&ProcCtx) + Send + 'static,
+{
+    let (resume_tx, resume_rx) = mpsc::channel();
+    let pid;
+    {
+        let mut st = shared.state.lock();
+        pid = ProcId(st.next_pid);
+        st.next_pid += 1;
+        st.procs.insert(
+            pid,
+            ProcRec {
+                name: name.to_string(),
+                resume_tx,
+                generation: 0,
+                parked: true, // parked on its initial resume
+                alive: true,
+            },
+        );
+        let at = at.max(st.now);
+        st.schedule_wake(at, pid, 0);
+    }
+    let ctx = ProcCtx {
+        pid,
+        shared: Arc::clone(shared),
+        yield_tx: shared.yield_tx.clone(),
+        resume_rx,
+    };
+    let yield_tx = shared.yield_tx.clone();
+    let thread_name = format!("sim-{}-{}", pid.0, name);
+    let handle = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            // Wait for the first resume.
+            if ctx.resume_rx.recv().is_err() {
+                return;
+            }
+            // Shutdown may already have been requested before we first ran.
+            let early_shutdown = ctx.shared.state.lock().shutdown;
+            let panic_payload = if early_shutdown {
+                None
+            } else {
+                panic::catch_unwind(AssertUnwindSafe(|| f(&ctx))).err()
+            };
+            let _ = yield_tx.send(YieldMsg::Exited {
+                pid,
+                panic: panic_payload,
+            });
+        })
+        .expect("failed to spawn simulation process thread");
+    shared.handles.lock().push((pid, handle));
+    pid
+}
+
+/// A cloneable, `Send` handle onto a simulation: lets library code create
+/// channels and resources and spawn processes without borrowing [`Sim`]
+/// itself (which stays with the driver) or a [`ProcCtx`] (which is pinned to
+/// its process thread).
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Spawn a process runnable at the current virtual time.
+    pub fn spawn<F>(&self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let at = self.now();
+        spawn_inner(&self.shared, name, at, f)
+    }
+
+    /// Spawn a process runnable at `at`.
+    pub fn spawn_at<F>(&self, name: &str, at: SimTime, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name, at, f)
+    }
+
+    /// Create an MPMC simulation channel.
+    pub fn channel<T: Send + 'static>(&self) -> (crate::SimSender<T>, crate::SimReceiver<T>) {
+        crate::channel::channel(&self.shared)
+    }
+
+    /// Create a processor-sharing resource with the given capacity
+    /// (work units per second).
+    pub fn gps(&self, capacity: f64) -> crate::GpsResource {
+        crate::resource::GpsResource::with_shared_pub(&self.shared, capacity)
+    }
+
+    /// Run `f` against the simulation's deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        let mut st = self.shared.state.lock();
+        f(&mut st.rng)
+    }
+}
+
+impl Sim {
+    /// A cloneable handle onto this simulation.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Handle a simulated process uses to interact with virtual time and the
+/// kernel. Not `Clone`: it owns the process's resume endpoint and must stay
+/// on the process's thread.
+pub struct ProcCtx {
+    pub(crate) pid: ProcId,
+    pub(crate) shared: Arc<Shared>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<()>,
+}
+
+impl ProcCtx {
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Advance this process's virtual clock by `d`.
+    pub fn sleep(&self, d: Dur) {
+        if d == Dur::ZERO {
+            return;
+        }
+        {
+            let mut st = self.lock_state();
+            let generation = st.begin_park(self.pid);
+            let at = st.now + d;
+            st.schedule_wake(at, self.pid, generation);
+        }
+        self.yield_parked();
+    }
+
+    /// Sleep until absolute time `t` (no-op if `t` is in the past).
+    pub fn sleep_until(&self, t: SimTime) {
+        let now = self.now();
+        if t > now {
+            self.sleep(t.since(now));
+        }
+    }
+
+    /// Spawn a child process runnable at the current virtual time.
+    pub fn spawn<F>(&self, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let at = self.now();
+        spawn_inner(&self.shared, name, at, f)
+    }
+
+    /// Run `f` against the simulation's deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        let mut st = self.shared.state.lock();
+        f(&mut st.rng)
+    }
+
+    /// A cloneable handle onto this simulation.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> parking_lot::MutexGuard<'_, SimState> {
+        self.shared.state.lock()
+    }
+
+    /// Yield to the driver after having registered a park (via
+    /// [`SimState::begin_park`]) and return once resumed. Panics with
+    /// [`ShutdownSignal`] if the simulation is shutting down.
+    pub(crate) fn yield_parked(&self) {
+        if self.yield_parked_impl() && !std::thread::panicking() {
+            panic::panic_any(ShutdownSignal);
+        }
+    }
+
+    /// Yield to the driver; returns `true` if the simulation is shutting
+    /// down (the caller is responsible for unwinding or returning cleanly).
+    pub(crate) fn yield_parked_impl(&self) -> bool {
+        let _ = self.yield_tx.send(YieldMsg::Parked(self.pid));
+        if self.resume_rx.recv().is_err() {
+            // Driver is gone entirely; report shutdown.
+            return true;
+        }
+        self.shared.state.lock().shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_advances_virtual_time_instantly() {
+        let mut sim = Sim::new(1);
+        let t = std::sync::Arc::new(Mutex::new(SimTime::ZERO));
+        let t2 = t.clone();
+        sim.spawn("sleeper", move |ctx| {
+            ctx.sleep(Dur::from_secs(3600)); // an hour of virtual time
+            *t2.lock() = ctx.now();
+        });
+        let wall = std::time::Instant::now();
+        sim.run();
+        assert_eq!(t.lock().as_nanos(), 3600 * 1_000_000_000);
+        assert!(wall.elapsed().as_secs() < 5, "virtual time must not be wall time");
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_tiebreak() {
+        let mut sim = Sim::new(1);
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5u32 {
+            let log = log.clone();
+            // All spawned at t=0; same wake time; must run in spawn order.
+            sim.spawn(&format!("p{i}"), move |_ctx| {
+                log.lock().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_runs_at_parent_time() {
+        let mut sim = Sim::new(1);
+        let seen = std::sync::Arc::new(Mutex::new(None));
+        let seen2 = seen.clone();
+        sim.spawn("parent", move |ctx| {
+            ctx.sleep(Dur::from_millis(10));
+            let seen2 = seen2.clone();
+            ctx.spawn("child", move |c| {
+                *seen2.lock() = Some(c.now());
+            });
+            ctx.sleep(Dur::from_millis(10));
+        });
+        sim.run();
+        assert_eq!(seen.lock().unwrap(), SimTime::ZERO + Dur::from_millis(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let hits = std::sync::Arc::new(Mutex::new(0u32));
+        let h = hits.clone();
+        sim.spawn("ticker", move |ctx| {
+            for _ in 0..10 {
+                ctx.sleep(Dur::from_secs(1));
+                *h.lock() += 1;
+            }
+        });
+        sim.run_until(SimTime::ZERO + Dur::from_millis(3500));
+        assert_eq!(*hits.lock(), 3);
+    }
+
+    #[test]
+    fn process_panic_propagates() {
+        let mut sim = Sim::new(1);
+        sim.spawn("bad", |_ctx| panic!("boom"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| sim.run()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn drop_shuts_down_blocked_processes() {
+        let mut sim = Sim::new(1);
+        let (_tx, rx) = sim.channel::<u8>();
+        sim.spawn("blocked-forever", move |ctx| {
+            // recv returns None at shutdown; process exits cleanly.
+            assert!(rx.recv(ctx).is_none());
+        });
+        sim.run();
+        drop(sim); // must not hang or leak the thread
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        let sample = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            let out = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let o = out.clone();
+            sim.spawn("r", move |ctx| {
+                for _ in 0..8 {
+                    let v: u64 = ctx.with_rng(|r| rand::Rng::gen(r));
+                    o.lock().push(v);
+                }
+            });
+            sim.run();
+            let v = out.lock().clone();
+            v
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8));
+    }
+}

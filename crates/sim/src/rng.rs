@@ -1,0 +1,76 @@
+//! Deterministic random helpers for arrival processes.
+
+use rand::Rng;
+
+use crate::time::Dur;
+
+/// Exponentially distributed inter-arrival gap with the given mean.
+///
+/// The paper launches functions "at intervals drawn from an exponential
+/// distribution with rate equal to 2", meaning a mean gap of 2 s (λ = 0.5).
+pub fn exp_gap<R: Rng + ?Sized>(rng: &mut R, mean: Dur) -> Dur {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Dur::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+/// Uniform gap in `[lo, hi)`.
+pub fn uniform_gap<R: Rng + ?Sized>(rng: &mut R, lo: Dur, hi: Dur) -> Dur {
+    if hi <= lo {
+        return lo;
+    }
+    Dur(rng.gen_range(lo.as_nanos()..hi.as_nanos()))
+}
+
+/// Fisher–Yates shuffle (delegates to `rand`, kept for a stable call site).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    use rand::seq::SliceRandom;
+    xs.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_gap_has_roughly_the_right_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mean = Dur::from_secs(2);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exp_gap(&mut rng, mean).as_secs_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 2.0).abs() < 0.05,
+            "observed mean {observed}, expected ~2.0"
+        );
+    }
+
+    #[test]
+    fn exp_gap_is_deterministic_per_seed() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..5)
+                .map(|_| exp_gap(&mut rng, Dur::from_secs(1)).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(1), sample(1));
+        assert_ne!(sample(1), sample(2));
+    }
+
+    #[test]
+    fn uniform_gap_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let g = uniform_gap(&mut rng, Dur::from_millis(10), Dur::from_millis(20));
+            assert!(g >= Dur::from_millis(10) && g < Dur::from_millis(20));
+        }
+        // degenerate range
+        assert_eq!(
+            uniform_gap(&mut rng, Dur::from_secs(1), Dur::from_secs(1)),
+            Dur::from_secs(1)
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Small statistics helpers used by the experiment harness.
+
+/// Summary statistics over a sample of `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics; returns an all-zero summary for an empty
+    /// sample.
+    pub fn from(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                sum: 0.0,
+            };
+        }
+        let n = samples.len();
+        let sum: f64 = samples.iter().sum();
+        let mean = sum / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+            sum,
+        }
+    }
+}
+
+/// Nearest-rank percentile over a pre-sorted sample.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Simple centered-window-free moving average (trailing window of size `w`),
+/// matching the paper's "moving average window of size 5" for Figure 7.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if w == 0 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        acc += x;
+        if i >= w {
+            acc -= xs[i - w];
+        }
+        let len = (i + 1).min(w);
+        out.push(acc / len as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.sum - 10.0).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::from(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 0.95), 95.0);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100.0);
+    }
+
+    #[test]
+    fn moving_average_window() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ma = moving_average(&xs, 2);
+        assert_eq!(ma, vec![0.0, 0.5, 1.5, 2.5, 3.5]);
+        // window 0 or empty input: identity
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+        assert!(moving_average(&[], 5).is_empty());
+    }
+}

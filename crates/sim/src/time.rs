@@ -1,0 +1,190 @@
+//! Virtual time for the simulation.
+//!
+//! All simulated components express time as [`SimTime`] (an absolute instant)
+//! and [`Dur`] (a span). Both are nanosecond-resolution `u64`s, which keeps
+//! arithmetic exact and runs deterministic: two runs with the same seed see
+//! exactly the same timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as a sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since the start of the run.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// A span of `n` whole seconds.
+    #[inline]
+    pub const fn from_secs(n: u64) -> Dur {
+        Dur(n * 1_000_000_000)
+    }
+
+    /// A span of `n` milliseconds.
+    #[inline]
+    pub const fn from_millis(n: u64) -> Dur {
+        Dur(n * 1_000_000)
+    }
+
+    /// A span of `n` microseconds.
+    #[inline]
+    pub const fn from_micros(n: u64) -> Dur {
+        Dur(n * 1_000)
+    }
+
+    /// A span of fractional seconds. Negative or non-finite inputs clamp to
+    /// zero; callers feed this from calibrated cost models, where a negative
+    /// intermediate simply means "free".
+    pub fn from_secs_f64(secs: f64) -> Dur {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Dur::ZERO;
+        }
+        Dur((secs * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float (reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let d = Dur::from_secs_f64(3.2);
+        assert_eq!(d.as_nanos(), 3_200_000_000);
+        assert!((d.as_secs_f64() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::INFINITY), Dur::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = SimTime::ZERO + Dur::from_millis(250);
+        assert_eq!(t.as_nanos(), 250_000_000);
+        assert_eq!(t.since(SimTime::ZERO), Dur::from_millis(250));
+        // saturating: earlier.since(later) == 0
+        assert_eq!(SimTime::ZERO.since(t), Dur::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(Dur::from_micros(1) < Dur::from_millis(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests of the DES kernel and its resources.
+
+use std::sync::Arc;
+
+use dgsf_sim::{Dur, GpsResource, Sim, SimTime};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Work conservation under generalized processor sharing: while at
+    /// least one job is active the resource runs at full capacity, so
+    /// `Σ work == capacity × busy_time` exactly (up to float/rounding).
+    #[test]
+    fn gps_conserves_work(
+        works in proptest::collection::vec(0.01f64..3.0, 1..8),
+        starts in proptest::collection::vec(0u64..2_000_000_000, 1..8),
+        capacity in 0.5f64..4.0,
+    ) {
+        let n = works.len().min(starts.len());
+        let mut sim = Sim::new(1);
+        let r = Arc::new(GpsResource::new(&sim, capacity));
+        for i in 0..n {
+            let r = r.clone();
+            let w = works[i];
+            let at = SimTime(starts[i]);
+            sim.spawn_at(&format!("j{i}"), at, move |ctx| {
+                r.acquire(ctx, w);
+            });
+        }
+        let end = sim.run();
+        let busy = r.with_timeline(|tl| tl.busy_between(SimTime::ZERO, end + Dur(1)));
+        let total: f64 = works[..n].iter().sum();
+        let done = capacity * busy.as_secs_f64();
+        prop_assert!(
+            (done - total).abs() < 1e-3 * total.max(1.0),
+            "work {total} vs capacity×busy {done}"
+        );
+    }
+
+    /// Every job completes no earlier than its exclusive-use time and no
+    /// later than if it shared with everyone the whole way.
+    #[test]
+    fn gps_completion_bounds(
+        works in proptest::collection::vec(0.05f64..2.0, 2..6),
+    ) {
+        let n = works.len();
+        let mut sim = Sim::new(1);
+        let r = Arc::new(GpsResource::new(&sim, 1.0));
+        let finishes = Arc::new(Mutex::new(vec![0.0f64; n]));
+        for (i, w) in works.clone().into_iter().enumerate() {
+            let r = r.clone();
+            let f = finishes.clone();
+            sim.spawn(&format!("j{i}"), move |ctx| {
+                r.acquire(ctx, w);
+                f.lock()[i] = ctx.now().as_secs_f64();
+            });
+        }
+        sim.run();
+        let total: f64 = works.iter().sum();
+        let fin = finishes.lock().clone();
+        for (i, &w) in works.iter().enumerate() {
+            prop_assert!(fin[i] >= w - 1e-6, "job {i} finished before exclusive time");
+            prop_assert!(fin[i] <= total + 1e-3, "job {i} finished after serial total");
+        }
+        // the last finisher ends exactly when all work is done
+        let last = fin.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((last - total).abs() < 1e-3, "makespan {last} vs total {total}");
+    }
+
+    /// Virtual sleeps from concurrent processes interleave consistently:
+    /// each process observes its own cumulative sleep time.
+    #[test]
+    fn sleeps_accumulate_exactly(
+        durs in proptest::collection::vec(1u64..1_000_000u64, 1..20),
+    ) {
+        let mut sim = Sim::new(1);
+        let expected: u64 = durs.iter().sum();
+        let seen = Arc::new(Mutex::new(0u64));
+        let s = seen.clone();
+        sim.spawn("sleeper", move |ctx| {
+            for d in durs {
+                ctx.sleep(Dur(d));
+            }
+            *s.lock() = ctx.now().as_nanos();
+        });
+        sim.run();
+        prop_assert_eq!(*seen.lock(), expected);
+    }
+
+    /// Channels deliver every message exactly once, in order, regardless of
+    /// send timing.
+    #[test]
+    fn channel_delivers_all_in_order(
+        gaps in proptest::collection::vec(0u64..1000u64, 1..40),
+    ) {
+        let mut sim = Sim::new(1);
+        let (tx, rx) = sim.channel::<usize>();
+        let n = gaps.len();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        sim.spawn("rx", move |ctx| {
+            for _ in 0..n {
+                if let Some(v) = rx.recv(ctx) {
+                    g.lock().push(v);
+                }
+            }
+        });
+        sim.spawn("tx", move |ctx| {
+            for (i, gap) in gaps.into_iter().enumerate() {
+                ctx.sleep(Dur(gap));
+                tx.send(ctx, i);
+            }
+        });
+        sim.run();
+        let got = got.lock().clone();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn utilization_samples_are_bounded() {
+    let mut sim = Sim::new(1);
+    let r = Arc::new(GpsResource::new(&sim, 1.0));
+    for i in 0..3 {
+        let r = r.clone();
+        sim.spawn_at(&format!("j{i}"), SimTime(i as u64 * 500_000_000), move |ctx| {
+            r.acquire(ctx, 0.7);
+        });
+    }
+    let end = sim.run();
+    r.with_timeline(|tl| {
+        for s in tl.utilization_samples(SimTime::ZERO, end, Dur::from_millis(200)) {
+            assert!((0.0..=1.0 + 1e-9).contains(&s), "utilization in [0,1]: {s}");
+        }
+    });
+}
+
+#[test]
+fn timeline_active_at_and_avg_active() {
+    use dgsf_sim::Dur;
+    let mut sim = Sim::new(2);
+    let r = Arc::new(GpsResource::new(&sim, 1.0));
+    // two overlapping jobs: [0,2] and [1,2] in arrival terms
+    {
+        let r = r.clone();
+        sim.spawn("a", move |ctx| r.acquire(ctx, 1.5));
+    }
+    {
+        let r = r.clone();
+        sim.spawn_at("b", SimTime(1_000_000_000), move |ctx| r.acquire(ctx, 0.25));
+    }
+    sim.run();
+    r.with_timeline(|tl| {
+        // at t=0.5s exactly one job is active
+        assert_eq!(tl.active_at(SimTime(500_000_000)), 1);
+        // at t=1.2s both are active
+        assert_eq!(tl.active_at(SimTime(1_200_000_000)), 2);
+        // before anything started
+        assert_eq!(tl.active_at(SimTime(0)) >= 1, true); // job a starts at t=0
+        let avg = tl.avg_active(SimTime::ZERO, SimTime::ZERO + Dur::from_secs(2));
+        assert!(avg > 0.9 && avg < 2.0, "time-weighted mean in (0.9,2): {avg}");
+        assert!(!tl.is_empty());
+        assert!(tl.len() >= 2);
+    });
+}
+
+#[test]
+fn busy_between_is_additive_over_adjacent_windows() {
+    use dgsf_sim::Dur;
+    let mut sim = Sim::new(3);
+    let r = Arc::new(GpsResource::new(&sim, 1.0));
+    for i in 0..4u64 {
+        let r = r.clone();
+        sim.spawn_at(&format!("j{i}"), SimTime(i * 700_000_000), move |ctx| {
+            r.acquire(ctx, 0.3);
+        });
+    }
+    let end = sim.run();
+    r.with_timeline(|tl| {
+        let whole = tl.busy_between(SimTime::ZERO, end).as_nanos();
+        let mid = SimTime(end.as_nanos() / 2);
+        let a = tl.busy_between(SimTime::ZERO, mid).as_nanos();
+        let b = tl.busy_between(mid, end).as_nanos();
+        assert_eq!(a + b, whole, "busy time must be additive over a split");
+        // utilization samples cover the window and sum to the busy total
+        let samples = tl.utilization_samples(SimTime::ZERO, end, Dur::from_millis(100));
+        let from_samples: f64 = samples.iter().sum::<f64>() * 0.1;
+        assert!(
+            (from_samples - whole as f64 / 1e9).abs() < 0.11,
+            "sampled busy {from_samples} vs exact {}",
+            whole as f64 / 1e9
+        );
+    });
+}

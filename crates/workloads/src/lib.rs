@@ -1,0 +1,27 @@
+//! # dgsf-workloads — the evaluation workloads
+//!
+//! Everything §VII of the paper runs:
+//!
+//! * the six benchmark applications as calibrated CUDA-API traces
+//!   ([`kmeans`], [`covidctnet`], [`face_detection`],
+//!   [`face_identification`], [`nlp`], [`image_classification`]),
+//! * the Table V synthetic migration microbenchmark
+//!   ([`SyntheticMigration`]), and
+//! * a fully functional K-means ([`KMeansProblem`]) whose real math runs
+//!   natively, over DGSF remoting, and on CPU threads — all producing the
+//!   same centroids.
+
+#![warn(missing_docs)]
+
+mod kmeans_functional;
+mod spec;
+mod suite;
+mod synthetic;
+
+pub use kmeans_functional::{max_abs_diff, KMeansProblem};
+pub use spec::{mbf, LoadSpec, ProcSpec, TraceSpec};
+pub use suite::{
+    as_workloads, covidctnet, face_detection, face_identification, image_classification, kmeans,
+    nlp, paper_suite, smaller_suite,
+};
+pub use synthetic::{synthetic_kernel_secs, SyntheticMigration};

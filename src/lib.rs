@@ -1,0 +1,2 @@
+//! Root package: hosts the workspace-spanning integration tests and examples.
+pub use dgsf as core;

@@ -1,0 +1,157 @@
+//! Shape assertions for the mixed-workload experiments (Tables III/IV,
+//! Figures 7/8) at reduced scale, so `cargo test` exercises the same
+//! pipelines `dgsf-expt` uses at full scale.
+
+use dgsf_bench::mixed::{self, SharingMode};
+use dgsf::prelude::*;
+use dgsf::workloads::{paper_suite, smaller_suite};
+
+const COPIES: usize = 3; // the paper uses 10; 3 keeps tests quick
+const SEED: u64 = 42;
+
+fn heavy(suite: &[std::sync::Arc<dgsf::workloads::TraceSpec>], mode: SharingMode) -> RunOutput {
+    mixed::run_mixed(
+        suite,
+        ArrivalPattern::Exponential {
+            mean: Dur::from_secs(2),
+        },
+        4,
+        mode,
+        false,
+        COPIES,
+        SEED,
+    )
+}
+
+#[test]
+fn table3_sharing_reduces_function_e2e_sum() {
+    // Paper: "sharing can reduce it by 20%" (AW fn E2E sum) under heavy load.
+    let suite = paper_suite();
+    let ns = heavy(&suite, SharingMode::NoSharing);
+    let best = heavy(&suite, SharingMode::SharingBestFit);
+    let worst = heavy(&suite, SharingMode::SharingWorstFit);
+    let ns_sum = ns.function_e2e_sum().as_secs_f64();
+    let best_sum = best.function_e2e_sum().as_secs_f64();
+    let worst_sum = worst.function_e2e_sum().as_secs_f64();
+    assert!(
+        best_sum < ns_sum && worst_sum < ns_sum,
+        "sharing must reduce the fn E2E sum: no-share {ns_sum:.0}, best {best_sum:.0}, worst {worst_sum:.0}"
+    );
+    // provider e2e should not get worse under sharing
+    assert!(
+        best.provider_e2e().as_secs_f64() <= ns.provider_e2e().as_secs_f64() * 1.05,
+        "sharing must not hurt provider e2e materially"
+    );
+}
+
+#[test]
+fn table3_smaller_workloads_also_benefit() {
+    // Sharing's benefit needs sustained load; at very small scale GPS
+    // compute contention can outweigh the queueing savings. Six copies of
+    // the four small workloads is enough to reproduce the paper's effect.
+    let suite = smaller_suite();
+    let run = |mode| {
+        mixed::run_mixed(
+            &suite,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(2),
+            },
+            4,
+            mode,
+            false,
+            6,
+            SEED,
+        )
+    };
+    let ns = run(SharingMode::NoSharing);
+    let best = run(SharingMode::SharingBestFit);
+    assert!(
+        best.function_e2e_sum() < ns.function_e2e_sum(),
+        "SW: sharing reduces total function latency: {:.0} vs {:.0}",
+        best.function_e2e_sum().as_secs_f64(),
+        ns.function_e2e_sum().as_secs_f64()
+    );
+}
+
+#[test]
+fn table4_three_gpus_hurt_less_with_sharing() {
+    // Paper: dropping to 3 GPUs costs the provider only ~5.5% with sharing,
+    // while no-sharing suffers much more.
+    let suite = paper_suite();
+    let light = |gpus, mode| {
+        mixed::run_mixed(
+            &suite,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(3),
+            },
+            gpus,
+            mode,
+            false,
+            COPIES,
+            SEED,
+        )
+    };
+    let ns4 = light(4, SharingMode::NoSharing).function_e2e_sum().as_secs_f64();
+    let ns3 = light(3, SharingMode::NoSharing).function_e2e_sum().as_secs_f64();
+    let sh3 = light(3, SharingMode::SharingWorstFit)
+        .function_e2e_sum()
+        .as_secs_f64();
+    assert!(ns3 > ns4, "losing a GPU costs latency without sharing");
+    assert!(
+        sh3 < ns3,
+        "sharing recovers much of the lost capacity: sharing-3 {sh3:.0} vs no-share-3 {ns3:.0}"
+    );
+}
+
+#[test]
+fn fig7_sharing_raises_utilization_during_bursts() {
+    let study = mixed::burst(3, SEED);
+    let u_ns = mixed::BurstStudy::mean_util(&study.no_sharing);
+    let u_sh = mixed::BurstStudy::mean_util(&study.sharing);
+    assert!(
+        u_sh > u_ns,
+        "sharing must raise mean utilization: {:.1}% vs {:.1}%",
+        u_sh * 100.0,
+        u_ns * 100.0
+    );
+    assert!(
+        study.sharing.provider_e2e() <= study.no_sharing.provider_e2e(),
+        "sharing must not lengthen the burst"
+    );
+    // utilization in a plausible band (paper ~32-37%)
+    assert!((0.1..0.9).contains(&u_ns), "no-share util {u_ns}");
+}
+
+#[test]
+fn fig8_policies_order_as_in_the_paper() {
+    let runs = mixed::fig8(SEED);
+    let get = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.out.provider_e2e().as_secs_f64())
+            .expect("scenario present")
+    };
+    let ns = get("no-sharing");
+    let worst = get("worst-fit");
+    let best = get("best-fit");
+    let mig = get("best-fit + migration");
+    // Paper ordering: worst-fit (38.9) < no-sharing (43.6) < best-fit (50.6);
+    // migration pulls best-fit back near no-sharing (42.6).
+    assert!(worst < ns, "worst-fit spreads and wins: {worst:.1} vs {ns:.1}");
+    assert!(best > ns, "best-fit packs the two NLPs and loses: {best:.1} vs {ns:.1}");
+    assert!(
+        mig < best,
+        "migration fixes best-fit's imbalance: {mig:.1} vs {best:.1}"
+    );
+    let migs = runs
+        .iter()
+        .find(|r| r.label == "best-fit + migration")
+        .unwrap()
+        .out
+        .migrations
+        .len();
+    assert!(
+        (1..=3).contains(&migs),
+        "one (or few) migrations expected, not thrashing: {migs}"
+    );
+}

@@ -1,0 +1,190 @@
+//! Integration tests of VA-preserving live migration through the full
+//! stack (guest → wire → API server → session → GPUs), plus the monitor's
+//! imbalance-driven migration policy.
+
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaApi, HostBuf, KernelArgs, KernelCost, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf::gpu::{GpuId, MB};
+use dgsf::prelude::*;
+use dgsf::remoting::RemoteCuda;
+use dgsf::server::GpuServer;
+use dgsf::sim::Sim;
+use parking_lot::Mutex;
+
+fn registry() -> Arc<ModuleRegistry> {
+    Arc::new(
+        ModuleRegistry::new()
+            .with(KernelDef::timed("spin"))
+            .with(KernelDef::functional(
+                "add_one",
+                KernelCost::Fixed(0.001),
+                |view, _c, args| {
+                    let n = args.scalars[0] as usize;
+                    let v = view.read_f32s(args.ptrs[0], n);
+                    let out: Vec<f32> = v.iter().map(|x| x + 1.0).collect();
+                    view.write_f32s(args.ptrs[0], &out);
+                },
+            )),
+    )
+}
+
+#[test]
+fn forced_migration_is_invisible_to_the_function() {
+    let mut sim = Sim::new(2);
+    let h = sim.handle();
+    let checked = Arc::new(Mutex::new(false));
+    let c2 = checked.clone();
+    sim.spawn("root", move |p| {
+        let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2));
+        let (client, _) = server.request_gpu(p, "f", 1024 * MB, registry());
+        let mut api = RemoteCuda::new(client, OptConfig::full());
+        api.runtime_init(p).unwrap();
+        api.register_module(p, registry()).unwrap();
+
+        let buf = api.malloc(p, 32 * MB).unwrap();
+        api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[10.0, 20.0, 30.0]))
+            .unwrap();
+        let args = KernelArgs {
+            ptrs: vec![buf],
+            scalars: vec![3],
+            ..Default::default()
+        };
+        // increment once on GPU 0…
+        api.launch_kernel(p, "add_one", LaunchConfig::linear(3, 32), args.clone())
+            .unwrap();
+        api.device_synchronize(p).unwrap();
+
+        let ptr_before = buf;
+        server.force_migration(0, GpuId(1));
+        // …and once after the (transparent) migration on GPU 1.
+        api.launch_kernel(p, "add_one", LaunchConfig::linear(3, 32), args)
+            .unwrap();
+        api.device_synchronize(p).unwrap();
+
+        assert_eq!(server.server_current_gpu(0), GpuId(1));
+        let out = api.memcpy_d2h(p, ptr_before, 12, true).unwrap();
+        assert_eq!(out.to_f32s().unwrap(), vec![12.0, 22.0, 32.0]);
+
+        let migs = server.migrations();
+        assert_eq!(migs.len(), 1);
+        assert!(migs[0].report.bytes_moved >= 32 * MB);
+        assert!(migs[0].report.total > Dur::ZERO);
+        api.finish(p).unwrap();
+        *c2.lock() = true;
+    });
+    sim.run();
+    assert!(*checked.lock());
+}
+
+#[test]
+fn migration_respects_target_capacity() {
+    // A forced migration to a GPU that cannot hold the session's memory
+    // must be skipped, leaving the function unharmed.
+    let mut sim = Sim::new(2);
+    let h = sim.handle();
+    sim.spawn("root", move |p| {
+        let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2));
+        // Hog GPU 1 so nothing fits.
+        let hog = server.gpus[1].reserve(server.gpus[1].free_mem() - MB).unwrap();
+        let (client, _) = server.request_gpu(p, "f", 2048 * MB, registry());
+        let mut api = RemoteCuda::new(client, OptConfig::full());
+        api.runtime_init(p).unwrap();
+        api.register_module(p, registry()).unwrap();
+        let buf = api.malloc(p, 1024 * MB).unwrap();
+        api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![9u8; 64])).unwrap();
+        server.force_migration(0, GpuId(1));
+        api.device_synchronize(p).unwrap(); // boundary: migration attempted
+        assert_eq!(server.server_current_gpu(0), GpuId(0), "migration skipped");
+        assert!(server.migrations().is_empty());
+        let out = api.memcpy_d2h(p, buf, 64, true).unwrap();
+        assert_eq!(out, HostBuf::Bytes(vec![9u8; 64]));
+        api.finish(p).unwrap();
+        server.gpus[1].release(hog);
+    });
+    sim.run();
+}
+
+#[test]
+fn monitor_fixes_the_fig8_imbalance() {
+    // The §VIII-E scenario in miniature: best-fit packs two long functions
+    // onto one GPU; when the other empties, the monitor migrates one over
+    // and the makespan improves versus no-migration.
+    let run = |migration: bool| {
+        let mut sim = Sim::new(4);
+        let h = sim.handle();
+        let done = Arc::new(Mutex::new((0.0f64, 0usize)));
+        let d2 = done.clone();
+        sim.spawn("root", move |p| {
+            let server = Arc::new(GpuServer::provision(
+                p,
+                &h,
+                GpuServerConfig::paper_default()
+                    .gpus(2)
+                    .sharing(2)
+                    .with_policy(PlacementPolicy::BestFit)
+                    .with_migration(migration),
+            ));
+            let finished = Arc::new(Mutex::new(0usize));
+            for i in 0..2 {
+                let server = Arc::clone(&server);
+                let finished = Arc::clone(&finished);
+                h.spawn(&format!("long{i}"), move |p| {
+                    let (client, _) = server.request_gpu(p, "long", 2048 * MB, registry());
+                    let mut api = RemoteCuda::new(client, OptConfig::full());
+                    api.runtime_init(p).unwrap();
+                    api.register_module(p, registry()).unwrap();
+                    for _ in 0..60 {
+                        api.launch_kernel(
+                            p,
+                            "spin",
+                            LaunchConfig::linear(1, 32),
+                            KernelArgs::timed(0.25, 0),
+                        )
+                        .unwrap();
+                        api.device_synchronize(p).unwrap();
+                    }
+                    api.finish(p).unwrap();
+                    *finished.lock() += 1;
+                });
+            }
+            let server2 = Arc::clone(&server);
+            let d3 = d2.clone();
+            h.spawn("waiter", move |p| {
+                loop {
+                    p.sleep(Dur::from_millis(500));
+                    if *finished.lock() == 2 {
+                        break;
+                    }
+                }
+                *d3.lock() = (p.now().as_secs_f64(), server2.migrations().len());
+            });
+        });
+        sim.run();
+        let r = *done.lock();
+        r
+    };
+    let (t_none, m_none) = run(false);
+    let (t_mig, m_mig) = run(true);
+    assert_eq!(m_none, 0);
+    assert!(m_mig >= 1, "monitor migrated at least once");
+    assert!(
+        t_mig < t_none * 0.8,
+        "migration should fix the imbalance: {t_mig:.1}s vs {t_none:.1}s"
+    );
+}
+
+#[test]
+fn table_v_shape_holds() {
+    // max(stop, copy): small arrays pay ~the stop floor, large arrays are
+    // copy-dominated and scale linearly.
+    let rows = |mb: u64| {
+        let w = Arc::new(dgsf::workloads::SyntheticMigration::mb(mb));
+        let cfg = TestbedConfig::paper_default();
+        let dynw: Arc<dyn Workload> = w as Arc<dyn Workload>;
+        Testbed::run_dgsf_once(&cfg, dynw).e2e().as_secs_f64()
+    };
+    // plain DGSF e2e is tiny compared to native's 3+ s
+    assert!(rows(323) < 0.3);
+    assert!(rows(13194) < 0.6);
+}
