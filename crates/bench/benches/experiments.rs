@@ -50,9 +50,7 @@ fn bench_fig4_ablation(c: &mut Criterion) {
 fn bench_table3_heavy_load(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
-    g.bench_function("heavy_load_quick", |b| {
-        b.iter(|| mixed::heavy_load(1, 42))
-    });
+    g.bench_function("heavy_load_quick", |b| b.iter(|| mixed::heavy_load(1, 42)));
     g.finish();
 }
 

@@ -105,8 +105,10 @@ fn bench_migration_dma_channels(c: &mut Criterion) {
     for channels in [1u32, 2u32] {
         g.bench_function(format!("kmeans_migrate_{channels}ch"), |b| {
             b.iter(|| {
-                let mut costs = CostTable::default();
-                costs.d2d_channels = channels;
+                let costs = CostTable {
+                    d2d_channels: channels,
+                    ..Default::default()
+                };
                 let cfg = TestbedConfig {
                     seed: 1,
                     server: GpuServerConfig::paper_default().gpus(2),

@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use dgsf::prelude::*;
 use dgsf::sim::{moving_average, SimTime};
-use dgsf::workloads::{as_workloads, nlp, image_classification, paper_suite, smaller_suite, TraceSpec};
+use dgsf::workloads::{
+    as_workloads, image_classification, nlp, paper_suite, smaller_suite, TraceSpec,
+};
 
 use crate::report::{secs, TextTable};
 
@@ -165,7 +167,12 @@ pub fn table3_text(study: &HeavyLoadStudy) -> String {
 /// for each mode, for the given suite label within a study.
 pub fn per_workload_delay_text(study_runs: &[(&'static str, SharingMode, RunOutput)]) -> String {
     let mut t = TextTable::new(vec![
-        "suite", "workload", "policy", "mean queue", "mean exec", "mean e2e",
+        "suite",
+        "workload",
+        "policy",
+        "mean queue",
+        "mean exec",
+        "mean e2e",
     ]);
     for (label, mode, out) in study_runs {
         let mut names: Vec<String> = out.records.iter().map(|r| r.name.clone()).collect();
@@ -310,7 +317,15 @@ pub fn burst(bursts: usize, seed: u64) -> BurstStudy {
         group_size: suite.len(),
         gap: Dur::from_secs(2),
     };
-    let no_sharing = run_mixed(&suite, pattern, 4, SharingMode::NoSharing, false, bursts, seed);
+    let no_sharing = run_mixed(
+        &suite,
+        pattern,
+        4,
+        SharingMode::NoSharing,
+        false,
+        bursts,
+        seed,
+    );
     let sharing = run_mixed(
         &suite,
         pattern,
@@ -375,7 +390,10 @@ pub fn queue_policy(copies: usize, seed: u64) -> QueuePolicyStudy {
         mean: Dur::from_secs(2),
     };
     let mut runs = Vec::new();
-    for (label, q) in [("fcfs", QueuePolicy::Fcfs), ("smallest-first", QueuePolicy::SmallestFirst)] {
+    for (label, q) in [
+        ("fcfs", QueuePolicy::Fcfs),
+        ("smallest-first", QueuePolicy::SmallestFirst),
+    ] {
         let schedule = Schedule::mixed(seed, suite.len(), copies, pattern);
         let cfg = TestbedConfig {
             seed,
@@ -385,7 +403,10 @@ pub fn queue_policy(copies: usize, seed: u64) -> QueuePolicyStudy {
                 .with_queue_policy(q),
             opts: OptConfig::full(),
         };
-        runs.push((label, Testbed::run_schedule(&cfg, &as_workloads(&suite), &schedule)));
+        runs.push((
+            label,
+            Testbed::run_schedule(&cfg, &as_workloads(&suite), &schedule),
+        ));
     }
     QueuePolicyStudy { runs }
 }

@@ -132,7 +132,11 @@ pub fn table2_text(rows: &[Table2Row]) -> String {
             format!("{} MB", r.peak_mem / gpu::MB),
             secs(r.native),
             format!("{} {}", secs(r.dgsf), crate::report::rel(r.native, r.dgsf)),
-            format!("{} {}", secs(r.lambda), crate::report::rel(r.native, r.lambda)),
+            format!(
+                "{} {}",
+                secs(r.lambda),
+                crate::report::rel(r.native, r.lambda)
+            ),
             format!("{} (-{:.1}x)", secs(r.cpu), r.cpu / r.native),
             format!("{:.0} ms", r.migration * 1e3),
         ]);
@@ -276,7 +280,11 @@ pub fn fig4() -> Vec<AblationPoint> {
 pub fn fig4_text(points: &[AblationPoint]) -> String {
     let mut t = TextTable::new(vec!["workload", "level", "time excl. download"]);
     for p in points {
-        t.row(vec![p.name.clone(), p.level.clone(), secs(p.processing_total)]);
+        t.row(vec![
+            p.name.clone(),
+            p.level.clone(),
+            secs(p.processing_total),
+        ]);
     }
     t.render()
 }
@@ -339,7 +347,8 @@ fn synthetic_with_forced_migration(w: &Arc<SyntheticMigration>) -> (f64, f64) {
             // "we forcefully migrate this application right before the
             // second kernel is called"
             server2.force_migration(0, gpu::GpuId(1));
-        });
+        })
+        .expect("migration bench runs fault-free");
         let e2e = p.now().since(t0).as_secs_f64();
         api.finish(p).expect("teardown");
         let mig = server

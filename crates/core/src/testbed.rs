@@ -66,9 +66,7 @@ impl RunOutput {
     /// Sum of every function's end-to-end time (Tables III/IV's
     /// "Function E2E Sum").
     pub fn function_e2e_sum(&self) -> Dur {
-        self.results
-            .iter()
-            .fold(Dur::ZERO, |acc, r| acc + r.e2e())
+        self.results.iter().fold(Dur::ZERO, |acc, r| acc + r.e2e())
     }
 
     /// Mean GPU utilization (busy-time fraction) over `[a, b)`.
@@ -115,9 +113,9 @@ impl Testbed {
     ) -> RunOutput {
         let mut sim = Sim::new(cfg.seed);
         let h = sim.handle();
+        type ServerSnapshot = (Vec<InvocationRecord>, Vec<MigrationRecord>, Vec<Timeline>);
         let results = Arc::new(Mutex::new(Vec::new()));
-        let out: Arc<Mutex<Option<(Vec<InvocationRecord>, Vec<MigrationRecord>, Vec<Timeline>)>>> =
-            Arc::new(Mutex::new(None));
+        let out: Arc<Mutex<Option<ServerSnapshot>>> = Arc::new(Mutex::new(None));
         let store = Arc::new(ObjectStore::new(cfg.server.net.s3_bw));
         let server_cfg = cfg.server.clone();
         let opts = cfg.opts;
@@ -137,7 +135,8 @@ impl Testbed {
                 let results = Arc::clone(&results2);
                 let done_count = Arc::clone(&done_count);
                 h2.spawn_at(&format!("fn-{}-{widx}", at.as_nanos()), at, move |p| {
-                    let r = invoke_dgsf(p, &server, &store, w.as_ref(), opts);
+                    let r = invoke_dgsf(p, &server, &store, w.as_ref(), opts)
+                        .expect("schedule runs fault-free");
                     results.lock().push(r);
                     *done_count.lock() += 1;
                 });
@@ -152,11 +151,8 @@ impl Testbed {
                         break;
                     }
                 }
-                let timelines: Vec<Timeline> = server2
-                    .gpus
-                    .iter()
-                    .map(|g| g.compute_timeline())
-                    .collect();
+                let timelines: Vec<Timeline> =
+                    server2.gpus.iter().map(|g| g.compute_timeline()).collect();
                 *out3.lock() = Some((server2.records(), server2.migrations(), timelines));
             });
         });
@@ -165,10 +161,8 @@ impl Testbed {
             .map(|m| m.into_inner())
             .unwrap_or_else(|a| a.lock().clone());
         results.sort_by_key(|r| r.finished_at);
-        let (records, migrations, gpu_timelines) = out
-            .lock()
-            .take()
-            .expect("collector observed completion");
+        let (records, migrations, gpu_timelines) =
+            out.lock().take().expect("collector observed completion");
         let first_launch = results
             .iter()
             .map(|r| r.launched_at)

@@ -155,8 +155,7 @@ impl CudaContext {
     /// Block until every previously submitted command on *every* stream has
     /// retired (`cudaDeviceSynchronize`).
     pub fn sync(&self, proc: &ProcCtx) {
-        let senders: Vec<SimSender<StreamCmd>> =
-            self.engines.lock().values().cloned().collect();
+        let senders: Vec<SimSender<StreamCmd>> = self.engines.lock().values().cloned().collect();
         let mut waits = Vec::with_capacity(senders.len());
         for tx in senders {
             let (done_tx, done_rx) = self.handle.channel::<()>();
@@ -460,9 +459,8 @@ mod tests {
         let (h, gpu, costs) = setup(&sim);
         sim.spawn("app", move |proc| {
             let ctx = CudaContext::create(proc, &h, gpu, costs, false).unwrap();
-            let registry = Arc::new(
-                ModuleRegistry::new().with(crate::module::KernelDef::timed("k")),
-            );
+            let registry =
+                Arc::new(ModuleRegistry::new().with(crate::module::KernelDef::timed("k")));
             let va = Arc::new(Mutex::new(VaSpace::new()));
             let t0 = proc.now();
             for _ in 0..3 {
@@ -481,7 +479,10 @@ mod tests {
             assert_eq!(proc.now(), t0);
             ctx.sync(proc);
             let elapsed = proc.now().since(t0).as_secs_f64();
-            assert!((elapsed - 1.5).abs() < 1e-6, "3 × 0.5 s serialized: {elapsed}");
+            assert!(
+                (elapsed - 1.5).abs() < 1e-6,
+                "3 × 0.5 s serialized: {elapsed}"
+            );
         });
         sim.run();
     }
@@ -493,9 +494,8 @@ mod tests {
         let (h, gpu, costs) = setup(&sim);
         sim.spawn("app", move |proc| {
             let ctx = CudaContext::create(proc, &h, gpu, costs, false).unwrap();
-            let registry = Arc::new(
-                ModuleRegistry::new().with(crate::module::KernelDef::timed("k")),
-            );
+            let registry =
+                Arc::new(ModuleRegistry::new().with(crate::module::KernelDef::timed("k")));
             let va = Arc::new(Mutex::new(VaSpace::new()));
             let t0 = proc.now();
             ctx.submit(

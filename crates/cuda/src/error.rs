@@ -37,6 +37,11 @@ pub enum CudaError {
     Unsupported(String),
     /// Internal transport failure in the remoting path.
     RemotingFailure(String),
+    /// The remoting link itself failed (timeout, dropped round trip, dead
+    /// API server). Unlike the other classes this is *transient*: the same
+    /// call can succeed against a healthy server, so the platform retries
+    /// the invocation rather than surfacing an application error.
+    Transport(String),
     /// The function exceeded its declared GPU memory limit. DGSF tracks all
     /// memory management, "and ensures that it is not violating its
     /// limits" (§V-B).
@@ -65,11 +70,21 @@ impl fmt::Display for CudaError {
             CudaError::NotInitialized => write!(f, "cudaErrorNotInitialized"),
             CudaError::Unsupported(s) => write!(f, "unsupported by DGSF prototype: {s}"),
             CudaError::RemotingFailure(s) => write!(f, "remoting failure: {s}"),
+            CudaError::Transport(s) => write!(f, "transport failure: {s}"),
             CudaError::MemoryLimitExceeded { would_use, limit } => write!(
                 f,
                 "function GPU memory limit exceeded: would use {would_use} B, limit {limit} B"
             ),
         }
+    }
+}
+
+impl CudaError {
+    /// True for failures of the remoting infrastructure rather than of the
+    /// application's API usage — the class a serverless platform is allowed
+    /// to retry on a different GPU server.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CudaError::Transport(_))
     }
 }
 

@@ -276,7 +276,8 @@ impl CudaApi for NativeCuda {
         p: &ProcCtx,
         descs: Vec<CudnnDescriptor>,
     ) -> CudaResult<()> {
-        self.stats.issue("cudnnDestroyDescriptor", descs.len() as u64);
+        self.stats
+            .issue("cudnnDestroyDescriptor", descs.len() as u64);
         p.sleep(dgsf_sim::Dur(
             self.costs
                 .native_call_overhead
@@ -387,7 +388,7 @@ mod tests {
                 },
             )));
             api.register_module(p, registry).unwrap();
-            let buf = api.malloc(p, 1 * MB).unwrap();
+            let buf = api.malloc(p, MB).unwrap();
             api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[1.0, 2.0, 3.0]))
                 .unwrap();
             api.launch_kernel(

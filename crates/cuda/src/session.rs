@@ -342,9 +342,10 @@ impl GpuSession {
         }
         let native = match stream {
             None => crate::context::DEFAULT_STREAM,
-            Some(s) => self.streams.get(s.0, self.active.id).ok_or_else(|| {
-                CudaError::InvalidResourceHandle(format!("stream {:#x}", s.0))
-            })?,
+            Some(s) => self
+                .streams
+                .get(s.0, self.active.id)
+                .ok_or_else(|| CudaError::InvalidResourceHandle(format!("stream {:#x}", s.0)))?,
         };
         self.active.submit_on(
             proc,
@@ -432,12 +433,20 @@ impl GpuSession {
     /// every command submitted before this point has retired.
     pub fn event_record(&mut self, proc: &ProcCtx, e: EventHandle) -> CudaResult<()> {
         if !self.events.contains(e.0) {
-            return Err(CudaError::InvalidResourceHandle(format!("event {:#x}", e.0)));
+            return Err(CudaError::InvalidResourceHandle(format!(
+                "event {:#x}",
+                e.0
+            )));
         }
         let (tx, rx) = self.handle.channel::<()>();
-        self.active
-            .submit(proc, StreamCmd::Sync { done: tx });
-        self.event_waits.insert(e.0, EventWait { rx, completed: false });
+        self.active.submit(proc, StreamCmd::Sync { done: tx });
+        self.event_waits.insert(
+            e.0,
+            EventWait {
+                rx,
+                completed: false,
+            },
+        );
         Ok(())
     }
 
@@ -734,7 +743,7 @@ mod tests {
             s.free(proc, p).unwrap();
             assert_eq!(s.mem_used(), 0);
             assert!(s.free(proc, p).is_err(), "double free rejected");
-            assert_eq!(s.peak_mem(), 100 * MB + 0 /* rounded */);
+            assert_eq!(s.peak_mem(), 100 * MB);
         });
         sim.run();
     }
@@ -819,7 +828,7 @@ mod tests {
             assert!(away.has_stream(native_after));
             // the client-visible values are unchanged — the application
             // never notices the migration
-            assert_eq!(s.native_stream(stream).is_some(), true);
+            assert!(s.native_stream(stream).is_some());
             s.cudnn_destroy(proc, dnn).unwrap();
         });
         sim.run();
@@ -849,7 +858,8 @@ mod tests {
             )));
             s.register_module(registry);
             let buf = s.malloc(proc, 4 * MB).unwrap();
-            s.memcpy_h2d(proc, buf, &HostBuf::from_f32s(&[0.0; 4])).unwrap();
+            s.memcpy_h2d(proc, buf, &HostBuf::from_f32s(&[0.0; 4]))
+                .unwrap();
 
             let args = KernelArgs {
                 ptrs: vec![buf],
@@ -859,7 +869,8 @@ mod tests {
                 .unwrap();
             s.synchronize(proc);
             s.migrate(proc, &away).unwrap();
-            s.launch(proc, "inc", LaunchConfig::linear(4, 32), args).unwrap();
+            s.launch(proc, "inc", LaunchConfig::linear(4, 32), args)
+                .unwrap();
             s.synchronize(proc);
 
             let out = s.memcpy_d2h(proc, buf, 16, true).unwrap();
@@ -886,7 +897,9 @@ mod tests {
                 other => panic!("expected OOM, got {other:?}"),
             }
             // session still fully usable on the source GPU
-            let data = s.memcpy_d2h(proc, DevPtr(dgsf_gpu::VA_BASE), 4, true).unwrap();
+            let data = s
+                .memcpy_d2h(proc, DevPtr(dgsf_gpu::VA_BASE), 4, true)
+                .unwrap();
             assert_eq!(data.to_f32s().unwrap(), vec![0.0]);
         });
         sim.run();

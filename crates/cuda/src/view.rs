@@ -36,7 +36,10 @@ impl<'a> DeviceView<'a> {
             self.gpu
                 .with_alloc(phys, |s| s.read(off, &mut out[pos..pos + n]))
                 .unwrap_or_else(|| {
-                    panic!("mapping references allocation {phys:?} not on GPU {:?}", self.gpu.id)
+                    panic!(
+                        "mapping references allocation {phys:?} not on GPU {:?}",
+                        self.gpu.id
+                    )
                 });
             pos += n;
         }
@@ -55,7 +58,10 @@ impl<'a> DeviceView<'a> {
             self.gpu
                 .with_alloc_mut(phys, |s| s.write(off, &data[pos..pos + n]))
                 .unwrap_or_else(|| {
-                    panic!("mapping references allocation {phys:?} not on GPU {:?}", self.gpu.id)
+                    panic!(
+                        "mapping references allocation {phys:?} not on GPU {:?}",
+                        self.gpu.id
+                    )
                 });
             pos += n;
         }

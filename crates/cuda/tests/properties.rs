@@ -13,10 +13,20 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum SessOp {
-    Malloc { mb: u64 },
-    Write { alloc_idx: usize, off: u64, data: Vec<u8> },
-    Free { alloc_idx: usize },
-    Migrate { to: u8 },
+    Malloc {
+        mb: u64,
+    },
+    Write {
+        alloc_idx: usize,
+        off: u64,
+        data: Vec<u8>,
+    },
+    Free {
+        alloc_idx: usize,
+    },
+    Migrate {
+        to: u8,
+    },
 }
 
 fn sess_op() -> impl Strategy<Value = SessOp> {

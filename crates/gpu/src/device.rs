@@ -264,11 +264,7 @@ impl Gpu {
     }
 
     /// Run `f` against an allocation's backing store (writes).
-    pub fn with_alloc_mut<R>(
-        &self,
-        id: PhysId,
-        f: impl FnOnce(&mut PageStore) -> R,
-    ) -> Option<R> {
+    pub fn with_alloc_mut<R>(&self, id: PhysId, f: impl FnOnce(&mut PageStore) -> R) -> Option<R> {
         let mut m = self.mem.lock();
         m.allocs.get_mut(&id).map(|a| f(&mut a.store))
     }
@@ -358,7 +354,7 @@ mod tests {
         let (_sim, gpu) = mk();
         assert_eq!(gpu.free_mem(), 16 * GB);
         let r = gpu.reserve(303 * MB).unwrap();
-        let a = gpu.mem_create(1 * GB).unwrap();
+        let a = gpu.mem_create(GB).unwrap();
         assert_eq!(gpu.used_mem(), 303 * MB + GB);
         assert_eq!(gpu.mem_free(a), Some(GB));
         gpu.release(r);
@@ -379,12 +375,12 @@ mod tests {
         let h = sim.handle();
         let g0 = Gpu::v100(&h, GpuId(0));
         let g1 = Gpu::v100(&h, GpuId(1));
-        let a = g0.mem_create(1 * MB).unwrap();
+        let a = g0.mem_create(MB).unwrap();
         g0.with_alloc_mut(a, |s| s.write(100, b"dgsf")).unwrap();
         let moved = g0.take_alloc(a).unwrap();
         assert_eq!(g0.used_mem(), 0);
         g1.adopt_alloc(moved).unwrap();
-        assert_eq!(g1.used_mem(), 1 * MB);
+        assert_eq!(g1.used_mem(), MB);
         let mut out = [0u8; 4];
         g1.with_alloc(a, |s| s.read(100, &mut out)).unwrap();
         assert_eq!(&out, b"dgsf");

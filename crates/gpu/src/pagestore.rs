@@ -53,7 +53,9 @@ impl PageStore {
     /// device access — a bug in the caller, as on real hardware).
     pub fn read(&self, offset: u64, out: &mut [u8]) {
         assert!(
-            offset.checked_add(out.len() as u64).is_some_and(|e| e <= self.len),
+            offset
+                .checked_add(out.len() as u64)
+                .is_some_and(|e| e <= self.len),
             "device read out of bounds: off={offset} len={} size={}",
             out.len(),
             self.len
@@ -75,7 +77,9 @@ impl PageStore {
     /// Write `data` starting at `offset`, materializing pages as needed.
     pub fn write(&mut self, offset: u64, data: &[u8]) {
         assert!(
-            offset.checked_add(data.len() as u64).is_some_and(|e| e <= self.len),
+            offset
+                .checked_add(data.len() as u64)
+                .is_some_and(|e| e <= self.len),
             "device write out of bounds: off={offset} len={} size={}",
             data.len(),
             self.len

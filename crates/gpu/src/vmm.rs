@@ -177,7 +177,10 @@ impl VaSpace {
     /// the virtual range identical. This is the migration primitive: unmap +
     /// map-new-phys collapsed into one atomic step.
     pub fn remap(&mut self, va: u64, new_phys: PhysId) -> Result<PhysId, VmmError> {
-        let m = self.mappings.get_mut(&va).ok_or(VmmError::NoMapping { va })?;
+        let m = self
+            .mappings
+            .get_mut(&va)
+            .ok_or(VmmError::NoMapping { va })?;
         Ok(std::mem::replace(&mut m.phys, new_phys))
     }
 
@@ -251,7 +254,9 @@ mod tests {
         vs.map(r.base, 4 << 20, PhysId(1)).unwrap();
         assert_eq!(
             vs.map(r.base + (2 << 20), 4 << 20, PhysId(2)),
-            Err(VmmError::Overlap { va: r.base + (2 << 20) })
+            Err(VmmError::Overlap {
+                va: r.base + (2 << 20)
+            })
         );
         // adjacent is fine
         vs.map(r.base + (4 << 20), 4 << 20, PhysId(2)).unwrap();

@@ -14,11 +14,13 @@ enum MemOp {
 
 fn mem_op(size: u64) -> impl Strategy<Value = MemOp> {
     prop_oneof![
-        (0..size, proptest::collection::vec(any::<u8>(), 1..512)).prop_map(move |(off, mut data)| {
-            let max = (size - off) as usize;
-            data.truncate(max.max(1).min(data.len()));
-            MemOp::Write { off, data }
-        }),
+        (0..size, proptest::collection::vec(any::<u8>(), 1..512)).prop_map(
+            move |(off, mut data)| {
+                let max = (size - off) as usize;
+                data.truncate(max.max(1).min(data.len()));
+                MemOp::Write { off, data }
+            }
+        ),
         (0..size, 1u64..4096, any::<u8>()).prop_map(move |(off, len, v)| MemOp::Fill {
             off,
             len: len.min(size - off).max(1),

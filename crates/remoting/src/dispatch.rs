@@ -53,6 +53,7 @@ pub fn error_response(e: &CudaError) -> Response {
         CudaError::InvalidResourceHandle(_) => err_class::INVALID_HANDLE,
         CudaError::Unsupported(_) => err_class::UNSUPPORTED,
         CudaError::MemoryLimitExceeded { .. } => err_class::MEM_LIMIT,
+        CudaError::Transport(_) => err_class::TRANSPORT,
         _ => err_class::OTHER,
     };
     Response::Err {
@@ -106,7 +107,10 @@ impl Dispatcher {
     /// represented call.
     pub fn handle(&mut self, p: &ProcCtx, req: Request, repeat: u32) -> Response {
         self.stats.requests += repeat.max(1) as u64;
-        p.sleep(Dur(self.per_call_cpu.as_nanos().saturating_mul(repeat.max(1) as u64)));
+        p.sleep(Dur(self
+            .per_call_cpu
+            .as_nanos()
+            .saturating_mul(repeat.max(1) as u64)));
         self.execute(p, req)
     }
 
@@ -372,10 +376,7 @@ mod tests {
         let h = sim.handle();
         sim.spawn("srv", move |p| {
             let mut d = mk_dispatcher(p, &h);
-            assert_eq!(
-                d.handle(p, Request::GetDeviceCount, 1),
-                Response::Count(1)
-            );
+            assert_eq!(d.handle(p, Request::GetDeviceCount, 1), Response::Count(1));
             // asking for device 1 is an error, as the paper specifies
             match d.handle(p, Request::GetDeviceProps { dev: 1 }, 1) {
                 Response::Err { class, .. } => assert_eq!(class, err_class::INVALID_DEVICE),
@@ -392,7 +393,13 @@ mod tests {
         sim.spawn("srv", move |p| {
             let mut d = mk_dispatcher(p, &h);
             assert_eq!(
-                d.handle(p, Request::Init { pooled_context: true }, 1),
+                d.handle(
+                    p,
+                    Request::Init {
+                        pooled_context: true
+                    },
+                    1
+                ),
                 Response::Ok
             );
             let fptrs = match d.handle(
@@ -406,7 +413,7 @@ mod tests {
                 other => panic!("{other:?}"),
             };
             let fptr = fptrs[0].1;
-            let ptr = match d.handle(p, Request::Malloc { bytes: 1 * MB }, 1) {
+            let ptr = match d.handle(p, Request::Malloc { bytes: MB }, 1) {
                 Response::Ptr(ptr) => ptr,
                 other => panic!("{other:?}"),
             };
@@ -455,7 +462,13 @@ mod tests {
         let h = sim.handle();
         sim.spawn("srv", move |p| {
             let mut d = mk_dispatcher(p, &h);
-            d.handle(p, Request::Init { pooled_context: true }, 1);
+            d.handle(
+                p,
+                Request::Init {
+                    pooled_context: true,
+                },
+                1,
+            );
             let fptr = match d.handle(
                 p,
                 Request::RegisterModule {
@@ -477,7 +490,14 @@ mod tests {
                 work_hint: Some(0.0),
             };
             // Launch without a pushed config fails...
-            match d.handle(p, Request::Launch { fptr, args: args.clone() }, 1) {
+            match d.handle(
+                p,
+                Request::Launch {
+                    fptr,
+                    args: args.clone(),
+                },
+                1,
+            ) {
                 Response::Err { class, .. } => assert_eq!(class, err_class::INVALID_VALUE),
                 other => panic!("{other:?}"),
             }
@@ -504,7 +524,13 @@ mod tests {
         sim.spawn("srv", move |p| {
             let mut d = mk_dispatcher(p, &h);
             let t0 = p.now();
-            d.handle(p, Request::Init { pooled_context: false }, 1);
+            d.handle(
+                p,
+                Request::Init {
+                    pooled_context: false,
+                },
+                1,
+            );
             assert!(p.now().since(t0).as_secs_f64() >= 3.2);
             assert_eq!(d.stats.cold_creates, 1);
         });
@@ -517,7 +543,13 @@ mod tests {
         let h = sim.handle();
         sim.spawn("srv", move |p| {
             let mut d = mk_dispatcher(p, &h);
-            d.handle(p, Request::Init { pooled_context: true }, 1);
+            d.handle(
+                p,
+                Request::Init {
+                    pooled_context: true,
+                },
+                1,
+            );
             let ptr = match d.handle(p, Request::Malloc { bytes: MB }, 1) {
                 Response::Ptr(x) => x,
                 _ => unreachable!(),

@@ -131,13 +131,16 @@ fn resp_error(class: u8, msg: String) -> CudaError {
             free: 0,
         },
         err_class::INVALID_VALUE => CudaError::InvalidValue(msg),
-        err_class::INVALID_DEVICE => CudaError::InvalidDevice { requested: u32::MAX },
+        err_class::INVALID_DEVICE => CudaError::InvalidDevice {
+            requested: u32::MAX,
+        },
         err_class::INVALID_HANDLE => CudaError::InvalidResourceHandle(msg),
         err_class::UNSUPPORTED => CudaError::Unsupported(msg),
         err_class::MEM_LIMIT => CudaError::MemoryLimitExceeded {
             would_use: 0,
             limit: 0,
         },
+        err_class::TRANSPORT => CudaError::Transport(msg),
         _ => CudaError::RemotingFailure(msg),
     }
 }
@@ -179,8 +182,9 @@ impl RemoteCuda {
     fn call_n(&mut self, p: &ProcCtx, req: &Request, n: u32) -> CudaResult<Response> {
         self.stats.remoted_calls += n as u64;
         match self.rpc.call_repeated(p, req, n) {
-            Response::Err { class, msg } => Err(resp_error(class, msg)),
-            ok => Ok(ok),
+            Ok(Response::Err { class, msg }) => Err(resp_error(class, msg)),
+            Ok(ok) => Ok(ok),
+            Err(te) => Err(CudaError::Transport(te.to_string())),
         }
     }
 
@@ -192,8 +196,9 @@ impl RemoteCuda {
         let reqs = std::mem::take(&mut self.batch);
         self.stats.remoted_calls += 1;
         match self.rpc.call_repeated(p, &Request::Batch(reqs), 1) {
-            Response::Err { class, msg } => Err(resp_error(class, msg)),
-            _ => Ok(()),
+            Ok(Response::Err { class, msg }) => Err(resp_error(class, msg)),
+            Ok(_) => Ok(()),
+            Err(te) => Err(CudaError::Transport(te.to_string())),
         }
     }
 

@@ -14,15 +14,17 @@
 #![warn(missing_docs)]
 
 mod dispatch;
+mod faults;
 mod guest;
 mod net;
 mod transport;
 pub mod wire;
 
 pub use dispatch::{error_response, Dispatcher, ServerStats};
+pub use faults::{FaultPlan, FaultStats, LinkFaults, MsgFate};
 pub use guest::{OptConfig, RemoteCuda};
-pub use net::{Direction, NetLink, NetProfile};
-pub use transport::{RpcClient, RpcEnvelope, RpcInbox};
+pub use net::{Delivery, Direction, NetLink, NetProfile};
+pub use transport::{RpcClient, RpcEnvelope, RpcInbox, TransportError};
 
 #[cfg(test)]
 mod tests {
@@ -86,7 +88,7 @@ mod tests {
             api.runtime_init(p).unwrap();
             api.register_module(p, registry).unwrap();
             assert_eq!(api.get_device_count(p).unwrap(), 1);
-            let buf = api.malloc(p, 1 * MB).unwrap();
+            let buf = api.malloc(p, MB).unwrap();
             api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[1.0, 2.0, 3.0, 4.0]))
                 .unwrap();
             api.launch_kernel(
@@ -210,8 +212,9 @@ mod tests {
                 let mut api = api.lock().take().unwrap();
                 api.runtime_init(p).unwrap();
                 api.register_module(p, registry).unwrap();
-                let buf = api.malloc(p, 1 * MB).unwrap();
-                api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[1.0; 8])).unwrap();
+                let buf = api.malloc(p, MB).unwrap();
+                api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[1.0; 8]))
+                    .unwrap();
                 // 40 async launches before a single sync point
                 for _ in 0..40 {
                     api.launch_kernel(

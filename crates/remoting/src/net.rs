@@ -10,6 +10,8 @@ use std::sync::Arc;
 
 use dgsf_sim::{rng, Dur, GpsResource, ProcCtx, SimHandle};
 
+use crate::faults::{LinkFaults, MsgFate};
+
 /// Calibrated network parameters of a deployment.
 #[derive(Debug, Clone)]
 pub struct NetProfile {
@@ -59,20 +61,41 @@ pub enum Direction {
     ToClient,
 }
 
+/// Outcome of a transfer on a fault-injected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message(s) reached the other side.
+    Delivered,
+    /// Lost in the network (fault injection). The sender still paid the
+    /// propagation latency and NIC bandwidth — the bytes left, then died.
+    Dropped,
+}
+
 /// One GPU server's NIC: shared by every function currently remoting to it.
 pub struct NetLink {
     profile: NetProfile,
     up: GpsResource,
     down: GpsResource,
+    faults: Option<Arc<LinkFaults>>,
 }
 
 impl NetLink {
     /// Create a NIC with the given profile.
     pub fn new(h: &SimHandle, profile: NetProfile) -> Arc<NetLink> {
+        NetLink::with_faults(h, profile, None)
+    }
+
+    /// Create a NIC with an optional fault-injection layer attached.
+    pub fn with_faults(
+        h: &SimHandle,
+        profile: NetProfile,
+        faults: Option<Arc<LinkFaults>>,
+    ) -> Arc<NetLink> {
         Arc::new(NetLink {
             up: h.gps(profile.nic_bw),
             down: h.gps(profile.nic_bw),
             profile,
+            faults,
         })
     }
 
@@ -81,22 +104,45 @@ impl NetLink {
         &self.profile
     }
 
+    /// The attached fault layer, if any.
+    pub fn faults(&self) -> Option<&Arc<LinkFaults>> {
+        self.faults.as_ref()
+    }
+
     /// Move `bytes` across the link `repeat` times back-to-back (used to
     /// model `repeat` sequential round trips of an un-batched call pattern
     /// without creating `repeat` simulation events). Charges propagation
-    /// latency per message plus shared-bandwidth time for the payloads.
-    pub fn transfer(&self, p: &ProcCtx, dir: Direction, bytes: u64, repeat: u32) {
+    /// latency per message — each message drawing its own jitter, so the
+    /// variance of an aggregate scales like `repeat` independent round trips
+    /// rather than `repeat` perfectly correlated ones — plus
+    /// shared-bandwidth time for the payloads. With a fault layer attached
+    /// the transfer may be [`Delivery::Dropped`]: the cost is still charged
+    /// (the bytes were sent), but the receiver never sees them.
+    pub fn transfer(&self, p: &ProcCtx, dir: Direction, bytes: u64, repeat: u32) -> Delivery {
         if repeat == 0 {
-            return;
+            return Delivery::Delivered;
         }
+        let fate = match &self.faults {
+            Some(f) => f.fate(p.now(), repeat),
+            None => MsgFate::Deliver {
+                extra_delay: Dur::ZERO,
+            },
+        };
         let mut lat = Dur(self
             .profile
             .rpc_latency
             .as_nanos()
             .saturating_mul(repeat as u64));
         if self.profile.rpc_jitter > Dur::ZERO {
-            let j = p.with_rng(|r| rng::uniform_gap(r, Dur::ZERO, self.profile.rpc_jitter));
-            lat = lat + Dur(j.as_nanos().saturating_mul(repeat as u64));
+            let j = p.with_rng(|r| {
+                (0..repeat).fold(Dur::ZERO, |acc, _| {
+                    acc.saturating_add(rng::uniform_gap(r, Dur::ZERO, self.profile.rpc_jitter))
+                })
+            });
+            lat = lat.saturating_add(j);
+        }
+        if let MsgFate::Deliver { extra_delay } = fate {
+            lat = lat.saturating_add(extra_delay);
         }
         p.sleep(lat);
         let link = match dir {
@@ -104,6 +150,10 @@ impl NetLink {
             Direction::ToClient => &self.down,
         };
         link.acquire(p, bytes as f64 * repeat as f64);
+        match fate {
+            MsgFate::Deliver { .. } => Delivery::Delivered,
+            MsgFate::Drop => Delivery::Dropped,
+        }
     }
 }
 
@@ -133,7 +183,10 @@ mod tests {
         });
         sim.run();
         let elapsed = *t.lock();
-        assert!((elapsed - 1.001).abs() < 1e-6, "1 ms latency + 1 s transfer: {elapsed}");
+        assert!(
+            (elapsed - 1.001).abs() < 1e-6,
+            "1 ms latency + 1 s transfer: {elapsed}"
+        );
     }
 
     #[test]
@@ -184,6 +237,74 @@ mod tests {
         for t in done.lock().iter() {
             assert!((t - 1.0).abs() < 1e-6, "two halves share the MB/s: {t}");
         }
+    }
+
+    #[test]
+    fn aggregate_jitter_is_a_sum_of_independent_draws() {
+        // Sum of `n` independent U[0, J) draws concentrates around n·J/2
+        // (σ = J·√(n/12) ≈ 0.9 % of the mean at n = 1000). The old
+        // correlated-jitter bug scaled a single draw by n, which lands in
+        // any given 10 %-wide band around the midpoint only 10 % of the
+        // time — across several seeds it would certainly escape.
+        let jitter = Dur::from_micros(300);
+        let n = 1000u32;
+        for seed in 1..=5 {
+            let mut sim = Sim::new(seed);
+            let link = NetLink::new(
+                &sim.handle(),
+                NetProfile {
+                    rpc_latency: Dur::ZERO,
+                    rpc_jitter: jitter,
+                    nic_bw: 1e18,
+                    s3_bw: 1e18,
+                },
+            );
+            let t = Arc::new(Mutex::new(0.0));
+            let t2 = t.clone();
+            sim.spawn("xfer", move |p| {
+                link.transfer(p, Direction::ToServer, 64, n);
+                *t2.lock() = p.now().as_secs_f64();
+            });
+            sim.run();
+            let elapsed = *t.lock();
+            let mid = n as f64 * jitter.as_secs_f64() / 2.0;
+            assert!(
+                (elapsed - mid).abs() < 0.05 * 2.0 * mid,
+                "seed {seed}: aggregate jitter {elapsed:.6} s not near {mid:.6} s"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_link_drops_but_still_charges_the_send() {
+        use crate::faults::{FaultPlan, LinkFaults};
+        let mut sim = Sim::new(1);
+        let faults = LinkFaults::new(&FaultPlan::new(0).drop_message(0));
+        let link = NetLink::with_faults(
+            &sim.handle(),
+            NetProfile {
+                rpc_latency: Dur::from_millis(1),
+                rpc_jitter: Dur::ZERO,
+                nic_bw: 1e6,
+                s3_bw: 1e6,
+            },
+            Some(faults.clone()),
+        );
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        sim.spawn("xfer", move |p| {
+            let first = link.transfer(p, Direction::ToServer, 1_000_000, 1);
+            let t1 = p.now().as_secs_f64();
+            let second = link.transfer(p, Direction::ToServer, 1_000_000, 1);
+            *o.lock() = Some((first, t1, second, p.now().as_secs_f64()));
+        });
+        sim.run();
+        let (first, t1, second, t2) = out.lock().take().unwrap();
+        assert_eq!(first, Delivery::Dropped);
+        assert_eq!(second, Delivery::Delivered);
+        assert!((t1 - 1.001).abs() < 1e-6, "dropped send still pays: {t1}");
+        assert!((t2 - 2.002).abs() < 1e-6, "second send: {t2}");
+        assert_eq!(faults.stats().dropped, 1);
     }
 
     #[test]

@@ -7,13 +7,48 @@
 //! un-batched call pattern) in O(1) simulation events: the client pays
 //! `repeat` round-trip latencies and `repeat × size` bandwidth while the
 //! server executes the aggregate once.
+//!
+//! Failures are first-class: calls return [`TransportError`] when the
+//! connection closes, a frame cannot be decoded, or — with a timeout
+//! configured via [`RpcClient::set_timeout`] — the reply does not arrive in
+//! time (a dead API server, or a request/response dropped by an injected
+//! link fault).
 
 use bytes::Bytes;
-use dgsf_sim::{ProcCtx, SimHandle, SimReceiver, SimSender};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender};
 use std::sync::Arc;
 
-use crate::net::{Direction, NetLink};
+use crate::net::{Delivery, Direction, NetLink};
 use crate::wire::{Request, Response, WireError};
+
+/// Why an RPC round trip failed below the CUDA-semantics layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No reply within the client's configured timeout (server dead, or the
+    /// request/response was lost on the link).
+    Timeout {
+        /// How long the client waited.
+        waited: Dur,
+    },
+    /// The connection (or the whole simulation) shut down mid-call.
+    Closed,
+    /// The reply frame could not be decoded.
+    Decode(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout { waited } => {
+                write!(f, "rpc timed out after {:.3} s", waited.as_secs_f64())
+            }
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Decode(e) => write!(f, "undecodable reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// A framed request in flight, with its reply path.
 pub struct RpcEnvelope {
@@ -36,6 +71,13 @@ impl RpcInbox {
         self.rx.recv(p)
     }
 
+    /// Wait for the next request, giving up after `timeout` of virtual
+    /// time — how an API server notices its client went silent (crashed
+    /// function host, abandoned invocation).
+    pub fn next_timeout(&self, p: &ProcCtx, timeout: Dur) -> Result<RpcEnvelope, RecvError> {
+        self.rx.recv_timeout(p, timeout)
+    }
+
     /// Decode an envelope's frame.
     pub fn decode(env: &RpcEnvelope) -> Result<Request, WireError> {
         let mut frame = env.frame.clone();
@@ -43,11 +85,22 @@ impl RpcInbox {
     }
 
     /// Encode and send a response, charging downlink time for its wire size
-    /// (times the envelope's repeat factor).
-    pub fn respond(&self, p: &ProcCtx, link: &NetLink, env: &RpcEnvelope, resp: &Response) {
+    /// (times the envelope's repeat factor). Returns whether the response
+    /// survived the link — a fault-injected drop means the client waits for
+    /// a reply that never comes.
+    pub fn respond(
+        &self,
+        p: &ProcCtx,
+        link: &NetLink,
+        env: &RpcEnvelope,
+        resp: &Response,
+    ) -> Delivery {
         let frame = resp.encode();
-        link.transfer(p, Direction::ToClient, resp.wire_size(), env.repeat);
-        env.reply.send(p, frame);
+        let delivery = link.transfer(p, Direction::ToClient, resp.wire_size(), env.repeat);
+        if delivery == Delivery::Delivered {
+            env.reply.send(p, frame);
+        }
+        delivery
     }
 }
 
@@ -57,10 +110,12 @@ pub struct RpcClient {
     handle: SimHandle,
     link: Arc<NetLink>,
     tx: SimSender<RpcEnvelope>,
+    timeout: Option<Dur>,
 }
 
 impl RpcClient {
-    /// Create a connected client/inbox pair over `link`.
+    /// Create a connected client/inbox pair over `link`. No reply timeout:
+    /// calls block until the reply arrives or the transport closes.
     pub fn connect(h: &SimHandle, link: Arc<NetLink>) -> (RpcClient, RpcInbox) {
         let (tx, rx) = h.channel::<RpcEnvelope>();
         (
@@ -68,43 +123,66 @@ impl RpcClient {
                 handle: h.clone(),
                 link,
                 tx,
+                timeout: None,
             },
             RpcInbox { rx },
         )
     }
 
+    /// Set the per-round-trip reply deadline (`None` = wait forever). The
+    /// deadline covers the whole aggregate of a repeated call.
+    pub fn set_timeout(&mut self, timeout: Option<Dur>) {
+        self.timeout = timeout;
+    }
+
+    /// The configured reply deadline.
+    pub fn timeout(&self) -> Option<Dur> {
+        self.timeout
+    }
+
     /// One round trip.
-    pub fn call(&self, p: &ProcCtx, req: &Request) -> Response {
+    pub fn call(&self, p: &ProcCtx, req: &Request) -> Result<Response, TransportError> {
         self.call_repeated(p, req, 1)
     }
 
     /// `repeat` sequential identical round trips, executed as one aggregate
     /// on the server.
-    pub fn call_repeated(&self, p: &ProcCtx, req: &Request, repeat: u32) -> Response {
+    pub fn call_repeated(
+        &self,
+        p: &ProcCtx,
+        req: &Request,
+        repeat: u32,
+    ) -> Result<Response, TransportError> {
         assert!(repeat >= 1, "call_repeated needs at least one round trip");
         let frame = req.encode();
-        self.link
+        let delivery = self
+            .link
             .transfer(p, Direction::ToServer, req.wire_size(), repeat);
         let (reply_tx, reply_rx) = self.handle.channel::<Bytes>();
-        self.tx.send(
-            p,
-            RpcEnvelope {
-                frame,
-                repeat,
-                reply: reply_tx,
+        if delivery == Delivery::Delivered {
+            self.tx.send(
+                p,
+                RpcEnvelope {
+                    frame,
+                    repeat,
+                    reply: reply_tx,
+                },
+            );
+        }
+        // A dropped request is indistinguishable from a dead server to the
+        // client: it waits for the reply and (with a timeout set) gives up.
+        let mut reply = match self.timeout {
+            Some(t) => match reply_rx.recv_timeout(p, t) {
+                Ok(r) => r,
+                Err(RecvError::Timeout) => return Err(TransportError::Timeout { waited: t }),
+                Err(RecvError::Shutdown) => return Err(TransportError::Closed),
             },
-        );
-        let Some(mut reply) = reply_rx.recv(p) else {
-            // Simulation shutting down; surface a transport error.
-            return Response::Err {
-                class: crate::wire::err_class::OTHER,
-                msg: "transport closed".into(),
-            };
+            None => match reply_rx.recv(p) {
+                Some(r) => r,
+                None => return Err(TransportError::Closed),
+            },
         };
-        Response::decode(&mut reply).unwrap_or_else(|e| Response::Err {
-            class: crate::wire::err_class::OTHER,
-            msg: e.to_string(),
-        })
+        Response::decode(&mut reply).map_err(TransportError::Decode)
     }
 
     /// The link this client rides on.
@@ -116,23 +194,26 @@ impl RpcClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
+    use crate::faults::LinkFaults;
     use crate::net::NetProfile;
     use dgsf_sim::{Dur, Sim};
     use parking_lot::Mutex;
+
+    fn fast_profile() -> NetProfile {
+        NetProfile {
+            rpc_latency: Dur::from_millis(1),
+            rpc_jitter: Dur::ZERO,
+            nic_bw: 1e12,
+            s3_bw: 1e12,
+        }
+    }
 
     #[test]
     fn echo_round_trip_charges_both_directions() {
         let mut sim = Sim::new(1);
         let h = sim.handle();
-        let link = NetLink::new(
-            &h,
-            NetProfile {
-                rpc_latency: Dur::from_millis(1),
-                rpc_jitter: Dur::ZERO,
-                nic_bw: 1e12,
-                s3_bw: 1e12,
-            },
-        );
+        let link = NetLink::new(&h, fast_profile());
         let (client, inbox) = RpcClient::connect(&h, link.clone());
         let srv_link = link.clone();
         sim.spawn("server", move |p| {
@@ -145,7 +226,7 @@ mod tests {
         let out = Arc::new(Mutex::new(None));
         let o = out.clone();
         sim.spawn("client", move |p| {
-            let resp = client.call(p, &Request::GetDeviceCount);
+            let resp = client.call(p, &Request::GetDeviceCount).unwrap();
             *o.lock() = Some((resp, p.now().as_secs_f64()));
         });
         sim.run();
@@ -181,7 +262,7 @@ mod tests {
         let t_out = Arc::new(Mutex::new(0.0));
         let t2 = t_out.clone();
         sim.spawn("client", move |p| {
-            let r = client.call_repeated(p, &Request::Sync, 500);
+            let r = client.call_repeated(p, &Request::Sync, 500).unwrap();
             assert_eq!(r, Response::Ok);
             *t2.lock() = p.now().as_secs_f64();
         });
@@ -190,5 +271,60 @@ mod tests {
         let t = *t_out.lock();
         // 500 × (100 µs up + 100 µs down) = 0.1 s
         assert!((t - 0.1).abs() < 1e-3, "500 round trips: {t}");
+    }
+
+    #[test]
+    fn unanswered_call_times_out() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let link = NetLink::new(&h, fast_profile());
+        let (mut client, inbox) = RpcClient::connect(&h, link);
+        client.set_timeout(Some(Dur::from_millis(500)));
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        sim.spawn("client", move |p| {
+            let _keep_inbox_alive = &inbox; // server never answers
+            let r = client.call(p, &Request::Sync);
+            *o.lock() = Some((r, p.now().as_secs_f64()));
+        });
+        sim.run();
+        let (r, t) = out.lock().take().unwrap();
+        assert_eq!(
+            r,
+            Err(TransportError::Timeout {
+                waited: Dur::from_millis(500)
+            })
+        );
+        // 1 ms uplink + 500 ms deadline
+        assert!((t - 0.501).abs() < 1e-6, "timeout fires on schedule: {t}");
+    }
+
+    #[test]
+    fn dropped_request_never_reaches_the_server_and_times_out() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let faults = LinkFaults::new(&FaultPlan::new(0).drop_message(0));
+        let link = NetLink::with_faults(&h, fast_profile(), Some(faults));
+        let (mut client, inbox) = RpcClient::connect(&h, link.clone());
+        client.set_timeout(Some(Dur::from_millis(100)));
+        let served = Arc::new(Mutex::new(0u32));
+        let s2 = served.clone();
+        let srv_link = link.clone();
+        sim.spawn("server", move |p| {
+            while let Some(env) = inbox.next(p) {
+                *s2.lock() += 1;
+                inbox.respond(p, &srv_link, &env, &Response::Ok);
+            }
+        });
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = out.clone();
+        sim.spawn("client", move |p| {
+            // message 0 is dropped → timeout; message 1+2 (request+reply) pass
+            o.lock().push(client.call(p, &Request::Sync).is_err());
+            o.lock().push(client.call(p, &Request::Sync).is_err());
+        });
+        sim.run();
+        assert_eq!(*out.lock(), vec![true, false]);
+        assert_eq!(*served.lock(), 1, "dropped request never executed");
     }
 }

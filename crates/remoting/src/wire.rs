@@ -378,6 +378,9 @@ pub mod err_class {
     pub const UNSUPPORTED: u8 = 5;
     /// Function memory limit exceeded.
     pub const MEM_LIMIT: u8 = 6;
+    /// Transport-level failure (connection closed, undecodable frame,
+    /// timed-out round trip) — distinct from CUDA semantics.
+    pub const TRANSPORT: u8 = 7;
     /// Other.
     pub const OTHER: u8 = 0;
 }
@@ -470,7 +473,9 @@ fn get_buf(b: &mut Bytes) -> WireResult<WireBuf> {
 }
 
 fn put_cfg(b: &mut BytesMut, c: &WireCfg) {
-    for v in [c.grid.0, c.grid.1, c.grid.2, c.block.0, c.block.1, c.block.2] {
+    for v in [
+        c.grid.0, c.grid.1, c.grid.2, c.block.0, c.block.1, c.block.2,
+    ] {
         b.put_u32_le(v);
     }
 }
@@ -770,19 +775,11 @@ impl Request {
             },
             14 => Sync,
             15 => StreamCreate,
-            16 => StreamDestroy {
-                h: get_u64(frame)?,
-            },
-            17 => StreamSync {
-                h: get_u64(frame)?,
-            },
+            16 => StreamDestroy { h: get_u64(frame)? },
+            17 => StreamSync { h: get_u64(frame)? },
             18 => EventCreate,
-            19 => EventRecord {
-                h: get_u64(frame)?,
-            },
-            20 => EventSync {
-                h: get_u64(frame)?,
-            },
+            19 => EventRecord { h: get_u64(frame)? },
+            20 => EventSync { h: get_u64(frame)? },
             21 => PointerGetAttributes {
                 ptr: get_u64(frame)?,
             },
@@ -792,19 +789,13 @@ impl Request {
             23 => CudnnCreate {
                 pooled: get_u8(frame)? != 0,
             },
-            24 => CudnnDestroy {
-                h: get_u64(frame)?,
-            },
+            24 => CudnnDestroy { h: get_u64(frame)? },
             25 => CudnnCreateDescriptors {
                 kind: get_u8(frame)?,
                 n: get_u64(frame)?,
             },
-            26 => CudnnSetDescriptors {
-                n: get_u64(frame)?,
-            },
-            27 => CudnnDestroyDescriptors {
-                n: get_u64(frame)?,
-            },
+            26 => CudnnSetDescriptors { n: get_u64(frame)? },
+            27 => CudnnDestroyDescriptors { n: get_u64(frame)? },
             28 => CudnnOp {
                 h: get_u64(frame)?,
                 work: get_f64(frame)?,
@@ -814,9 +805,7 @@ impl Request {
             29 => CublasCreate {
                 pooled: get_u8(frame)? != 0,
             },
-            30 => CublasDestroy {
-                h: get_u64(frame)?,
-            },
+            30 => CublasDestroy { h: get_u64(frame)? },
             31 => CublasOp {
                 h: get_u64(frame)?,
                 work: get_f64(frame)?,
@@ -1084,7 +1073,10 @@ mod tests {
     #[test]
     fn descriptor_kind_wire_mapping_is_bijective() {
         for k in DescriptorKind::ALL {
-            assert_eq!(descriptor_kind_from_u8(descriptor_kind_to_u8(k)).unwrap(), k);
+            assert_eq!(
+                descriptor_kind_from_u8(descriptor_kind_to_u8(k)).unwrap(),
+                k
+            );
         }
         assert!(descriptor_kind_from_u8(200).is_err());
     }

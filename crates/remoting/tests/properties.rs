@@ -117,7 +117,14 @@ fn drive(
 }
 
 fn opt_config() -> impl Strategy<Value = OptConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0usize..16)
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0usize..16,
+    )
         .prop_map(|(a, b, c, d, e, t)| OptConfig {
             pooled_runtime: a,
             pooled_handles: b,

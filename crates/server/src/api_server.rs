@@ -9,12 +9,13 @@
 //! finishes the server reverts to its home GPU.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dgsf_cuda::{CostTable, CudaContext, GpuSession, MigrationReport, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{Dispatcher, NetLink, RpcInbox};
-use dgsf_sim::{ProcCtx, SimHandle, SimReceiver, SimSender, SimTime};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
 use parking_lot::Mutex;
 
 use crate::monitor::MonitorMsg;
@@ -58,6 +59,9 @@ pub struct ApiServerShared {
     /// The GPU this server is provisioned on.
     pub home_gpu: GpuId,
     state: Mutex<ApiSrvState>,
+    /// Set by the fault injector: a killed server stops responding,
+    /// heartbeating and serving — permanently.
+    killed: AtomicBool,
 }
 
 impl ApiServerShared {
@@ -72,7 +76,19 @@ impl ApiServerShared {
                 contexts,
                 migration_request: None,
             }),
+            killed: AtomicBool::new(false),
         }
+    }
+
+    /// Kill the server: it silently discards everything from now on. The
+    /// crash is detected by the monitor's lease check, not announced.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`kill`](Self::kill) has been called.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
     }
 
     /// GPU the server is currently executing on.
@@ -117,46 +133,102 @@ pub(crate) struct ApiServerArgs {
     pub assign_rx: SimReceiver<Assignment>,
     pub monitor_tx: SimSender<MonitorMsg>,
     pub migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+    pub heartbeat_period: Dur,
+    pub idle_timeout: Option<Dur>,
 }
 
-/// Body of the API server process. Returns when the simulation shuts down.
+/// Body of the API server process. Returns when the simulation shuts down
+/// or the fault injector kills the server.
 pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
     while let Some(asg) = a.assign_rx.recv(p) {
+        if a.shared.is_killed() {
+            // Crashed while idle: the assignment is silently swallowed; the
+            // monitor's lease check will notice and fail the invocation over.
+            return;
+        }
         let home_ctx = a
             .shared
             .context(a.shared.home_gpu)
             .expect("home context provisioned");
         let session = GpuSession::new(&a.h, home_ctx, Some(asg.mem_limit));
         let mut d = Dispatcher::new(session, asg.registry);
+        // Heartbeat the monitor while serving, so the lease check can tell
+        // "slow function" from "dead server".
+        let stop_hb = Arc::new(AtomicBool::new(false));
+        {
+            let stop = Arc::clone(&stop_hb);
+            let shared = Arc::clone(&a.shared);
+            let tx = a.monitor_tx.clone();
+            let period = a.heartbeat_period;
+            let name = format!("hb-{}-{}", a.shared.id, asg.invocation);
+            a.h.spawn(&name, move |pp| {
+                while !stop.load(Ordering::Relaxed) && !shared.is_killed() {
+                    tx.send(pp, MonitorMsg::Heartbeat { server: shared.id });
+                    pp.sleep(period);
+                }
+            });
+        }
+        let mut aborted = false;
         loop {
-            let Some(env) = asg.inbox.next(p) else {
-                return; // simulation shutting down
+            let env = match a.idle_timeout {
+                Some(t) => match asg.inbox.next_timeout(p, t) {
+                    Ok(env) => env,
+                    Err(RecvError::Timeout) => {
+                        // Guest stopped talking (gave up / lost its reply):
+                        // abort the function and free the server.
+                        aborted = true;
+                        break;
+                    }
+                    Err(RecvError::Shutdown) => {
+                        stop_hb.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                },
+                None => match asg.inbox.next(p) {
+                    Some(env) => env,
+                    None => {
+                        stop_hb.store(true, Ordering::Relaxed);
+                        return; // simulation shutting down
+                    }
+                },
             };
+            if a.shared.is_killed() {
+                return; // crashed: swallow the request, never respond
+            }
             // Migration happens at API-call boundaries (§V-A).
             maybe_migrate(p, &a, &mut d);
             let resp = match RpcInbox::decode(&env) {
                 Ok(req) => d.handle(p, req, env.repeat),
                 Err(e) => dgsf_remoting::wire::Response::Err {
-                    class: dgsf_remoting::wire::err_class::OTHER,
+                    class: dgsf_remoting::wire::err_class::TRANSPORT,
                     msg: e.to_string(),
                 },
             };
+            if a.shared.is_killed() {
+                return; // crashed mid-call: the reply is never sent
+            }
             asg.inbox.respond(p, &a.link, &env, &resp);
             if d.finished() {
                 break;
             }
         }
+        stop_hb.store(true, Ordering::Relaxed);
         // "When the current serverless function finishes, the API server
         // changes its current GPU to the originally assigned one" — with
         // nothing left to copy, since the session was released.
         a.shared.set_current(a.shared.home_gpu);
-        a.monitor_tx.send(
-            p,
+        let msg = if aborted {
+            MonitorMsg::FunctionFailed {
+                server: a.shared.id,
+                invocation: asg.invocation,
+            }
+        } else {
             MonitorMsg::FunctionDone {
                 server: a.shared.id,
                 invocation: asg.invocation,
-            },
-        );
+            }
+        };
+        a.monitor_tx.send(p, msg);
     }
 }
 

@@ -1,7 +1,7 @@
 //! GPU server configuration.
 
 use dgsf_cuda::CostTable;
-use dgsf_remoting::NetProfile;
+use dgsf_remoting::{FaultPlan, NetProfile};
 use dgsf_sim::Dur;
 
 /// How the monitor picks a GPU for an incoming function (§VIII-D/E).
@@ -52,6 +52,27 @@ pub struct GpuServerConfig {
     pub costs: CostTable,
     /// Minimum utilization imbalance window before migrating.
     pub migration_min_busy: Dur,
+    /// Guest-side RPC timeout. `None` (the default) blocks forever, which
+    /// is safe on a fault-free link; provisioning with faults fills in a
+    /// default so chaos runs always terminate.
+    pub rpc_timeout: Option<Dur>,
+    /// How long a function may wait in the monitor's queue before its
+    /// request is abandoned and reported failed. `None` waits forever.
+    pub queue_timeout: Option<Dur>,
+    /// How long an API server waits for the *next* RPC of an assigned
+    /// function before declaring the guest gone and failing the
+    /// invocation. `None` waits forever.
+    pub idle_timeout: Option<Dur>,
+    /// How often a busy API server heartbeats the monitor.
+    pub heartbeat_period: Dur,
+    /// Monitor-side lease: a busy API server silent for longer than this is
+    /// declared dead, its memory commitment released and its invocation
+    /// failed over.
+    pub lease_timeout: Dur,
+    /// Optional seeded chaos schedule (server kills, RPC drops/delays,
+    /// blackholes). `None` injects nothing and leaves behaviour
+    /// bit-identical to a fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl GpuServerConfig {
@@ -67,6 +88,12 @@ impl GpuServerConfig {
             net: NetProfile::datacenter(),
             costs: CostTable::default(),
             migration_min_busy: Dur::from_millis(600),
+            rpc_timeout: None,
+            queue_timeout: None,
+            idle_timeout: None,
+            heartbeat_period: Dur::from_millis(200),
+            lease_timeout: Dur::from_secs(1),
+            faults: None,
         }
     }
 
@@ -103,6 +130,38 @@ impl GpuServerConfig {
     /// Builder-style: set the network profile.
     pub fn with_net(mut self, net: NetProfile) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Builder-style: set the guest-side RPC timeout.
+    pub fn with_rpc_timeout(mut self, t: Dur) -> Self {
+        self.rpc_timeout = Some(t);
+        self
+    }
+
+    /// Builder-style: set the monitor queue timeout.
+    pub fn with_queue_timeout(mut self, t: Dur) -> Self {
+        self.queue_timeout = Some(t);
+        self
+    }
+
+    /// Builder-style: set the API-server idle timeout.
+    pub fn with_idle_timeout(mut self, t: Dur) -> Self {
+        self.idle_timeout = Some(t);
+        self
+    }
+
+    /// Builder-style: set heartbeat period and lease timeout together (the
+    /// lease should be a small multiple of the heartbeat).
+    pub fn with_lease(mut self, heartbeat: Dur, lease: Dur) -> Self {
+        self.heartbeat_period = heartbeat;
+        self.lease_timeout = lease;
+        self
+    }
+
+    /// Builder-style: install a chaos schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 

@@ -11,7 +11,12 @@
 //!   assigns functions to idle API servers (best-fit / worst-fit, strict
 //!   FCFS queue), and triggers live migration on load imbalance;
 //! * **API server** processes — one function at a time, served through
-//!   `dgsf-remoting`'s dispatcher, migratable at API-call boundaries.
+//!   `dgsf-remoting`'s dispatcher, migratable at API-call boundaries;
+//! * **failure recovery** — busy API servers heartbeat the monitor; a
+//!   server silent past its lease (e.g. killed by a
+//!   [`dgsf_remoting::FaultPlan`]) is declared dead, its memory commitment
+//!   released and its invocation failed over so the serverless layer can
+//!   retry on another server.
 
 #![warn(missing_docs)]
 
@@ -23,12 +28,14 @@ mod server;
 pub use api_server::{ApiServerShared, MigrationRecord};
 pub use config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
 pub use monitor::InvocationRecord;
-pub use server::GpuServer;
+pub use server::{AcquireError, GpuServer};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgsf_cuda::{CudaApi, HostBuf, KernelArgs, KernelCost, KernelDef, LaunchConfig, ModuleRegistry};
+    use dgsf_cuda::{
+        CudaApi, HostBuf, KernelArgs, KernelCost, KernelDef, LaunchConfig, ModuleRegistry,
+    };
     use dgsf_gpu::{GpuId, GB, MB};
     use dgsf_remoting::{OptConfig, RemoteCuda};
     use dgsf_sim::{Dur, Sim};
@@ -65,11 +72,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let h = sim.handle();
         sim.spawn("root", move |p| {
-            let srv = GpuServer::provision(
-                p,
-                &h,
-                GpuServerConfig::paper_default().gpus(2).sharing(2),
-            );
+            let srv =
+                GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2).sharing(2));
             // 2 servers per GPU × 755 MB each
             for g in &srv.gpus {
                 assert_eq!(g.used_mem(), 2 * 755 * MB);
@@ -86,7 +90,7 @@ mod tests {
         let o = out.clone();
         sim.spawn("root", move |p| {
             let srv = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(1));
-            with_gpu(p, &srv, "probe", 1 * GB, |p, api| {
+            with_gpu(p, &srv, "probe", GB, |p, api| {
                 let buf = api.malloc(p, 16 * MB).unwrap();
                 api.launch_kernel(
                     p,
@@ -111,10 +115,7 @@ mod tests {
             assert_eq!(recs[0].queue_delay().unwrap(), Dur::ZERO);
         });
         sim.run();
-        assert_eq!(
-            out.lock().take().unwrap(),
-            HostBuf::Bytes(vec![0xAB; 8])
-        );
+        assert_eq!(out.lock().take().unwrap(), HostBuf::Bytes(vec![0xAB; 8]));
     }
 
     #[test]
@@ -133,7 +134,7 @@ mod tests {
                 let srv = Arc::clone(&srv2);
                 let delays = delays.clone();
                 h2.spawn(&format!("fn{i}"), move |p| {
-                    with_gpu(p, &srv, &format!("fn{i}"), 1 * GB, |p, api| {
+                    with_gpu(p, &srv, &format!("fn{i}"), GB, |p, api| {
                         api.launch_kernel(
                             p,
                             "work",
@@ -153,7 +154,10 @@ mod tests {
         let mut sim2_delays = delays.lock().clone();
         sim2_delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(sim2_delays[0] < 0.1);
-        assert!(sim2_delays[1] > 1.9, "queued behind a ~2 s function: {sim2_delays:?}");
+        assert!(
+            sim2_delays[1] > 1.9,
+            "queued behind a ~2 s function: {sim2_delays:?}"
+        );
     }
 
     #[test]
@@ -235,16 +239,20 @@ mod tests {
                         o.lock().push(name);
                     });
                 };
-                launch("first", 1 * GB, 2.0, 0);
+                launch("first", GB, 2.0, 0);
                 launch("huge", 14 * GB, 2.0, 100);
-                launch("tiny", 1 * GB, 0.5, 200);
+                launch("tiny", GB, 0.5, 200);
             });
             sim.run();
             let v = order.lock().clone();
             v
         };
         let fcfs = order_of(QueuePolicy::Fcfs);
-        assert_eq!(fcfs, vec!["first", "huge", "tiny"], "FCFS head-of-line blocks");
+        assert_eq!(
+            fcfs,
+            vec!["first", "huge", "tiny"],
+            "FCFS head-of-line blocks"
+        );
         let sjf = order_of(QueuePolicy::SmallestFirst);
         assert_eq!(
             sjf,
@@ -261,12 +269,13 @@ mod tests {
             let srv = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2));
             let srv2 = Arc::clone(&srv);
             h.spawn("fn", move |p| {
-                let (client, _inv) = srv2.request_gpu(p, "mig", 1 * GB, registry());
+                let (client, _inv) = srv2.request_gpu(p, "mig", GB, registry());
                 let mut api = RemoteCuda::new(client, OptConfig::full());
                 api.runtime_init(p).unwrap();
                 api.register_module(p, registry()).unwrap();
                 let buf = api.malloc(p, 64 * MB).unwrap();
-                api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![5u8; 1024])).unwrap();
+                api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![5u8; 1024]))
+                    .unwrap();
                 api.device_synchronize(p).unwrap();
                 let before = srv2.server_current_gpu(0);
                 srv2.force_migration(0, GpuId(1));
@@ -282,7 +291,7 @@ mod tests {
                 assert_eq!(srv2.server_current_gpu(0), GpuId(0));
                 let m = srv2.migrations();
                 assert_eq!(m.len(), 1);
-                assert!(m[0].report.bytes_moved >= 64 * MB as u64);
+                assert!(m[0].report.bytes_moved >= 64 * MB);
             });
         });
         sim.run();

@@ -5,8 +5,15 @@
 //! worst-fit policy with a strict FCFS queue (head-of-line blocking is the
 //! paper's stated behaviour), and — when migration is enabled — moves an API
 //! server off an overloaded GPU onto an idle one.
+//!
+//! It is also the failure detector: busy API servers heartbeat the monitor,
+//! and a server silent past the configured lease is declared dead — its
+//! memory commitment is released, its invocation marked failed (so the
+//! serverless layer can retry elsewhere), and it is excluded from future
+//! placement.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dgsf_cuda::ModuleRegistry;
@@ -24,6 +31,9 @@ pub(crate) struct FnRequest {
     pub registry: Arc<ModuleRegistry>,
     pub reply: SimSender<RpcClient>,
     pub invocation: u64,
+    /// Set by the requester when it gives up waiting (queue timeout); the
+    /// monitor purges cancelled requests instead of assigning them.
+    pub cancelled: Arc<AtomicBool>,
 }
 
 /// Messages the monitor consumes.
@@ -32,6 +42,10 @@ pub(crate) enum MonitorMsg {
     Request(FnRequest),
     /// An API server finished its function.
     FunctionDone { server: u32, invocation: u64 },
+    /// A busy API server signalling liveness.
+    Heartbeat { server: u32 },
+    /// An API server aborted its function (guest vanished / idle timeout).
+    FunctionFailed { server: u32, invocation: u64 },
     /// An API server completed a migration.
     Migrated { server: u32, from: GpuId, to: GpuId },
 }
@@ -51,6 +65,12 @@ pub struct InvocationRecord {
     pub assigned_at: Option<SimTime>,
     /// When the function finished on the API server.
     pub done_at: Option<SimTime>,
+    /// When the invocation was declared failed (lease expiry, abort, or
+    /// queue timeout). Mutually exclusive with `done_at`.
+    pub failed_at: Option<SimTime>,
+    /// Which serverless-backend attempt this invocation belongs to
+    /// (1-based; retries re-request a GPU under a fresh invocation id).
+    pub attempts: u32,
     /// Assigned API server.
     pub server: Option<u32>,
     /// GPU the server was homed on at assignment.
@@ -70,16 +90,24 @@ impl InvocationRecord {
             _ => None,
         }
     }
+
+    /// True once the invocation has been declared failed.
+    pub fn failed(&self) -> bool {
+        self.failed_at.is_some()
+    }
 }
 
 struct SrvBook {
     shared: Arc<ApiServerShared>,
     assign_tx: SimSender<Assignment>,
     busy: Option<BusyInfo>,
+    /// Declared dead by the lease check; excluded from placement forever.
+    failed: bool,
+    /// Last liveness signal (assignment or heartbeat).
+    last_heartbeat: SimTime,
 }
 
 struct BusyInfo {
-    #[allow(dead_code)]
     invocation: u64,
     mem: u64,
 }
@@ -127,6 +155,8 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             shared,
             assign_tx,
             busy: None,
+            failed: false,
+            last_heartbeat: SimTime::ZERO,
         })
         .collect();
     // Static per-GPU overhead: each homed server holds its 755 MB idle
@@ -147,17 +177,33 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     let mut last_migration_request = SimTime::ZERO;
     let migration_cooldown = Dur(a.cfg.monitor_period.as_nanos() * 15);
 
+    let mut next_tick = p.now() + a.cfg.monitor_period;
+
     loop {
-        // Periodic ticks exist only to drive the migration policy; they are
-        // armed only while work is in flight. An idle monitor blocks
-        // indefinitely, which lets the simulation's event queue drain and
-        // `Sim::run` terminate naturally.
+        // Drop requests whose senders gave up (queue timeout) before they
+        // can occupy a server.
+        queue.retain(|r| !r.cancelled.load(Ordering::Relaxed));
+        // Periodic ticks drive the migration policy and the lease check;
+        // they are armed only while work is in flight. An idle monitor
+        // blocks indefinitely, which lets the simulation's event queue
+        // drain and `Sim::run` terminate naturally. The deadline is
+        // absolute: heartbeat traffic must not indefinitely re-arm the
+        // timeout and starve the tick.
         let work_in_flight = servers.iter().any(|s| s.busy.is_some()) || !queue.is_empty();
-        let msg = if a.cfg.migration && work_in_flight {
-            rx.recv_timeout(p, a.cfg.monitor_period)
+        let msg = if work_in_flight {
+            let now = p.now();
+            let wait = if next_tick > now {
+                next_tick.since(now)
+            } else {
+                Dur::ZERO
+            };
+            rx.recv_timeout(p, wait)
         } else {
             match rx.recv(p) {
-                Some(m) => Ok(m),
+                Some(m) => {
+                    next_tick = p.now() + a.cfg.monitor_period;
+                    Ok(m)
+                }
                 None => Err(RecvError::Shutdown),
             }
         };
@@ -171,8 +217,26 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
                     s.busy = None;
                 }
                 if let Some(rec) = a.records.lock().get_mut(&invocation) {
-                    rec.done_at = Some(p.now());
+                    // A lease may already have failed this invocation over;
+                    // the late completion loses.
+                    if rec.failed_at.is_none() {
+                        rec.done_at = Some(p.now());
+                    }
                 }
+                drain_queue(p, &a, &mut servers, &overhead, &mut queue);
+            }
+            Ok(MonitorMsg::Heartbeat { server }) => {
+                if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
+                    s.last_heartbeat = p.now();
+                }
+            }
+            Ok(MonitorMsg::FunctionFailed { server, invocation }) => {
+                // The server itself aborted (guest vanished); it stays in
+                // the placement pool — only the invocation failed.
+                if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
+                    s.busy = None;
+                }
+                mark_failed(p.now(), &a, invocation);
                 drain_queue(p, &a, &mut servers, &overhead, &mut queue);
             }
             Ok(MonitorMsg::Migrated { server, from, to }) => {
@@ -182,10 +246,16 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
                 }
             }
             Err(RecvError::Timeout) => {
+                next_tick = p.now() + a.cfg.monitor_period;
+                if check_leases(p, &a, &mut servers) {
+                    drain_queue(p, &a, &mut servers, &overhead, &mut queue);
+                }
                 let any_pending = servers.iter().any(|s| s.shared.migration_pending());
                 let cooled = p.now().since(last_migration_request) >= migration_cooldown
                     || last_migration_request == SimTime::ZERO;
-                if a.cfg.migration && !any_pending && cooled
+                if a.cfg.migration
+                    && !any_pending
+                    && cooled
                     && migration_tick(p, &a, &servers, &overhead)
                 {
                     last_migration_request = p.now();
@@ -194,6 +264,40 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             Err(RecvError::Shutdown) => return,
         }
     }
+}
+
+/// Fail `invocation` over (first failure wins; completed invocations are
+/// left alone).
+fn mark_failed(at: SimTime, a: &MonCtx, invocation: u64) {
+    if let Some(rec) = a.records.lock().get_mut(&invocation) {
+        if rec.done_at.is_none() && rec.failed_at.is_none() {
+            rec.failed_at = Some(at);
+        }
+    }
+}
+
+/// Declare busy servers dead when their lease expires: no heartbeat for
+/// longer than `lease_timeout` means the server was killed (or is
+/// unreachable, which is indistinguishable from the monitor's seat).
+/// Releases the memory commitment and fails the invocation over. Returns
+/// true if any server was declared dead (freed capacity may unblock the
+/// queue — not for the failed server, which is excluded from placement,
+/// but its GPU's committed memory is released for servers homed there).
+fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook]) -> bool {
+    let now = p.now();
+    let mut any = false;
+    for s in servers.iter_mut() {
+        if s.failed || s.busy.is_none() {
+            continue;
+        }
+        if now.since(s.last_heartbeat) > a.cfg.lease_timeout {
+            s.failed = true;
+            let b = s.busy.take().expect("checked busy");
+            mark_failed(now, a, b.invocation);
+            any = true;
+        }
+    }
+    any
 }
 
 /// Declared-memory availability of a GPU, as the monitor sees it.
@@ -246,12 +350,18 @@ fn drain_queue(
             return; // head-of-line blocks (the paper's FCFS policy)
         };
         let req = queue.remove(pos).expect("index in bounds");
-        let (client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
+        if req.cancelled.load(Ordering::Relaxed) {
+            continue; // requester gave up while queued
+        }
+        let (mut client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
+        client.set_timeout(a.cfg.rpc_timeout);
         let s = &mut servers[srv_idx];
         s.busy = Some(BusyInfo {
             invocation: req.invocation,
             mem: req.mem,
         });
+        // An assignment counts as liveness: the lease clock starts now.
+        s.last_heartbeat = p.now();
         {
             let mut recs = a.records.lock();
             if let Some(rec) = recs.get_mut(&req.invocation) {
@@ -282,7 +392,7 @@ fn pick_server(
 ) -> Option<usize> {
     let mut best: Option<(usize, i64)> = None;
     for (i, s) in servers.iter().enumerate() {
-        if s.busy.is_some() {
+        if s.busy.is_some() || s.failed {
             continue;
         }
         let gpu = s.shared.home_gpu;
@@ -327,8 +437,8 @@ fn migration_tick(
     let Some(idle_gpu) = (0..num_gpus).find(|&g| busy_count[g] == 0) else {
         return false;
     };
-    for g in 0..num_gpus {
-        if busy_count[g] < 2 {
+    for (g, &count) in busy_count.iter().enumerate() {
+        if count < 2 {
             continue;
         }
         let busy = a.gpus[g].busy_between(since, now).as_secs_f64();

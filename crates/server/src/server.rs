@@ -12,10 +12,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use std::sync::atomic::AtomicBool;
+
 use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
-use dgsf_remoting::{NetLink, RpcClient};
-use dgsf_sim::{Dur, ProcCtx, SimHandle, SimSender, SimTime};
+use dgsf_remoting::{FaultStats, LinkFaults, NetLink, RpcClient};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimSender, SimTime};
 use parking_lot::Mutex;
 
 use crate::api_server::{
@@ -23,6 +25,31 @@ use crate::api_server::{
 };
 use crate::config::GpuServerConfig;
 use crate::monitor::{run_monitor, FnRequest, InvocationRecord, MonitorArgs, MonitorMsg};
+
+/// Why [`GpuServer::try_request_gpu`] could not hand out a virtual GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The configured queue timeout elapsed before any API server freed up.
+    Timeout {
+        /// How long the request waited in the monitor's queue.
+        waited: Dur,
+    },
+    /// The simulation is shutting down; no more assignments will happen.
+    Shutdown,
+}
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcquireError::Timeout { waited } => {
+                write!(f, "gave up queueing for a GPU after {waited:?}")
+            }
+            AcquireError::Shutdown => write!(f, "GPU server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
 
 /// A provisioned, running GPU server.
 pub struct GpuServer {
@@ -40,6 +67,7 @@ pub struct GpuServer {
     migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     next_invocation: AtomicU64,
     provisioned_at: SimTime,
+    faults: Option<Arc<LinkFaults>>,
 }
 
 impl GpuServer {
@@ -48,11 +76,23 @@ impl GpuServer {
     /// sibling processes and are ready immediately (warm pool — the paper
     /// always measures warm starts, §VI).
     pub fn provision(p: &ProcCtx, h: &SimHandle, cfg: GpuServerConfig) -> Arc<GpuServer> {
+        let mut cfg = cfg;
+        // Chaos implies hardening: a faulted run must terminate even when
+        // requests or replies vanish, so installing a fault plan fills in
+        // defaults for every timeout the user left open.
+        if cfg.faults.is_some() {
+            cfg.rpc_timeout.get_or_insert(Dur::from_secs(5));
+            cfg.idle_timeout.get_or_insert(Dur::from_secs(10));
+            cfg.queue_timeout.get_or_insert(Dur::from_secs(60));
+        }
         let costs = Arc::new(cfg.costs.clone());
-        let gpus: Vec<Arc<Gpu>> = (0..cfg.num_gpus)
-            .map(|i| Gpu::v100(h, GpuId(i)))
-            .collect();
-        let link = NetLink::new(h, cfg.net.clone());
+        let gpus: Vec<Arc<Gpu>> = (0..cfg.num_gpus).map(|i| Gpu::v100(h, GpuId(i))).collect();
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|plan| plan.has_link_faults())
+            .map(LinkFaults::new);
+        let link = NetLink::with_faults(h, cfg.net.clone(), faults.clone());
         let (monitor_tx, monitor_rx) = h.channel::<MonitorMsg>();
         let records = Arc::new(Mutex::new(HashMap::new()));
         let migration_log = Arc::new(Mutex::new(Vec::new()));
@@ -81,8 +121,12 @@ impl GpuServer {
                 assign_rx,
                 monitor_tx: monitor_tx.clone(),
                 migration_log: Arc::clone(&migration_log),
+                heartbeat_period: cfg.heartbeat_period,
+                idle_timeout: cfg.idle_timeout,
             };
-            h.spawn(&format!("api-server-{id}"), move |pp| run_api_server(pp, args));
+            h.spawn(&format!("api-server-{id}"), move |pp| {
+                run_api_server(pp, args)
+            });
             monitor_servers.push((Arc::clone(&shared), assign_tx));
             servers.push(shared);
         }
@@ -98,6 +142,16 @@ impl GpuServer {
         };
         h.spawn("monitor", move |pp| run_monitor(pp, margs));
 
+        // Schedule the fault plan's API-server kills on the virtual clock.
+        if let Some(plan) = &cfg.faults {
+            for &(sid, at) in plan.kills() {
+                if let Some(shared) = servers.get(sid as usize) {
+                    let shared = Arc::clone(shared);
+                    h.spawn_at(&format!("fault-kill-{sid}"), at, move |_pp| shared.kill());
+                }
+            }
+        }
+
         Arc::new(GpuServer {
             gpus,
             link,
@@ -110,6 +164,7 @@ impl GpuServer {
             migration_log,
             next_invocation: AtomicU64::new(1),
             provisioned_at: p.now(),
+            faults,
         })
     }
 
@@ -121,6 +176,8 @@ impl GpuServer {
     /// Request a virtual GPU for a function: blocks (in virtual time,
     /// including FCFS queueing) until an API server is assigned, then
     /// returns the connected guest-side RPC client and the invocation id.
+    /// Infallible convenience wrapper for fault-free runs; chaos-aware
+    /// callers use [`try_request_gpu`](Self::try_request_gpu).
     pub fn request_gpu(
         &self,
         p: &ProcCtx,
@@ -128,6 +185,22 @@ impl GpuServer {
         mem: u64,
         registry: Arc<ModuleRegistry>,
     ) -> (RpcClient, u64) {
+        self.try_request_gpu(p, name, mem, registry, 1)
+            .expect("monitor alive for the run's duration")
+    }
+
+    /// Fallible GPU request: gives up after the configured queue timeout
+    /// (if any), marking the invocation failed so the retry layer can move
+    /// on. `attempt` is recorded on the invocation (1-based) so chaos runs
+    /// can reconstruct the retry history from the records alone.
+    pub fn try_request_gpu(
+        &self,
+        p: &ProcCtx,
+        name: &str,
+        mem: u64,
+        registry: Arc<ModuleRegistry>,
+        attempt: u32,
+    ) -> Result<(RpcClient, u64), AcquireError> {
         let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         let now = p.now();
         self.records.lock().insert(
@@ -139,10 +212,13 @@ impl GpuServer {
                 requested_at: now,
                 assigned_at: None,
                 done_at: None,
+                failed_at: None,
+                attempts: attempt,
                 server: None,
                 gpu: None,
             },
         );
+        let cancelled = Arc::new(AtomicBool::new(false));
         let (reply_tx, reply_rx) = self.handle.channel::<RpcClient>();
         self.monitor_tx.send(
             p,
@@ -151,12 +227,40 @@ impl GpuServer {
                 registry,
                 reply: reply_tx,
                 invocation,
+                cancelled: Arc::clone(&cancelled),
             }),
         );
-        let client = reply_rx
-            .recv(p)
-            .expect("monitor alive for the run's duration");
-        (client, invocation)
+        let got = match self.cfg.queue_timeout {
+            Some(t) => reply_rx.recv_timeout(p, t),
+            None => reply_rx.recv(p).ok_or(RecvError::Shutdown),
+        };
+        match got {
+            Ok(client) => Ok((client, invocation)),
+            Err(RecvError::Timeout) => {
+                cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+                self.mark_invocation_failed(p.now(), invocation);
+                Err(AcquireError::Timeout {
+                    waited: p.now().since(now),
+                })
+            }
+            Err(RecvError::Shutdown) => Err(AcquireError::Shutdown),
+        }
+    }
+
+    /// Record an invocation as failed (first failure wins; completed
+    /// invocations are untouched). Called by the serverless layer when a
+    /// guest-side RPC times out, and internally on queue timeout.
+    pub fn mark_invocation_failed(&self, at: SimTime, invocation: u64) {
+        if let Some(rec) = self.records.lock().get_mut(&invocation) {
+            if rec.done_at.is_none() && rec.failed_at.is_none() {
+                rec.failed_at = Some(at);
+            }
+        }
+    }
+
+    /// Fault counters of the link's chaos layer, if one is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// Force an API server to migrate to `target` at its next API-call
@@ -178,7 +282,7 @@ impl GpuServer {
         self.records
             .lock()
             .values()
-            .filter(|r| r.done_at.is_none())
+            .filter(|r| r.done_at.is_none() && r.failed_at.is_none())
             .count()
     }
 
@@ -187,7 +291,7 @@ impl GpuServer {
         self.records
             .lock()
             .values()
-            .filter(|r| r.assigned_at.is_none() && r.done_at.is_none())
+            .filter(|r| r.assigned_at.is_none() && r.done_at.is_none() && r.failed_at.is_none())
             .count()
     }
 

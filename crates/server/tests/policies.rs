@@ -99,13 +99,12 @@ fn memory_admission_blocks_oversized_cotenant() {
 #[test]
 fn small_functions_fill_in_around_large_ones() {
     // 13 GB + 1 GB fit together (16 GB − 2×0.755 GB footprints ≈ 14.9 GB).
-    let gpus = placements(
-        PlacementPolicy::BestFit,
-        vec![13 * GB, 1 * GB, 13 * GB],
-        3.0,
-    );
+    let gpus = placements(PlacementPolicy::BestFit, vec![13 * GB, GB, 13 * GB], 3.0);
     assert_eq!(gpus.len(), 3);
-    assert_eq!(gpus[0], gpus[1], "the 1 GB function packs next to the 13 GB one");
+    assert_eq!(
+        gpus[0], gpus[1],
+        "the 1 GB function packs next to the 13 GB one"
+    );
     assert_ne!(gpus[0], gpus[2], "the second 13 GB function goes elsewhere");
 }
 
@@ -118,7 +117,7 @@ fn utilization_accounting_sees_the_work() {
     sim.spawn("root", move |p| {
         let srv = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(1));
         let t0 = p.now();
-        run_one(p, &srv, 1 * GB, 4.0);
+        run_one(p, &srv, GB, 4.0);
         let t1 = p.now();
         *u.lock() = srv.mean_utilization(t0, t1);
     });

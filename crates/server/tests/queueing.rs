@@ -1,0 +1,226 @@
+//! Monitor queue-discipline tests: strict FCFS vs SmallestFirst ordering,
+//! tie-breaking, and queue-timeout abandonment.
+//!
+//! These run through the public `GpuServer` surface (a real provisioned
+//! server, real API servers) rather than poking the monitor directly, so
+//! they pin the externally observable serving order.
+
+use std::sync::Arc;
+
+use dgsf_cuda::{CudaApi, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf_gpu::GB;
+use dgsf_remoting::{OptConfig, RemoteCuda};
+use dgsf_server::{AcquireError, GpuServer, GpuServerConfig, QueuePolicy};
+use dgsf_sim::{Dur, ProcCtx, Sim, SimTime};
+use parking_lot::Mutex;
+
+fn registry() -> Arc<ModuleRegistry> {
+    Arc::new(ModuleRegistry::new().with(KernelDef::timed("work")))
+}
+
+/// Acquire a GPU under `name`, hold it for `secs` of kernel time, release.
+fn hold_gpu(p: &ProcCtx, srv: &GpuServer, name: &str, mem: u64, secs: f64) {
+    let (client, _inv) = srv.request_gpu(p, name, mem, registry());
+    let mut api = RemoteCuda::new(client, OptConfig::full());
+    api.runtime_init(p).unwrap();
+    api.register_module(p, registry()).unwrap();
+    api.launch_kernel(
+        p,
+        "work",
+        LaunchConfig::linear(1 << 20, 256),
+        KernelArgs::timed(secs, 0),
+    )
+    .unwrap();
+    api.device_synchronize(p).unwrap();
+    api.finish(p).unwrap();
+}
+
+/// Run the canonical contention scenario — one holder plus three queued
+/// functions of decreasing memory footprint — and return the names in the
+/// order the monitor assigned them a GPU.
+fn serve_order(policy: QueuePolicy) -> Vec<String> {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_queue_policy(policy),
+        );
+        // fn-hold occupies the only API server; big/mid/small arrive while
+        // it runs and must queue.
+        let arrivals: [(&str, u64, f64); 4] = [
+            ("hold", GB, 1.0),
+            ("big", 8 * GB, 0.2),
+            ("mid", 4 * GB, 0.2),
+            ("small", 2 * GB, 0.2),
+        ];
+        for (i, (name, mem, secs)) in arrivals.into_iter().enumerate() {
+            let srv = Arc::clone(&srv);
+            h2.spawn_at(
+                name,
+                SimTime::ZERO + Dur::from_millis(100 * i as u64),
+                move |p| hold_gpu(p, &srv, name, mem, secs),
+            );
+        }
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(10));
+            let mut recs = srv.records();
+            recs.sort_by_key(|r| r.assigned_at.expect("all four got served"));
+            *o3.lock() = recs.into_iter().map(|r| r.name).collect();
+        });
+    });
+    sim.run();
+    let v = out.lock().clone();
+    v
+}
+
+#[test]
+fn fcfs_serves_in_strict_arrival_order() {
+    assert_eq!(
+        serve_order(QueuePolicy::Fcfs),
+        ["hold", "big", "mid", "small"]
+    );
+}
+
+#[test]
+fn smallest_first_serves_by_footprint() {
+    assert_eq!(
+        serve_order(QueuePolicy::SmallestFirst),
+        ["hold", "small", "mid", "big"]
+    );
+}
+
+#[test]
+fn smallest_first_breaks_ties_by_arrival() {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_queue_policy(QueuePolicy::SmallestFirst),
+        );
+        for (i, name) in ["hold", "first", "second", "third"].into_iter().enumerate() {
+            let srv = Arc::clone(&srv);
+            let secs = if i == 0 { 1.0 } else { 0.2 };
+            h2.spawn_at(
+                name,
+                SimTime::ZERO + Dur::from_millis(100 * i as u64),
+                move |p| hold_gpu(p, &srv, name, GB, secs),
+            );
+        }
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(10));
+            let mut recs = srv.records();
+            recs.sort_by_key(|r| r.assigned_at.expect("all got served"));
+            *o3.lock() = recs.into_iter().map(|r| r.name).collect();
+        });
+    });
+    sim.run();
+    assert_eq!(*out.lock(), ["hold", "first", "second", "third"]);
+}
+
+#[test]
+fn queue_timeout_abandons_the_request_and_records_the_failure() {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(None));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_queue_timeout(Dur::from_secs(1)),
+        );
+        let s2 = Arc::clone(&srv);
+        h2.spawn("hold", move |p| hold_gpu(p, &s2, "hold", GB, 3.0));
+        let s3 = Arc::clone(&srv);
+        let o3 = Arc::clone(&o2);
+        h2.spawn_at("starved", SimTime::ZERO + Dur::from_millis(100), move |p| {
+            let requested = p.now();
+            let err = match s3.try_request_gpu(p, "starved", GB, registry(), 1) {
+                Err(e) => e,
+                Ok(_) => panic!("the GPU is held for 3 s, past the 1 s queue timeout"),
+            };
+            let waited = p.now().since(requested);
+            let rec = s3
+                .records()
+                .into_iter()
+                .find(|r| r.name == "starved")
+                .expect("the abandoned request still left a record");
+            *o3.lock() = Some((err, waited, rec));
+        });
+    });
+    sim.run();
+    let (err, waited, rec) = out.lock().take().expect("starved ran");
+    assert!(matches!(err, AcquireError::Timeout { .. }));
+    assert_eq!(waited, Dur::from_secs(1), "gives up exactly at the timeout");
+    assert!(
+        rec.failed_at.is_some(),
+        "abandonment is recorded as a failure"
+    );
+    assert!(rec.assigned_at.is_none() && rec.done_at.is_none());
+}
+
+#[test]
+fn abandoned_request_never_occupies_a_server() {
+    // After "starved" gives up, the GPU freed by "hold" must go to a later
+    // arrival, not to the cancelled request.
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_queue_timeout(Dur::from_secs(1)),
+        );
+        let s2 = Arc::clone(&srv);
+        h2.spawn("hold", move |p| hold_gpu(p, &s2, "hold", GB, 2.0));
+        let s3 = Arc::clone(&srv);
+        h2.spawn_at("starved", SimTime::ZERO + Dur::from_millis(100), move |p| {
+            let _ = s3.try_request_gpu(p, "starved", GB, registry(), 1);
+        });
+        // Arrives just before the GPU frees (~2.3 s), well inside its own
+        // 1 s queue-timeout budget.
+        let s4 = Arc::clone(&srv);
+        h2.spawn_at("late", SimTime::ZERO + Dur::from_secs(2), move |p| {
+            hold_gpu(p, &s4, "late", GB, 0.2);
+        });
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(10));
+            *o3.lock() = srv.records();
+        });
+    });
+    sim.run();
+    let recs = out.lock().clone();
+    let by_name = |n: &str| recs.iter().find(|r| r.name == n).unwrap().clone();
+    assert!(by_name("hold").done_at.is_some());
+    assert!(
+        by_name("late").done_at.is_some(),
+        "the freed GPU serves the live request"
+    );
+    let starved = by_name("starved");
+    assert!(starved.failed_at.is_some() && starved.assigned_at.is_none());
+}

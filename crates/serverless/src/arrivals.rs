@@ -45,7 +45,7 @@ impl Schedule {
         pattern: ArrivalPattern,
     ) -> Schedule {
         let mut order: Vec<usize> = (0..num_workloads)
-            .flat_map(|w| std::iter::repeat(w).take(copies))
+            .flat_map(|w| std::iter::repeat_n(w, copies))
             .collect();
         let mut r = StdRng::seed_from_u64(seed);
         match pattern {
@@ -117,9 +117,30 @@ mod tests {
 
     #[test]
     fn schedule_is_seed_deterministic() {
-        let a = Schedule::mixed(7, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
-        let b = Schedule::mixed(7, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
-        let c = Schedule::mixed(8, 6, 10, ArrivalPattern::Exponential { mean: Dur::from_secs(2) });
+        let a = Schedule::mixed(
+            7,
+            6,
+            10,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(2),
+            },
+        );
+        let b = Schedule::mixed(
+            7,
+            6,
+            10,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(2),
+            },
+        );
+        let c = Schedule::mixed(
+            8,
+            6,
+            10,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(2),
+            },
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -130,7 +151,9 @@ mod tests {
             3,
             6,
             200,
-            ArrivalPattern::Exponential { mean: Dur::from_secs(2) },
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(2),
+            },
         );
         let total = s.last_launch().as_secs_f64();
         let mean = total / (s.len() - 1) as f64;

@@ -1,4 +1,4 @@
-//! The serverless backend's GPU-server selection (§IV).
+//! The serverless backend's GPU-server selection (§IV) and retry policy.
 //!
 //! "Our prototype uses a fixed policy to choose, given a function requesting
 //! a GPU, which GPU server to use. Different policies can be used in a
@@ -7,15 +7,22 @@
 //! implements that policy space over multiple provisioned [`GpuServer`]s;
 //! scaling out is exactly as simple as the paper describes — a new server
 //! registers itself and becomes a choice.
+//!
+//! The backend is also where failure recovery lives: a transient
+//! (transport-class) attempt failure triggers a bounded retry with
+//! exponential backoff, preferring a *different* GPU server for the next
+//! attempt. Every invocation therefore terminates: it either completes or
+//! comes back as a [`FunctionResult`] with `failure` set after the attempt
+//! budget is spent.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
 use dgsf_server::GpuServer;
-use dgsf_sim::ProcCtx;
+use dgsf_sim::{Dur, ProcCtx};
 
-use crate::invoke::{invoke_dgsf, FunctionResult};
+use crate::invoke::{invoke_dgsf_attempt, FunctionResult, InvokeFailure};
 use crate::store::ObjectStore;
 use crate::workload::Workload;
 
@@ -31,23 +38,66 @@ pub enum ServerPolicy {
     MostLoaded,
 }
 
+/// Bounded retry-with-backoff for transient invocation failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempt budget per function (first try included). 1 disables
+    /// retries.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub initial_backoff: Dur,
+    /// Growth factor for each subsequent backoff.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Dur::from_millis(50),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after failed attempt number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Dur {
+        let factor = self
+            .backoff_multiplier
+            .powi(attempt.saturating_sub(1) as i32);
+        Dur::from_secs_f64(self.initial_backoff.as_secs_f64() * factor)
+    }
+}
+
 /// The central serverless backend: a registry of GPU servers plus a
 /// selection policy.
 pub struct Backend {
     servers: Vec<Arc<GpuServer>>,
     policy: ServerPolicy,
+    retry: RetryPolicy,
     rr: AtomicUsize,
 }
 
 impl Backend {
     /// Build a backend over already-provisioned servers.
     pub fn new(servers: Vec<Arc<GpuServer>>, policy: ServerPolicy) -> Backend {
-        assert!(!servers.is_empty(), "a backend needs at least one GPU server");
+        assert!(
+            !servers.is_empty(),
+            "a backend needs at least one GPU server"
+        );
         Backend {
             servers,
             policy,
+            retry: RetryPolicy::default(),
             rr: AtomicUsize::new(0),
         }
+    }
+
+    /// Override the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Backend {
+        self.retry = retry;
+        self
     }
 
     /// A GPU server announcing readiness (§IV: "it annouces it is ready
@@ -63,26 +113,38 @@ impl Backend {
 
     /// Choose a server for the next function under the configured policy.
     pub fn choose(&self) -> &Arc<GpuServer> {
+        &self.servers[self.choose_idx(None)]
+    }
+
+    /// Choose a server index, steering away from `avoid` (the server a
+    /// previous attempt just failed on) when there is an alternative.
+    fn choose_idx(&self, avoid: Option<usize>) -> usize {
+        let eligible: Vec<usize> = (0..self.servers.len())
+            .filter(|&i| Some(i) != avoid || self.servers.len() == 1)
+            .collect();
         match self.policy {
             ServerPolicy::RoundRobin => {
-                let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.servers.len();
-                &self.servers[i]
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % eligible.len();
+                eligible[i]
             }
-            ServerPolicy::LeastLoaded => self
-                .servers
-                .iter()
-                .min_by_key(|s| s.active_functions())
+            ServerPolicy::LeastLoaded => eligible
+                .into_iter()
+                .min_by_key(|&i| self.servers[i].active_functions())
                 .expect("non-empty"),
-            ServerPolicy::MostLoaded => self
-                .servers
-                .iter()
-                .max_by_key(|s| s.active_functions())
+            ServerPolicy::MostLoaded => eligible
+                .into_iter()
+                .max_by_key(|&i| self.servers[i].active_functions())
                 .expect("non-empty"),
         }
     }
 
-    /// Invoke a workload through the backend: choose a server, then run the
-    /// full DGSF path against it.
+    /// Invoke a workload through the backend: choose a server, run the full
+    /// DGSF path against it, and on a transient failure retry (with
+    /// backoff, preferring a different server) up to the attempt budget.
+    ///
+    /// Always returns: check [`FunctionResult::succeeded`] for the outcome.
+    /// `launched_at`/`finished_at` span the whole invocation including
+    /// retries and backoff, so `e2e()` reflects what the client observed.
     pub fn invoke(
         &self,
         p: &ProcCtx,
@@ -90,15 +152,46 @@ impl Backend {
         w: &dyn Workload,
         opts: OptConfig,
     ) -> FunctionResult {
-        let server = self.choose();
-        invoke_dgsf(p, server, store, w, opts)
+        let launched_at = p.now();
+        let mut avoid = None;
+        let mut attempt = 1;
+        let last: InvokeFailure = loop {
+            let idx = self.choose_idx(avoid);
+            match invoke_dgsf_attempt(p, &self.servers[idx], store, w, opts, attempt) {
+                Ok(mut r) => {
+                    r.launched_at = launched_at;
+                    r.attempts = attempt;
+                    return r;
+                }
+                Err(f) => {
+                    if f.error.is_transient() && attempt < self.retry.max_attempts {
+                        avoid = Some(idx);
+                        p.sleep(self.retry.backoff(attempt));
+                        attempt += 1;
+                    } else {
+                        break f;
+                    }
+                }
+            }
+        };
+        FunctionResult {
+            name: w.name().to_string(),
+            mode: "dgsf".into(),
+            launched_at,
+            finished_at: p.now(),
+            phases: last.phases,
+            api_stats: dgsf_cuda::ApiStats::default(),
+            invocation: last.invocation,
+            attempts: attempt,
+            failure: Some(last.error.to_string()),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgsf_cuda::{KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+    use dgsf_cuda::{CudaResult, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
     use dgsf_gpu::GB;
     use dgsf_remoting::NetProfile;
     use dgsf_server::GpuServerConfig;
@@ -121,12 +214,22 @@ mod tests {
         fn download_bytes(&self) -> u64 {
             0
         }
-        fn run(&self, p: &ProcCtx, api: &mut dyn dgsf_cuda::CudaApi, rec: &mut PhaseRecorder) {
+        fn run(
+            &self,
+            p: &ProcCtx,
+            api: &mut dyn dgsf_cuda::CudaApi,
+            rec: &mut PhaseRecorder,
+        ) -> CudaResult<()> {
             rec.enter(p, crate::phases::phase::PROCESSING);
-            api.launch_kernel(p, "k", LaunchConfig::linear(1, 32), KernelArgs::timed(1.0, 0))
-                .expect("launch");
-            api.device_synchronize(p).expect("sync");
+            api.launch_kernel(
+                p,
+                "k",
+                LaunchConfig::linear(1, 32),
+                KernelArgs::timed(1.0, 0),
+            )?;
+            api.device_synchronize(p)?;
             rec.close(p);
+            Ok(())
         }
         fn cpu_secs(&self) -> f64 {
             30.0
@@ -153,6 +256,14 @@ mod tests {
             assert_eq!(a, d);
         });
         sim.run();
+    }
+
+    #[test]
+    fn retry_backoff_grows_geometrically() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff(1), Dur::from_millis(50));
+        assert_eq!(r.backoff(2), Dur::from_millis(100));
+        assert_eq!(r.backoff(3), Dur::from_millis(200));
     }
 
     #[test]

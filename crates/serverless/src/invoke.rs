@@ -1,9 +1,16 @@
 //! Invocation paths: the same workload trace executed natively, over DGSF,
 //! or on CPUs — the three columns of Table II.
+//!
+//! The DGSF path is fallible: over a faulted link any remoted call can time
+//! out or come back with a transport error, and GPU acquisition itself can
+//! time out in the monitor's queue. [`invoke_dgsf_attempt`] surfaces those
+//! as [`InvokeFailure`] so [`crate::Backend::invoke`] can retry the whole
+//! function (possibly on another GPU server); the native and CPU baselines
+//! run on dedicated fault-free hardware and stay infallible.
 
 use std::sync::Arc;
 
-use dgsf_cuda::{CostTable, CudaApi, NativeCuda};
+use dgsf_cuda::{CostTable, CudaApi, CudaError, CudaResult, NativeCuda};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{OptConfig, RemoteCuda};
 use dgsf_server::GpuServer;
@@ -28,26 +35,89 @@ pub struct FunctionResult {
     pub phases: PhaseRecorder,
     /// Guest-side API statistics (empty for CPU runs).
     pub api_stats: dgsf_cuda::ApiStats,
-    /// GPU-server invocation id, when one was involved.
+    /// GPU-server invocation id, when one was involved (the last attempt's,
+    /// for retried functions).
     pub invocation: Option<u64>,
+    /// How many platform attempts the function took (1 on the fault-free
+    /// path).
+    pub attempts: u32,
+    /// Why the function ultimately failed, if it did — `None` on success.
+    pub failure: Option<String>,
 }
 
 impl FunctionResult {
-    /// End-to-end time of the function (from warm start to completion).
+    /// End-to-end time of the function (from warm start to completion,
+    /// spanning every retry attempt).
     pub fn e2e(&self) -> Dur {
         self.finished_at.since(self.launched_at)
+    }
+
+    /// True when the function completed (possibly after retries).
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// One failed DGSF attempt, with enough context to retry or report.
+#[derive(Debug, Clone)]
+pub struct InvokeFailure {
+    /// What went wrong.
+    pub error: CudaError,
+    /// The GPU-server invocation involved, if acquisition got that far.
+    pub invocation: Option<u64>,
+    /// Phases recorded up to the failure point.
+    pub phases: PhaseRecorder,
+    /// When the attempt started.
+    pub launched_at: SimTime,
+    /// When it failed.
+    pub failed_at: SimTime,
+}
+
+impl std::fmt::Display for InvokeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invocation attempt failed: {}", self.error)
     }
 }
 
 /// Run `w` over DGSF: download, request a virtual GPU (FCFS queueing
 /// included), then remote every CUDA call to the assigned API server.
+/// Single attempt — retry policy lives in [`crate::Backend::invoke`].
 pub fn invoke_dgsf(
     p: &ProcCtx,
     server: &GpuServer,
     store: &ObjectStore,
     w: &dyn Workload,
     opts: OptConfig,
-) -> FunctionResult {
+) -> Result<FunctionResult, InvokeFailure> {
+    invoke_dgsf_attempt(p, server, store, w, opts, 1)
+}
+
+/// The INIT → run → teardown sequence against an acquired remote GPU.
+fn drive(
+    p: &ProcCtx,
+    api: &mut RemoteCuda,
+    w: &dyn Workload,
+    rec: &mut PhaseRecorder,
+) -> CudaResult<()> {
+    rec.enter(p, phase::INIT);
+    api.runtime_init(p)?;
+    api.register_module(p, w.registry())?;
+    rec.close(p);
+    w.run(p, api, rec)?;
+    api.finish(p)
+}
+
+/// One DGSF attempt, labelled `attempt` (1-based) in the server's
+/// invocation records. On failure the invocation (if one was acquired) is
+/// marked failed on the server so capacity accounting stays truthful.
+pub fn invoke_dgsf_attempt(
+    p: &ProcCtx,
+    server: &GpuServer,
+    store: &ObjectStore,
+    w: &dyn Workload,
+    opts: OptConfig,
+    attempt: u32,
+) -> Result<FunctionResult, InvokeFailure> {
     let launched_at = p.now();
     let mut rec = PhaseRecorder::new();
 
@@ -55,26 +125,45 @@ pub fn invoke_dgsf(
     store.download(p, w.download_bytes());
 
     rec.enter(p, phase::QUEUE);
-    let (client, invocation) = server.request_gpu(p, w.name(), w.required_gpu_mem(), w.registry());
+    let acquired = server.try_request_gpu(p, w.name(), w.required_gpu_mem(), w.registry(), attempt);
+    let (client, invocation) = match acquired {
+        Ok(x) => x,
+        Err(e) => {
+            rec.close(p);
+            return Err(InvokeFailure {
+                error: CudaError::Transport(e.to_string()),
+                invocation: None,
+                phases: rec,
+                launched_at,
+                failed_at: p.now(),
+            });
+        }
+    };
     let mut api = RemoteCuda::new(client, opts);
-
-    rec.enter(p, phase::INIT);
-    api.runtime_init(p).expect("init");
-    api.register_module(p, w.registry()).expect("module");
+    let outcome = drive(p, &mut api, w, &mut rec);
     rec.close(p);
-
-    w.run(p, &mut api, &mut rec);
-    api.finish(p).expect("clean teardown");
-    rec.close(p);
-
-    FunctionResult {
-        name: w.name().to_string(),
-        mode: "dgsf".into(),
-        launched_at,
-        finished_at: p.now(),
-        phases: rec,
-        api_stats: api.stats(),
-        invocation: Some(invocation),
+    match outcome {
+        Ok(()) => Ok(FunctionResult {
+            name: w.name().to_string(),
+            mode: "dgsf".into(),
+            launched_at,
+            finished_at: p.now(),
+            phases: rec,
+            api_stats: api.stats(),
+            invocation: Some(invocation),
+            attempts: attempt,
+            failure: None,
+        }),
+        Err(error) => {
+            server.mark_invocation_failed(p.now(), invocation);
+            Err(InvokeFailure {
+                error,
+                invocation: Some(invocation),
+                phases: rec,
+                launched_at,
+                failed_at: p.now(),
+            })
+        }
     }
 }
 
@@ -98,11 +187,14 @@ pub fn invoke_native(
     let mut api = NativeCuda::new(h, gpu, costs);
 
     rec.enter(p, phase::INIT);
-    api.runtime_init(p).expect("init");
-    api.register_module(p, w.registry()).expect("module");
+    api.runtime_init(p)
+        .expect("workload runs on a dedicated local GPU");
+    api.register_module(p, w.registry())
+        .expect("workload runs on a dedicated local GPU");
     rec.close(p);
 
-    w.run(p, &mut api, &mut rec);
+    w.run(p, &mut api, &mut rec)
+        .expect("workload runs on a dedicated local GPU");
     rec.close(p);
 
     FunctionResult {
@@ -113,6 +205,8 @@ pub fn invoke_native(
         phases: rec,
         api_stats: api.stats(),
         invocation: None,
+        attempts: 1,
+        failure: None,
     }
 }
 
@@ -134,5 +228,7 @@ pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> Functio
         phases: rec,
         api_stats: dgsf_cuda::ApiStats::default(),
         invocation: None,
+        attempts: 1,
+        failure: None,
     }
 }

@@ -21,8 +21,10 @@ mod store;
 mod workload;
 
 pub use arrivals::{ArrivalPattern, Schedule};
-pub use backend::{Backend, ServerPolicy};
-pub use invoke::{invoke_cpu, invoke_dgsf, invoke_native, FunctionResult};
+pub use backend::{Backend, RetryPolicy, ServerPolicy};
+pub use invoke::{
+    invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_native, FunctionResult, InvokeFailure,
+};
 pub use phases::{phase, PhaseRecorder};
 pub use store::ObjectStore;
 pub use workload::Workload;

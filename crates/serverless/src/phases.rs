@@ -51,7 +51,7 @@ impl PhaseRecorder {
     /// Add a duration to a named phase directly.
     pub fn add(&mut self, name: &str, d: Dur) {
         if let Some(e) = self.phases.iter_mut().find(|(n, _)| n == name) {
-            e.1 = e.1 + d;
+            e.1 += d;
         } else {
             self.phases.push((name.to_string(), d));
         }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use dgsf_cuda::{CudaApi, ModuleRegistry};
+use dgsf_cuda::{CudaApi, CudaResult, ModuleRegistry};
 use dgsf_sim::ProcCtx;
 
 use crate::phases::PhaseRecorder;
@@ -28,7 +28,11 @@ pub trait Workload: Send + Sync {
     fn download_bytes(&self) -> u64;
 
     /// Execute the function body against `api`, recording phases.
-    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder);
+    ///
+    /// Errors propagate instead of panicking: over a faulted link any call
+    /// can come back [`dgsf_cuda::CudaError::Transport`], and the platform
+    /// (not the workload) decides whether to retry the whole function.
+    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) -> CudaResult<()>;
 
     /// Calibrated CPU execution time (6 threads), for the CPU baseline row.
     fn cpu_secs(&self) -> f64;

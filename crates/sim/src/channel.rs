@@ -59,9 +59,7 @@ pub enum RecvError {
     Shutdown,
 }
 
-pub(crate) fn channel<T: Send + 'static>(
-    shared: &Arc<Shared>,
-) -> (SimSender<T>, SimReceiver<T>) {
+pub(crate) fn channel<T: Send + 'static>(shared: &Arc<Shared>) -> (SimSender<T>, SimReceiver<T>) {
     let _ = shared; // channels key off the caller's ProcCtx for kernel access
     let inner = Arc::new(ChanInner {
         state: Mutex::new(ChanState {
@@ -272,12 +270,7 @@ mod tests {
             let rx = rx.clone();
             let count = count.clone();
             sim.spawn(&format!("worker{i}"), move |ctx| {
-                while let Some(_v) = {
-                    match rx.recv_timeout(ctx, Dur::from_secs(1)) {
-                        Ok(v) => Some(v),
-                        Err(_) => None,
-                    }
-                } {
+                while let Ok(_v) = rx.recv_timeout(ctx, Dur::from_secs(1)) {
                     ctx.sleep(Dur::from_millis(10));
                     *count.lock() += 1;
                 }

@@ -138,7 +138,6 @@ impl SimState {
         rec.parked = true;
         rec.generation
     }
-
 }
 
 pub(crate) struct Shared {
@@ -281,29 +280,25 @@ impl Sim {
             }
             return;
         }
-        loop {
-            match self.yield_rx.recv() {
-                Ok(YieldMsg::Parked(p)) => {
-                    debug_assert_eq!(p, pid, "only the resumed process may yield");
-                    break;
-                }
-                Ok(YieldMsg::Exited { pid: p, panic }) => {
-                    {
-                        let mut st = self.shared.state.lock();
-                        if let Some(rec) = st.procs.get_mut(&p) {
-                            rec.alive = false;
-                            rec.parked = false;
-                        }
-                    }
-                    if let Some(payload) = panic {
-                        if !payload.is::<ShutdownSignal>() {
-                            panic::resume_unwind(payload);
-                        }
-                    }
-                    break;
-                }
-                Err(_) => break, // all senders gone; nothing left to wait for
+        match self.yield_rx.recv() {
+            Ok(YieldMsg::Parked(p)) => {
+                debug_assert_eq!(p, pid, "only the resumed process may yield");
             }
+            Ok(YieldMsg::Exited { pid: p, panic }) => {
+                {
+                    let mut st = self.shared.state.lock();
+                    if let Some(rec) = st.procs.get_mut(&p) {
+                        rec.alive = false;
+                        rec.parked = false;
+                    }
+                }
+                if let Some(payload) = panic {
+                    if !payload.is::<ShutdownSignal>() {
+                        panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Err(_) => {} // all senders gone; nothing left to wait for
         }
     }
 
@@ -575,7 +570,10 @@ mod tests {
         let wall = std::time::Instant::now();
         sim.run();
         assert_eq!(t.lock().as_nanos(), 3600 * 1_000_000_000);
-        assert!(wall.elapsed().as_secs() < 5, "virtual time must not be wall time");
+        assert!(
+            wall.elapsed().as_secs() < 5,
+            "virtual time must not be wall time"
+        );
     }
 
     #[test]
@@ -653,7 +651,7 @@ mod tests {
             let o = out.clone();
             sim.spawn("r", move |ctx| {
                 for _ in 0..8 {
-                    let v: u64 = ctx.with_rng(|r| rand::Rng::gen(r));
+                    let v: u64 = ctx.with_rng(rand::Rng::gen);
                     o.lock().push(v);
                 }
             });

@@ -217,7 +217,8 @@ impl GpsResource {
     /// Block the calling process until `work` units complete under the
     /// processor-sharing discipline.
     pub fn acquire(&self, ctx: &ProcCtx, work: f64) {
-        if !(work > 0.0) {
+        // NaN work is treated like zero work, hence the explicit check.
+        if work.is_nan() || work <= 0.0 {
             return;
         }
         {

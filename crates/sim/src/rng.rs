@@ -38,9 +38,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mean = Dur::from_secs(2);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| exp_gap(&mut rng, mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| exp_gap(&mut rng, mean).as_secs_f64()).sum();
         let observed = total / n as f64;
         assert!(
             (observed - 2.0).abs() < 0.05,

@@ -125,9 +125,13 @@ fn utilization_samples_are_bounded() {
     let r = Arc::new(GpsResource::new(&sim, 1.0));
     for i in 0..3 {
         let r = r.clone();
-        sim.spawn_at(&format!("j{i}"), SimTime(i as u64 * 500_000_000), move |ctx| {
-            r.acquire(ctx, 0.7);
-        });
+        sim.spawn_at(
+            &format!("j{i}"),
+            SimTime(i as u64 * 500_000_000),
+            move |ctx| {
+                r.acquire(ctx, 0.7);
+            },
+        );
     }
     let end = sim.run();
     r.with_timeline(|tl| {
@@ -158,9 +162,12 @@ fn timeline_active_at_and_avg_active() {
         // at t=1.2s both are active
         assert_eq!(tl.active_at(SimTime(1_200_000_000)), 2);
         // before anything started
-        assert_eq!(tl.active_at(SimTime(0)) >= 1, true); // job a starts at t=0
+        assert!(tl.active_at(SimTime(0)) >= 1); // job a starts at t=0
         let avg = tl.avg_active(SimTime::ZERO, SimTime::ZERO + Dur::from_secs(2));
-        assert!(avg > 0.9 && avg < 2.0, "time-weighted mean in (0.9,2): {avg}");
+        assert!(
+            avg > 0.9 && avg < 2.0,
+            "time-weighted mean in (0.9,2): {avg}"
+        );
         assert!(!tl.is_empty());
         assert!(tl.len() >= 2);
     });

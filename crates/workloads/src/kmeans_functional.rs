@@ -132,8 +132,12 @@ impl KMeansProblem {
         let centroids_buf: DevPtr = api.malloc(p, cbytes).expect("centroids");
         api.memcpy_h2d(p, points_buf, HostBuf::from_f32s(&self.points))
             .expect("upload points");
-        api.memcpy_h2d(p, centroids_buf, HostBuf::from_f32s(&self.initial_centroids()))
-            .expect("upload centroids");
+        api.memcpy_h2d(
+            p,
+            centroids_buf,
+            HostBuf::from_f32s(&self.initial_centroids()),
+        )
+        .expect("upload centroids");
         for _ in 0..self.iters {
             api.launch_kernel(
                 p,

@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use dgsf_cuda::{
-    CudaApi, DescriptorKind, DevPtr, HostBuf, KernelArgs, KernelDef, LaunchConfig, LibOp,
-    ModuleRegistry,
+    CudaApi, CudaResult, DescriptorKind, DevPtr, HostBuf, KernelArgs, KernelDef, LaunchConfig,
+    LibOp, ModuleRegistry,
 };
 use dgsf_gpu::MB;
 use dgsf_serverless::{phase, PhaseRecorder, Workload};
@@ -117,32 +117,27 @@ impl Workload for TraceSpec {
         self.cpu_secs
     }
 
-    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) {
+    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) -> CudaResult<()> {
         // ---- model load ----
         rec.enter(p, phase::MODEL_LOAD);
         let mut bufs: Vec<DevPtr> = Vec::with_capacity(self.alloc_split.len());
         for sz in &self.alloc_split {
-            bufs.push(api.malloc(p, *sz).expect("declared memory admits allocs"));
+            bufs.push(api.malloc(p, *sz)?);
         }
         let data_buf = *bufs.first().expect("at least one allocation");
         let (dnn, blas) = if self.uses_dnn {
-            (
-                Some(api.cudnn_create(p).expect("cudnn")),
-                Some(api.cublas_create(p).expect("cublas")),
-            )
+            (Some(api.cudnn_create(p)?), Some(api.cublas_create(p)?))
         } else {
             (None, None)
         };
         if self.load.descriptors > 0 {
-            let d = api
-                .cudnn_create_descriptors(p, DescriptorKind::Tensor, self.load.descriptors)
-                .expect("descriptors");
-            api.cudnn_set_descriptors(p, &d).expect("set");
-            api.cudnn_destroy_descriptors(p, d).expect("destroy");
+            let d =
+                api.cudnn_create_descriptors(p, DescriptorKind::Tensor, self.load.descriptors)?;
+            api.cudnn_set_descriptors(p, &d)?;
+            api.cudnn_destroy_descriptors(p, d)?;
         }
         if self.weights > 0 {
-            api.memcpy_h2d(p, data_buf, HostBuf::Logical(self.weights))
-                .expect("weights fit");
+            api.memcpy_h2d(p, data_buf, HostBuf::Logical(self.weights))?;
         }
         if let Some(dnn) = dnn {
             if self.load.api_calls > 0 || self.load.work > 0.0 {
@@ -155,8 +150,7 @@ impl Workload for TraceSpec {
                         api_calls: self.load.api_calls.max(1),
                         elidable_calls: self.load.elidable,
                     },
-                )
-                .expect("load ops");
+                )?;
             }
         } else if self.load.work > 0.0 {
             api.launch_kernel(
@@ -164,27 +158,23 @@ impl Workload for TraceSpec {
                 "trace_load",
                 LaunchConfig::linear(1 << 20, 256),
                 KernelArgs::timed(self.load.work, self.weights),
-            )
-            .expect("load kernel");
+            )?;
         }
-        api.device_synchronize(p).expect("sync");
+        api.device_synchronize(p)?;
 
         // ---- processing ----
         rec.enter(p, phase::PROCESSING);
-        let host_per_batch =
-            Dur::from_secs_f64(self.host_secs / self.proc.batches.max(1) as f64);
+        let host_per_batch = Dur::from_secs_f64(self.host_secs / self.proc.batches.max(1) as f64);
         for b in 0..self.proc.batches {
             p.sleep(host_per_batch); // CPU-side preprocessing
             if self.proc.input_per_batch > 0 {
-                api.memcpy_h2d(p, data_buf, HostBuf::Logical(self.proc.input_per_batch))
-                    .expect("batch input");
+                api.memcpy_h2d(p, data_buf, HostBuf::Logical(self.proc.input_per_batch))?;
             }
             if self.proc.descriptors > 0 {
-                let d = api
-                    .cudnn_create_descriptors(p, DescriptorKind::Tensor, self.proc.descriptors)
-                    .expect("batch descriptors");
-                api.cudnn_set_descriptors(p, &d).expect("set");
-                api.cudnn_destroy_descriptors(p, d).expect("destroy");
+                let d =
+                    api.cudnn_create_descriptors(p, DescriptorKind::Tensor, self.proc.descriptors)?;
+                api.cudnn_set_descriptors(p, &d)?;
+                api.cudnn_destroy_descriptors(p, d)?;
             }
             if let Some(dnn) = dnn {
                 api.cudnn_op(
@@ -196,8 +186,7 @@ impl Workload for TraceSpec {
                         api_calls: self.proc.api_calls.max(1),
                         elidable_calls: self.proc.elidable,
                     },
-                )
-                .expect("batch op");
+                )?;
             } else {
                 let per_launch = self.proc.work_per_batch / self.proc.launches.max(1) as f64;
                 for _ in 0..self.proc.launches.max(1) {
@@ -206,21 +195,20 @@ impl Workload for TraceSpec {
                         "trace_kernel",
                         LaunchConfig::linear(1 << 20, 256),
                         KernelArgs::timed(per_launch, self.proc.input_per_batch),
-                    )
-                    .expect("kernel");
+                    )?;
                 }
             }
             if self.proc.output_per_batch > 0 && (b + 1) % self.proc.d2h_every.max(1) == 0 {
-                api.memcpy_d2h(p, data_buf, self.proc.output_per_batch, false)
-                    .expect("batch output");
+                api.memcpy_d2h(p, data_buf, self.proc.output_per_batch, false)?;
             }
         }
-        api.device_synchronize(p).expect("final sync");
+        api.device_synchronize(p)?;
         if let Some(b) = blas {
             // One aggregate gemm stands in for cuBLAS use across the run.
-            api.cublas_op(p, b, LibOp::compute(0.0)).expect("gemm");
+            api.cublas_op(p, b, LibOp::compute(0.0))?;
         }
         rec.close(p);
+        Ok(())
     }
 }
 
@@ -281,7 +269,7 @@ mod tests {
             api.runtime_init(p).unwrap();
             api.register_module(p, spec.registry()).unwrap();
             let mut rec = PhaseRecorder::new();
-            spec.run(p, &mut api, &mut rec);
+            spec.run(p, &mut api, &mut rec).unwrap();
             *o.lock() = Some((rec, api.stats()));
         });
         sim.run();

@@ -275,7 +275,11 @@ mod tests {
                 total / MB,
                 w.required_mem / MB
             );
-            assert!(w.weights <= w.alloc_split[0], "{}: weights fit buffer 0", w.name);
+            assert!(
+                w.weights <= w.alloc_split[0],
+                "{}: weights fit buffer 0",
+                w.name
+            );
         }
     }
 
@@ -291,8 +295,7 @@ mod tests {
     fn average_gpu_seconds_is_about_twelve() {
         // §VIII-D: "On average our workloads utilize 12 seconds of GPU."
         let suite = paper_suite();
-        let avg: f64 =
-            suite.iter().map(|w| w.total_gpu_work()).sum::<f64>() / suite.len() as f64;
+        let avg: f64 = suite.iter().map(|w| w.total_gpu_work()).sum::<f64>() / suite.len() as f64;
         assert!(
             (6.0..16.0).contains(&avg),
             "average GPU seconds per run should be near 12, got {avg:.1}"
@@ -306,6 +309,9 @@ mod tests {
         assert!(frac > 0.9, "TF ≈ 96 % elidable, got {frac}");
         let fd = face_detection();
         let frac = fd.proc.elidable as f64 / fd.proc.api_calls as f64;
-        assert!((0.4..0.6).contains(&frac), "ONNX ≈ 48 % elidable, got {frac}");
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "ONNX ≈ 48 % elidable, got {frac}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use dgsf_cuda::{CudaApi, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf_cuda::{CudaApi, CudaResult, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
 use dgsf_gpu::MB;
 use dgsf_serverless::{phase, PhaseRecorder, Workload};
 use dgsf_sim::ProcCtx;
@@ -52,26 +52,24 @@ impl SyntheticMigration {
         p: &ProcCtx,
         api: &mut dyn CudaApi,
         between_kernels: impl FnOnce(&ProcCtx),
-    ) {
-        let buf = api.malloc(p, self.bytes).expect("array fits");
-        api.memset(p, buf, 0, self.bytes).expect("memset");
+    ) -> CudaResult<()> {
+        let buf = api.malloc(p, self.bytes)?;
+        api.memset(p, buf, 0, self.bytes)?;
         api.launch_kernel(
             p,
             "synthetic_arith",
             LaunchConfig::linear(self.bytes / 4, 256),
             self.kernel_args(buf),
-        )
-        .expect("kernel 1");
+        )?;
         between_kernels(p);
         api.launch_kernel(
             p,
             "synthetic_arith",
             LaunchConfig::linear(self.bytes / 4, 256),
             self.kernel_args(buf),
-        )
-        .expect("kernel 2");
-        api.device_synchronize(p).expect("sync");
-        api.free(p, buf).expect("free");
+        )?;
+        api.device_synchronize(p)?;
+        api.free(p, buf)
     }
 }
 
@@ -93,10 +91,11 @@ impl Workload for SyntheticMigration {
         0 // nothing to fetch; the array is zeroed on device
     }
 
-    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) {
+    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) -> CudaResult<()> {
         rec.enter(p, phase::PROCESSING);
-        self.run_with_hook(p, api, |_| {});
+        self.run_with_hook(p, api, |_| {})?;
         rec.close(p);
+        Ok(())
     }
 
     fn cpu_secs(&self) -> f64 {

@@ -37,24 +37,29 @@ impl Workload for StudentJob {
     fn download_bytes(&self) -> u64 {
         8 << 20 // the student's data set
     }
-    fn run(&self, p: &dgsf::sim::ProcCtx, api: &mut dyn dgsf::cuda::CudaApi, rec: &mut PhaseRecorder) {
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn dgsf::cuda::CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> dgsf::cuda::CudaResult<()> {
         rec.enter(p, dgsf::serverless::phase::PROCESSING);
-        let buf = api.malloc(p, 64 << 20).expect("student buffer");
-        api.memset(p, buf, 0, 64 << 20).expect("zero");
+        let buf = api.malloc(p, 64 << 20)?;
+        api.memset(p, buf, 0, 64 << 20)?;
         for _ in 0..4 {
             api.launch_kernel(
                 p,
                 "assignment_kernel",
                 LaunchConfig::linear(1 << 22, 256),
                 KernelArgs::timed(self.gpu_secs / 4.0, 64 << 20),
-            )
-            .expect("launch");
+            )?;
         }
-        api.device_synchronize(p).expect("sync");
-        api.memcpy_d2h(p, buf, 1 << 20, false).expect("results");
-        api.free(p, buf).expect("free");
+        api.device_synchronize(p)?;
+        api.memcpy_d2h(p, buf, 1 << 20, false)?;
+        api.free(p, buf)?;
         let _ = self.id;
         rec.close(p);
+        Ok(())
     }
     fn cpu_secs(&self) -> f64 {
         self.gpu_secs * 30.0
@@ -101,12 +106,25 @@ fn main() {
     let gpu_busy: f64 = out
         .gpu_timelines
         .iter()
-        .map(|tl| tl.busy_between(out.first_launch, out.all_done).as_secs_f64())
+        .map(|tl| {
+            tl.busy_between(out.first_launch, out.all_done)
+                .as_secs_f64()
+        })
         .sum();
 
-    println!("all {} runs served in {:.0}s of class time", students, out.provider_e2e().as_secs_f64());
-    println!("per-run latency: mean {:.1}s  p95 {:.1}s  max {:.1}s", se.mean, se.p95, se.max);
-    println!("queueing:        mean {:.1}s  p95 {:.1}s  max {:.1}s", sq.mean, sq.p95, sq.max);
+    println!(
+        "all {} runs served in {:.0}s of class time",
+        students,
+        out.provider_e2e().as_secs_f64()
+    );
+    println!(
+        "per-run latency: mean {:.1}s  p95 {:.1}s  max {:.1}s",
+        se.mean, se.p95, se.max
+    );
+    println!(
+        "queueing:        mean {:.1}s  p95 {:.1}s  max {:.1}s",
+        sq.mean, sq.p95, sq.max
+    );
     println!(
         "\nbilling: {:.0} GPU-seconds of actual use across 4 GPUs — vs {:.0} GPU-seconds\nif every student held a dedicated GPU-enabled container for the whole window.",
         gpu_busy,

@@ -76,8 +76,7 @@ fn main() {
         let h2 = h.clone();
         sim.spawn("platform", move |p| {
             let server = GpuServer::provision(p, &h2, GpuServerConfig::paper_default().gpus(2));
-            let (client, _inv) =
-                server.request_gpu(p, "kmeans", 256 << 20, prob.registry());
+            let (client, _inv) = server.request_gpu(p, "kmeans", 256 << 20, prob.registry());
             let mut api = RemoteCuda::new(client, OptConfig::full());
             api.runtime_init(p).unwrap();
             api.register_module(p, prob.registry()).unwrap();

@@ -46,7 +46,11 @@ fn main() {
     println!(
         "DGSF is {:.0}% {} than native ({}).",
         ((native_s - dgsf_s) / native_s * 100.0).abs(),
-        if dgsf_s < native_s { "faster" } else { "slower" },
+        if dgsf_s < native_s {
+            "faster"
+        } else {
+            "slower"
+        },
         if dgsf_s < native_s {
             "remoting overhead is outweighed by hiding CUDA/cuDNN initialization"
         } else {

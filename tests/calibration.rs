@@ -85,7 +85,9 @@ fn table2_native_runtimes_in_band() {
 fn table2_dgsf_runtimes_in_band() {
     let cfg = TestbedConfig::paper_default();
     for b in bands() {
-        let t = Testbed::run_dgsf_once(&cfg, b.w.clone()).e2e().as_secs_f64();
+        let t = Testbed::run_dgsf_once(&cfg, b.w.clone())
+            .e2e()
+            .as_secs_f64();
         assert!(
             (b.dgsf.0..=b.dgsf.1).contains(&t),
             "{}: DGSF {t:.1}s outside [{}, {}]",
@@ -122,7 +124,10 @@ fn lambda_regime_matches_paper_ordering() {
     let resnet = t(Arc::new(workloads::image_classification()));
     let covid = t(Arc::new(workloads::covidctnet()));
     assert!((48.0..72.0).contains(&nlp), "paper 60.4s, got {nlp:.1}");
-    assert!((38.0..60.0).contains(&resnet), "paper 47.1s, got {resnet:.1}");
+    assert!(
+        (38.0..60.0).contains(&resnet),
+        "paper 47.1s, got {resnet:.1}"
+    );
     assert!((20.0..30.0).contains(&covid), "paper 24.6s, got {covid:.1}");
 }
 
@@ -137,18 +142,27 @@ fn faceid_ablation_matches_figure4_regime() {
             ..TestbedConfig::paper_default()
         };
         let r = Testbed::run_dgsf_once(&cfg, w.clone());
-        r.e2e().as_secs_f64() - r.phases.get(dgsf::serverless::phase::DOWNLOAD).as_secs_f64()
+        r.e2e().as_secs_f64()
+            - r.phases
+                .get(dgsf::serverless::phase::DOWNLOAD)
+                .as_secs_f64()
     };
     let no_opts = measure(OptConfig::none());
     let pools = measure(OptConfig::handle_pools());
     let full = measure(OptConfig::full());
-    assert!((11.0..19.0).contains(&no_opts), "paper ~14.5, got {no_opts:.1}");
+    assert!(
+        (11.0..19.0).contains(&no_opts),
+        "paper ~14.5, got {no_opts:.1}"
+    );
     assert!(
         (no_opts - pools) > 3.5,
         "handle pooling removes ~4.9s of init: saved {:.1}",
         no_opts - pools
     );
-    assert!((5.5..11.0).contains(&full), "paper ~4.7 (plus host prep), got {full:.1}");
+    assert!(
+        (5.5..11.0).contains(&full),
+        "paper ~4.7 (plus host prep), got {full:.1}"
+    );
     assert!(
         full < no_opts * 0.62,
         "total optimization cut ~67% in the paper; got {:.0}%",

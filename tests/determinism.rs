@@ -28,11 +28,7 @@ fn run_once(seed: u64, copies: usize) -> (Vec<(String, u64)>, u64, usize) {
         .iter()
         .map(|r| (r.name.clone(), r.e2e().as_nanos()))
         .collect();
-    (
-        results,
-        out.provider_e2e().as_nanos(),
-        out.migrations.len(),
-    )
+    (results, out.provider_e2e().as_nanos(), out.migrations.len())
 }
 
 #[test]
@@ -130,7 +126,8 @@ fn memory_fully_returns_after_a_run() {
     let leaked = Arc::new(Mutex::new(None));
     let l2 = leaked.clone();
     sim.spawn("root", move |p| {
-        let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2).sharing(2));
+        let server =
+            GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2).sharing(2));
         let baseline: Vec<u64> = server.gpus.iter().map(|g| g.used_mem()).collect();
         let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
         let w = dgsf::workloads::face_identification();

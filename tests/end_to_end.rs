@@ -35,7 +35,10 @@ fn native_pays_init_dgsf_does_not() {
     let dgsf_run = Testbed::run_dgsf_once(&cfg, w);
     let native_init = native.phases.get(phase::INIT).as_secs_f64();
     let dgsf_init = dgsf_run.phases.get(phase::INIT).as_secs_f64();
-    assert!(native_init >= 3.2, "native init on critical path: {native_init}");
+    assert!(
+        native_init >= 3.2,
+        "native init on critical path: {native_init}"
+    );
     assert!(dgsf_init < 0.1, "DGSF init hidden by pooling: {dgsf_init}");
 }
 
@@ -193,10 +196,10 @@ fn functional_workload_identical_results_native_and_remote() {
 #[test]
 fn errors_propagate_across_the_wire_with_their_class() {
     use dgsf::cuda::CudaError;
+    use dgsf::cuda::{KernelDef, ModuleRegistry};
     use dgsf::remoting::RemoteCuda;
     use dgsf::server::GpuServer;
     use dgsf::sim::Sim;
-    use dgsf::cuda::{KernelDef, ModuleRegistry};
 
     let mut sim = Sim::new(11);
     let h = sim.handle();

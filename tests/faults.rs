@@ -1,0 +1,332 @@
+//! Chaos tests for the fault-injection + recovery stack.
+//!
+//! The contract under test: with a seeded [`FaultPlan`] installed, every
+//! invocation either completes or is reported failed after a bounded number
+//! of attempts — none hang, none are silently lost — and the whole chaotic
+//! timeline is reproducible byte-for-byte from the seed. An *empty* fault
+//! plan must be invisible: bit-identical to a run with no plan at all.
+
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaApi, CudaResult, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf::prelude::*;
+use dgsf::remoting::FaultPlan;
+use dgsf::server::{GpuServer, InvocationRecord};
+use dgsf::serverless::{Backend, ObjectStore, RetryPolicy, ServerPolicy};
+use parking_lot::Mutex;
+
+const GB: u64 = 1 << 30;
+
+/// A function with one long timed kernel — long enough that a mid-run
+/// server kill lands inside it.
+struct SpinFn {
+    secs: f64,
+}
+
+impl Workload for SpinFn {
+    fn name(&self) -> &str {
+        "spin"
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        GB
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        api.launch_kernel(
+            p,
+            "k",
+            LaunchConfig::linear(1 << 20, 256),
+            KernelArgs::timed(self.secs, 0),
+        )?;
+        api.device_synchronize(p)?;
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        self.secs * 30.0
+    }
+}
+
+fn t(secs: f64) -> SimTime {
+    SimTime::ZERO + Dur::from_secs_f64(secs)
+}
+
+/// Comparable digest of one function outcome.
+type ResultKey = (u64, u64, u32, Option<String>, Option<u64>);
+
+/// Comparable digest of one server-side invocation record.
+type RecordKey = (
+    u64,
+    String,
+    u64,
+    u64,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+    u32,
+);
+
+fn record_key(r: &InvocationRecord) -> RecordKey {
+    (
+        r.invocation,
+        r.name.clone(),
+        r.requested_at.as_nanos(),
+        r.mem,
+        r.assigned_at.map(|x| x.as_nanos()),
+        r.done_at.map(|x| x.as_nanos()),
+        r.failed_at.map(|x| x.as_nanos()),
+        r.attempts,
+    )
+}
+
+/// Run `n` staggered functions through a two-server backend where server A
+/// carries `faults`. Returns (per-function outcome digests in launch
+/// order, the concatenated record digests of both servers, dropped-transfer
+/// count on the faulted link).
+fn chaos_run(
+    seed: u64,
+    n: usize,
+    faults: FaultPlan,
+) -> (Vec<ResultKey>, Vec<Vec<InvocationRecord>>, u64) {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let out: Arc<Mutex<Vec<(usize, ResultKey)>>> = Arc::new(Mutex::new(Vec::new()));
+    let records: Arc<Mutex<Vec<Vec<InvocationRecord>>>> = Arc::new(Mutex::new(Vec::new()));
+    let dropped = Arc::new(Mutex::new(0u64));
+    let o2 = Arc::clone(&out);
+    let rec2 = Arc::clone(&records);
+    let d2 = Arc::clone(&dropped);
+    let h2 = h.clone();
+    sim.spawn("chaos-root", move |p| {
+        let cfg = GpuServerConfig::paper_default()
+            .gpus(1)
+            .with_rpc_timeout(Dur::from_secs(2))
+            .with_queue_timeout(Dur::from_secs(10))
+            .with_idle_timeout(Dur::from_secs(5));
+        let a = GpuServer::provision(p, &h2, cfg.clone().with_faults(faults));
+        let b = GpuServer::provision(p, &h2, cfg);
+        let backend = Arc::new(
+            Backend::new(
+                vec![Arc::clone(&a), Arc::clone(&b)],
+                ServerPolicy::RoundRobin,
+            )
+            .with_retry(RetryPolicy::default()),
+        );
+        let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+        let done = Arc::new(Mutex::new(0usize));
+        for i in 0..n {
+            let backend = Arc::clone(&backend);
+            let store = Arc::clone(&store);
+            let out = Arc::clone(&o2);
+            let done = Arc::clone(&done);
+            h2.spawn_at(&format!("fn-{i}"), t(0.6 * i as f64), move |p| {
+                let r = backend.invoke(p, &store, &SpinFn { secs: 1.5 }, OptConfig::full());
+                out.lock().push((
+                    i,
+                    (
+                        r.launched_at.as_nanos(),
+                        r.finished_at.as_nanos(),
+                        r.attempts,
+                        r.failure.clone(),
+                        r.invocation,
+                    ),
+                ));
+                *done.lock() += 1;
+            });
+        }
+        let rec3 = Arc::clone(&rec2);
+        let d3 = Arc::clone(&d2);
+        h2.spawn("collector", move |p| {
+            while *done.lock() < n {
+                p.sleep(Dur::from_millis(500));
+            }
+            *rec3.lock() = vec![a.records(), b.records()];
+            *d3.lock() = a.fault_stats().map(|s| s.dropped).unwrap_or(0);
+        });
+    });
+    sim.run();
+    let mut results = out.lock().clone();
+    results.sort_by_key(|(i, _)| *i);
+    let results = results.into_iter().map(|(_, k)| k).collect();
+    let records = records.lock().clone();
+    let dropped = *dropped.lock();
+    (results, records, dropped)
+}
+
+#[test]
+fn kill_and_drops_recover_and_replay_identically() {
+    // Server A dies 1 s in (mid-kernel of the first function) and its link
+    // eats one early RPC round trip outright.
+    let plan = FaultPlan::new(11).kill_server(0, t(1.0)).drop_message(6);
+    let (results, records, dropped) = chaos_run(11, 6, plan.clone());
+
+    // Termination: every launched function produced an outcome.
+    assert_eq!(results.len(), 6, "no invocation may hang or get lost");
+    // Recovery: attempts stay within the budget, and the kill forced at
+    // least one function through a retry.
+    for (launched, finished, attempts, _failure, _inv) in &results {
+        assert!(*attempts >= 1 && *attempts <= 3);
+        assert!(finished > launched);
+    }
+    assert!(
+        results.iter().any(|(_, _, attempts, _, _)| *attempts > 1),
+        "the dead server must force retries"
+    );
+    // Detection: the monitor recorded failed invocations on the dead server.
+    let failed: usize = records
+        .iter()
+        .flatten()
+        .filter(|r| r.failed_at.is_some())
+        .count();
+    assert!(
+        failed >= 1,
+        "the kill must surface as failed invocation records"
+    );
+    assert!(
+        dropped >= 1,
+        "the indexed drop must claim at least one transfer"
+    );
+    // Accounting: a record never carries both outcomes.
+    for r in records.iter().flatten() {
+        assert!(
+            !(r.done_at.is_some() && r.failed_at.is_some()),
+            "done and failed are mutually exclusive"
+        );
+    }
+
+    // Determinism: replaying the same seed gives byte-identical outcomes
+    // and byte-identical server-side timelines.
+    let (results2, records2, dropped2) = chaos_run(11, 6, plan);
+    assert_eq!(results, results2, "chaos outcomes must replay exactly");
+    assert_eq!(dropped, dropped2);
+    let keys = |rs: &Vec<Vec<InvocationRecord>>| -> Vec<_> {
+        rs.iter().flatten().map(record_key).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        keys(&records),
+        keys(&records2),
+        "record timelines must replay exactly"
+    );
+}
+
+#[test]
+fn empty_fault_plan_is_invisible() {
+    // A plan that injects nothing must leave the run bit-identical to one
+    // provisioned with no plan at all (the no-chaos baseline).
+    let baseline = chaos_run_no_faults(17, 4);
+    let (results, records, dropped) = chaos_run(17, 4, FaultPlan::new(17));
+    assert_eq!(dropped, 0);
+    assert_eq!(
+        results, baseline.0,
+        "an empty plan must not perturb outcomes"
+    );
+    let keys = |rs: &Vec<Vec<InvocationRecord>>| -> Vec<_> {
+        rs.iter().flatten().map(record_key).collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&records), keys(&baseline.1));
+    for (_, _, attempts, failure, _) in &results {
+        assert_eq!(*attempts, 1);
+        assert!(
+            failure.is_none(),
+            "nothing may fail without injected faults"
+        );
+    }
+}
+
+/// The same scenario as [`chaos_run`] but with `faults: None` — the
+/// pre-chaos configuration (identical explicit timeouts, so the only
+/// difference is the absence of a fault plan).
+fn chaos_run_no_faults(seed: u64, n: usize) -> (Vec<ResultKey>, Vec<Vec<InvocationRecord>>) {
+    let mut sim = Sim::new(seed);
+    let h = sim.handle();
+    let out: Arc<Mutex<Vec<(usize, ResultKey)>>> = Arc::new(Mutex::new(Vec::new()));
+    let records: Arc<Mutex<Vec<Vec<InvocationRecord>>>> = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let rec2 = Arc::clone(&records);
+    let h2 = h.clone();
+    sim.spawn("chaos-root", move |p| {
+        let cfg = GpuServerConfig::paper_default()
+            .gpus(1)
+            .with_rpc_timeout(Dur::from_secs(2))
+            .with_queue_timeout(Dur::from_secs(10))
+            .with_idle_timeout(Dur::from_secs(5));
+        let a = GpuServer::provision(p, &h2, cfg.clone());
+        let b = GpuServer::provision(p, &h2, cfg);
+        let backend = Arc::new(
+            Backend::new(
+                vec![Arc::clone(&a), Arc::clone(&b)],
+                ServerPolicy::RoundRobin,
+            )
+            .with_retry(RetryPolicy::default()),
+        );
+        let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+        let done = Arc::new(Mutex::new(0usize));
+        for i in 0..n {
+            let backend = Arc::clone(&backend);
+            let store = Arc::clone(&store);
+            let out = Arc::clone(&o2);
+            let done = Arc::clone(&done);
+            h2.spawn_at(&format!("fn-{i}"), t(0.6 * i as f64), move |p| {
+                let r = backend.invoke(p, &store, &SpinFn { secs: 1.5 }, OptConfig::full());
+                out.lock().push((
+                    i,
+                    (
+                        r.launched_at.as_nanos(),
+                        r.finished_at.as_nanos(),
+                        r.attempts,
+                        r.failure.clone(),
+                        r.invocation,
+                    ),
+                ));
+                *done.lock() += 1;
+            });
+        }
+        let rec3 = Arc::clone(&rec2);
+        h2.spawn("collector", move |p| {
+            while *done.lock() < n {
+                p.sleep(Dur::from_millis(500));
+            }
+            *rec3.lock() = vec![a.records(), b.records()];
+        });
+    });
+    sim.run();
+    let mut results = out.lock().clone();
+    results.sort_by_key(|(i, _)| *i);
+    let results = results.into_iter().map(|(_, k)| k).collect();
+    let records = records.lock().clone();
+    (results, records)
+}
+
+#[test]
+fn blackhole_window_terminates_every_invocation() {
+    // The faulted link goes completely dark for a second and additionally
+    // drops 5% of transfers at random; everything must still terminate.
+    let plan = FaultPlan::new(3)
+        .blackhole(t(0.5), t(1.5))
+        .drop_probability(0.05);
+    let (results, _records, dropped) = chaos_run(3, 5, plan);
+    assert_eq!(
+        results.len(),
+        5,
+        "blackholed invocations must time out, not hang"
+    );
+    assert!(
+        dropped >= 1,
+        "the blackhole must claim at least one transfer"
+    );
+    for (launched, finished, attempts, _failure, _inv) in &results {
+        assert!(*attempts <= 3);
+        assert!(finished > launched);
+    }
+}

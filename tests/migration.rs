@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use dgsf::cuda::{CudaApi, HostBuf, KernelArgs, KernelCost, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf::cuda::{
+    CudaApi, HostBuf, KernelArgs, KernelCost, KernelDef, LaunchConfig, ModuleRegistry,
+};
 use dgsf::gpu::{GpuId, MB};
 use dgsf::prelude::*;
 use dgsf::remoting::RemoteCuda;
@@ -86,13 +88,16 @@ fn migration_respects_target_capacity() {
     sim.spawn("root", move |p| {
         let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2));
         // Hog GPU 1 so nothing fits.
-        let hog = server.gpus[1].reserve(server.gpus[1].free_mem() - MB).unwrap();
+        let hog = server.gpus[1]
+            .reserve(server.gpus[1].free_mem() - MB)
+            .unwrap();
         let (client, _) = server.request_gpu(p, "f", 2048 * MB, registry());
         let mut api = RemoteCuda::new(client, OptConfig::full());
         api.runtime_init(p).unwrap();
         api.register_module(p, registry()).unwrap();
         let buf = api.malloc(p, 1024 * MB).unwrap();
-        api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![9u8; 64])).unwrap();
+        api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![9u8; 64]))
+            .unwrap();
         server.force_migration(0, GpuId(1));
         api.device_synchronize(p).unwrap(); // boundary: migration attempted
         assert_eq!(server.server_current_gpu(0), GpuId(0), "migration skipped");

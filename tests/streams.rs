@@ -36,7 +36,10 @@ fn registry() -> Arc<ModuleRegistry> {
 }
 
 /// Drive a body against a one-GPU server through the remoting stack.
-fn with_remote(seed: u64, body: impl FnOnce(&dgsf::sim::ProcCtx, &mut RemoteCuda) + Send + 'static) {
+fn with_remote(
+    seed: u64,
+    body: impl FnOnce(&dgsf::sim::ProcCtx, &mut RemoteCuda) + Send + 'static,
+) {
     let mut sim = Sim::new(seed);
     let h = sim.handle();
     sim.spawn("root", move |p| {
@@ -60,10 +63,22 @@ fn same_stream_is_ordered_different_streams_overlap() {
         let b = api.stream_create(p).unwrap();
         let t0 = p.now();
         // A: short kernel; B: long kernel — submitted together.
-        api.launch_kernel_on(p, a, "spin", LaunchConfig::linear(1, 32), KernelArgs::timed(0.5, 0))
-            .unwrap();
-        api.launch_kernel_on(p, b, "spin", LaunchConfig::linear(1, 32), KernelArgs::timed(2.0, 0))
-            .unwrap();
+        api.launch_kernel_on(
+            p,
+            a,
+            "spin",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(0.5, 0),
+        )
+        .unwrap();
+        api.launch_kernel_on(
+            p,
+            b,
+            "spin",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(2.0, 0),
+        )
+        .unwrap();
         api.stream_synchronize(p, a).unwrap();
         let t_a = p.now().since(t0).as_secs_f64();
         api.device_synchronize(p).unwrap();
@@ -77,8 +92,14 @@ fn same_stream_is_ordered_different_streams_overlap() {
         (0.9..1.3).contains(&t_a),
         "short stream finishes early under overlap: {t_a}"
     );
-    assert!((2.4..2.7).contains(&t_all), "total ≈ 2.5 s of work: {t_all}");
-    assert!(t_a < t_all - 1.0, "stream sync must not wait for the other stream");
+    assert!(
+        (2.4..2.7).contains(&t_all),
+        "total ≈ 2.5 s of work: {t_all}"
+    );
+    assert!(
+        t_a < t_all - 1.0,
+        "stream sync must not wait for the other stream"
+    );
 }
 
 #[test]
@@ -88,7 +109,8 @@ fn per_stream_ordering_is_preserved() {
     with_remote(2, move |p, api| {
         let s = api.stream_create(p).unwrap();
         let buf = api.malloc(p, 4 * MB).unwrap();
-        api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[0.0; 8])).unwrap();
+        api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[0.0; 8]))
+            .unwrap();
         for tag in [11u64, 22, 33] {
             api.launch_kernel_on(
                 p,
@@ -125,7 +147,8 @@ fn streams_survive_migration() {
         api.register_module(p, registry()).unwrap();
         let s = api.stream_create(p).unwrap();
         let buf = api.malloc(p, 4 * MB).unwrap();
-        api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[0.0; 8])).unwrap();
+        api.memcpy_h2d(p, buf, HostBuf::from_f32s(&[0.0; 8]))
+            .unwrap();
         let launch = |api: &mut RemoteCuda, p: &dgsf::sim::ProcCtx, tag: u64| {
             api.launch_kernel_on(
                 p,
@@ -153,7 +176,11 @@ fn streams_survive_migration() {
         api.finish(p).unwrap();
     });
     sim.run();
-    assert_eq!(*out.lock(), vec![2.0, 1.0, 2.0], "both appends landed in order");
+    assert_eq!(
+        *out.lock(),
+        vec![2.0, 1.0, 2.0],
+        "both appends landed in order"
+    );
 }
 
 #[test]
@@ -168,7 +195,10 @@ fn invalid_stream_launch_is_rejected() {
                 KernelArgs::timed(0.1, 0),
             )
             .unwrap_err();
-        assert!(matches!(err, dgsf::cuda::CudaError::InvalidResourceHandle(_)));
+        assert!(matches!(
+            err,
+            dgsf::cuda::CudaError::InvalidResourceHandle(_)
+        ));
     });
 }
 
@@ -180,11 +210,21 @@ fn event_record_marks_a_point_in_stream_order() {
         let e = api.event_create(p).unwrap();
         let t0 = p.now();
         // 1 s of work, then the event marker, then 2 s more work.
-        api.launch_kernel(p, "spin", LaunchConfig::linear(1, 32), KernelArgs::timed(1.0, 0))
-            .unwrap();
+        api.launch_kernel(
+            p,
+            "spin",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(1.0, 0),
+        )
+        .unwrap();
         api.event_record(p, e).unwrap();
-        api.launch_kernel(p, "spin", LaunchConfig::linear(1, 32), KernelArgs::timed(2.0, 0))
-            .unwrap();
+        api.launch_kernel(
+            p,
+            "spin",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(2.0, 0),
+        )
+        .unwrap();
         api.event_synchronize(p, e).unwrap();
         let t_event = p.now().since(t0).as_secs_f64();
         api.device_synchronize(p).unwrap();
@@ -205,14 +245,22 @@ fn unrecorded_event_is_complete_and_double_sync_is_instant() {
         let e = api.event_create(p).unwrap();
         let t0 = p.now();
         api.event_synchronize(p, e).unwrap(); // never recorded: complete
-        api.launch_kernel(p, "spin", LaunchConfig::linear(1, 32), KernelArgs::timed(1.0, 0))
-            .unwrap();
+        api.launch_kernel(
+            p,
+            "spin",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(1.0, 0),
+        )
+        .unwrap();
         api.event_record(p, e).unwrap();
         api.event_synchronize(p, e).unwrap();
         let first = p.now().since(t0).as_secs_f64();
         api.event_synchronize(p, e).unwrap(); // already completed
         let second = p.now().since(t0).as_secs_f64();
-        assert!((0.9..1.4).contains(&first), "first sync waits the kernel: {first}");
+        assert!(
+            (0.9..1.4).contains(&first),
+            "first sync waits the kernel: {first}"
+        );
         assert!(second - first < 0.05, "second sync is instant");
     });
 }

@@ -1,0 +1,316 @@
+//! Offline drop-in subset of `bytes`, vendored so the workspace builds
+//! without crates.io access (see `vendor/README.md`).
+//!
+//! [`Bytes`] is a cheaply cloneable view into shared immutable storage;
+//! [`BytesMut`] is a growable buffer that freezes into one. The [`Buf`] /
+//! [`BufMut`] traits cover exactly the little-endian accessors the wire
+//! codec uses.
+
+use std::sync::Arc;
+
+/// Byte-string Debug like the real crate (`b"ab\x00"`), shared by both types.
+macro_rules! fmt_as_byte_string {
+    () => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "b\"")?;
+            for &b in self.iter() {
+                for esc in std::ascii::escape_default(b) {
+                    write!(f, "{}", esc as char)?;
+                }
+            }
+            write!(f, "\"")
+        }
+    };
+}
+
+/// Cheaply cloneable immutable byte view. Reading via [`Buf`] consumes from
+/// the front, as in the real crate.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty view.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Bytes left in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when nothing is left.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past them.
+    ///
+    /// # Panics
+    /// If `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(
+            n <= self.len(),
+            "split_to out of range: {n} > {}",
+            self.len()
+        );
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// A sub-view of the remaining bytes (indices relative to this view).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice out of range: {lo}..{hi} of {}",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copy the remaining bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(
+            N <= self.len(),
+            "buffer underflow: need {N}, have {}",
+            self.len()
+        );
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fmt_as_byte_string!();
+}
+
+/// Growable byte buffer; [`freeze`](BytesMut::freeze) turns it into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `n` bytes reserved.
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fmt_as_byte_string!();
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read-side accessors (consume from the front).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian u16.
+    fn get_u16_le(&mut self) -> u16;
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian f32.
+    fn get_f32_le(&mut self) -> f32;
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_array())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+/// Write-side accessors (append at the back).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian f32.
+    fn put_f32_le(&mut self, v: f32);
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(7);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_f64_le(2.5);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.split_to(3).to_vec(), b"xyz");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn split_to_shares_storage_and_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(b.to_vec(), vec![3, 4, 5]);
+        let clone = b.clone();
+        assert_eq!(clone.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of range")]
+    fn split_to_past_the_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.split_to(2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline drop-in subset of `criterion`, vendored so the workspace builds
+//! without crates.io access (see `vendor/README.md`).
+//!
+//! Provides just enough API for this repo's `harness = false` bench targets
+//! to compile and run: each registered benchmark executes its routine once
+//! and reports wall-clock time. No statistics, warm-up, or HTML reports —
+//! use the real crate for publishable numbers.
+
+use std::time::Instant;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// Only a hint in this subset; all variants behave identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (run once in this subset).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+
+    /// Time `routine` on an input built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed = start.elapsed();
+        drop(out);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; ignored in this subset.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its wall-clock time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: std::time::Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: {:?} (single pass)",
+            self.name,
+            id.as_ref(),
+            b.elapsed
+        );
+        self
+    }
+
+    /// Finish the group (no-op in this subset).
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark and print its wall-clock time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: std::time::Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{}: {:?} (single pass)", id.as_ref(), b.elapsed);
+        self
+    }
+}
+
+/// Collect benchmark functions into a group runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_function("iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_runs_all_registered_benches() {
+        smoke();
+    }
+}
