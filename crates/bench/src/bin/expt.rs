@@ -4,20 +4,56 @@
 //!
 //! `--quick` shrinks the mixed-workload experiments (2 copies instead of
 //! 10) for fast smoke runs.
+//!
+//! `dgsf-expt trace [--quick] [--out DIR]` runs the heavy-load mix with
+//! telemetry recording on and writes `metrics.json` plus a Chrome
+//! trace-event `trace.json` (browsable in `chrome://tracing` / Perfetto)
+//! to DIR (default `target/trace`). Deterministic: same seed ⇒
+//! byte-identical files.
 
-use dgsf_bench::{mixed, single};
+use dgsf_bench::{mixed, single, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let copies = if quick { 2 } else { 10 };
     let bursts = if quick { 3 } else { 10 };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
+    let mut out_dir = std::path::PathBuf::from("target/trace");
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(v) => out_dir = v.into(),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if !a.starts_with('-') {
+            positional.push(a.clone());
+        }
+    }
+    let what = positional
+        .first()
         .cloned()
         .unwrap_or_else(|| "all".to_string());
     let seed = 42;
+
+    if what == "trace" {
+        match trace::write_trace(&out_dir, copies, seed) {
+            Ok(files) => {
+                println!("wrote {}", files.metrics.display());
+                println!("wrote {}", files.chrome_trace.display());
+                println!("(open trace.json in chrome://tracing or ui.perfetto.dev)");
+            }
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let run = |name: &str| what == name || what == "all";
 

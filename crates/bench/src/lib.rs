@@ -17,12 +17,15 @@
 //! | Table V   | [`single::table5`]     | `dgsf-expt table5` |
 //! | §V-C API counts | [`single::apicounts`] | `dgsf-expt apicounts` |
 //! | §VIII-D future work (SJF) | [`mixed::queue_policy`] | `dgsf-expt sjf` |
+//! | telemetry trace | [`trace::write_trace`] | `dgsf-expt trace` |
 //!
 //! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
-//! records).
+//! records). `dgsf-expt trace` instead writes telemetry artifacts
+//! (`metrics.json` + Chrome `trace.json`) to `--out DIR`.
 
 #![warn(missing_docs)]
 
 pub mod mixed;
 pub mod report;
 pub mod single;
+pub mod trace;

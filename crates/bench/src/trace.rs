@@ -1,0 +1,61 @@
+//! `dgsf-expt trace` — run an experiment with telemetry recording on and
+//! write browsable trace artifacts.
+//!
+//! Two files come out of a trace run:
+//!
+//! * `metrics.json` — the full metrics snapshot: counters, gauges,
+//!   histograms (with log₂ buckets and integer p50/p95/p99 bounds).
+//! * `trace.json` — a Chrome trace-event file; open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev> to browse invocation,
+//!   phase, RPC and server spans on per-process tracks in virtual time.
+//!
+//! Both files are deterministic: the simulation records in virtual time
+//! only, so the same seed produces byte-identical output on every run and
+//! machine. That makes the trace usable as a regression oracle — diff the
+//! files across commits to see exactly what changed in the platform's
+//! behaviour.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dgsf::prelude::*;
+use dgsf::workloads::{as_workloads, paper_suite};
+
+/// Paths written by [`write_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceFiles {
+    /// Metrics snapshot (counters, gauges, histograms).
+    pub metrics: PathBuf,
+    /// Chrome trace-event file (load in `chrome://tracing` / Perfetto).
+    pub chrome_trace: PathBuf,
+}
+
+/// Run the heavy-load mixed experiment (paper suite, exponential arrivals
+/// with mean 2 s, 4 GPUs, sharing(2) best-fit) with telemetry enabled and
+/// write `metrics.json` + `trace.json` into `out_dir`.
+///
+/// Same `seed` and `copies` ⇒ byte-identical files.
+pub fn write_trace(out_dir: &Path, copies: usize, seed: u64) -> io::Result<TraceFiles> {
+    let suite = paper_suite();
+    let pattern = ArrivalPattern::Exponential {
+        mean: Dur::from_secs(2),
+    };
+    let schedule = Schedule::mixed(seed, suite.len(), copies, pattern);
+    let cfg = TestbedConfig {
+        seed,
+        server: GpuServerConfig::paper_default().gpus(4).sharing(2),
+        opts: OptConfig::full(),
+    };
+    let (_out, tel) = Testbed::run_schedule_traced(&cfg, &as_workloads(&suite), &schedule);
+    let export = tel.export();
+    fs::create_dir_all(out_dir)?;
+    let metrics = out_dir.join("metrics.json");
+    let chrome_trace = out_dir.join("trace.json");
+    fs::write(&metrics, &export.metrics_json)?;
+    fs::write(&chrome_trace, &export.chrome_trace_json)?;
+    Ok(TraceFiles {
+        metrics,
+        chrome_trace,
+    })
+}

@@ -15,7 +15,7 @@ use dgsf_server::{GpuServer, GpuServerConfig, InvocationRecord, MigrationRecord}
 use dgsf_serverless::{
     invoke_cpu, invoke_dgsf, invoke_native, FunctionResult, ObjectStore, Schedule, Workload,
 };
-use dgsf_sim::{Dur, Sim, SimTime, Timeline};
+use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
 
 /// Configuration of one experiment run.
@@ -111,7 +111,31 @@ impl Testbed {
         suite: &[Arc<dyn Workload>],
         schedule: &Schedule,
     ) -> RunOutput {
+        Self::run_schedule_inner(cfg, suite, schedule, false).0
+    }
+
+    /// [`run_schedule`](Self::run_schedule) with telemetry recording on:
+    /// also returns the run's telemetry registry, ready to export or to
+    /// assert against. Same seed ⇒ byte-identical exports.
+    pub fn run_schedule_traced(
+        cfg: &TestbedConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> (RunOutput, Arc<Telemetry>) {
+        Self::run_schedule_inner(cfg, suite, schedule, true)
+    }
+
+    fn run_schedule_inner(
+        cfg: &TestbedConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+        trace: bool,
+    ) -> (RunOutput, Arc<Telemetry>) {
         let mut sim = Sim::new(cfg.seed);
+        let telemetry = sim.telemetry();
+        if trace {
+            telemetry.enable();
+        }
         let h = sim.handle();
         type ServerSnapshot = (Vec<InvocationRecord>, Vec<MigrationRecord>, Vec<Timeline>);
         let results = Arc::new(Mutex::new(Vec::new()));
@@ -173,14 +197,17 @@ impl Testbed {
             .map(|r| r.finished_at)
             .max()
             .unwrap_or(SimTime::ZERO);
-        RunOutput {
-            results,
-            records,
-            migrations,
-            gpu_timelines,
-            first_launch,
-            all_done,
-        }
+        (
+            RunOutput {
+                results,
+                records,
+                migrations,
+                gpu_timelines,
+                first_launch,
+                all_done,
+            },
+            telemetry,
+        )
     }
 
     /// Run one workload alone over DGSF (warm server, no contention).
@@ -193,9 +220,48 @@ impl Testbed {
         out.results.into_iter().next().expect("one function ran")
     }
 
+    /// [`run_dgsf_once`](Self::run_dgsf_once) with telemetry recording on.
+    pub fn run_dgsf_once_traced(
+        cfg: &TestbedConfig,
+        w: Arc<dyn Workload>,
+    ) -> (FunctionResult, Arc<Telemetry>) {
+        let suite = vec![w];
+        let schedule = Schedule {
+            entries: vec![(SimTime::ZERO, 0)],
+        };
+        let (out, tel) = Self::run_schedule_traced(cfg, &suite, &schedule);
+        (
+            out.results.into_iter().next().expect("one function ran"),
+            tel,
+        )
+    }
+
     /// Run one workload natively (dedicated machine with a local GPU).
     pub fn run_native_once(seed: u64, costs: &CostTable, w: Arc<dyn Workload>) -> FunctionResult {
+        Self::run_native_once_inner(seed, costs, w, false).0
+    }
+
+    /// [`run_native_once`](Self::run_native_once) with telemetry recording
+    /// on.
+    pub fn run_native_once_traced(
+        seed: u64,
+        costs: &CostTable,
+        w: Arc<dyn Workload>,
+    ) -> (FunctionResult, Arc<Telemetry>) {
+        Self::run_native_once_inner(seed, costs, w, true)
+    }
+
+    fn run_native_once_inner(
+        seed: u64,
+        costs: &CostTable,
+        w: Arc<dyn Workload>,
+        trace: bool,
+    ) -> (FunctionResult, Arc<Telemetry>) {
         let mut sim = Sim::new(seed);
+        let telemetry = sim.telemetry();
+        if trace {
+            telemetry.enable();
+        }
         let h = sim.handle();
         let store = Arc::new(ObjectStore::new(
             dgsf_remoting::NetProfile::datacenter().s3_bw,
@@ -210,7 +276,7 @@ impl Testbed {
         });
         sim.run();
         let r = out.lock().take().expect("ran");
-        r
+        (r, telemetry)
     }
 
     /// Run one workload on the CPU baseline (6 threads, cost-modeled).

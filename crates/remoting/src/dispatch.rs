@@ -111,7 +111,26 @@ impl Dispatcher {
             .per_call_cpu
             .as_nanos()
             .saturating_mul(repeat.max(1) as u64)));
-        self.execute(p, req)
+        let tel = p.telemetry();
+        if !tel.is_enabled() {
+            return self.execute(p, req);
+        }
+        let class = req.class();
+        let t0 = p.now();
+        let before = self.stats.clone();
+        let resp = self.execute(p, req);
+        tel.span(p.name(), class, "server", t0, p.now());
+        tel.counter_add(&format!("server.requests.{class}"), repeat.max(1) as u64);
+        // Deltas rather than absolutes so Batch recursion is accounted once.
+        tel.counter_add("server.pool_hits", self.stats.pool_hits - before.pool_hits);
+        tel.counter_add(
+            "server.cold_creates",
+            self.stats.cold_creates - before.cold_creates,
+        );
+        if matches!(resp, Response::Err { .. }) {
+            tel.counter_add("server.errors", 1);
+        }
+        resp
     }
 
     fn execute(&mut self, p: &ProcCtx, req: Request) -> Response {

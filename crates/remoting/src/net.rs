@@ -128,6 +128,25 @@ impl NetLink {
                 extra_delay: Dur::ZERO,
             },
         };
+        let tel = p.telemetry();
+        if tel.is_enabled() {
+            tel.counter_add("net.messages", repeat as u64);
+            let dir_name = match dir {
+                Direction::ToServer => "up",
+                Direction::ToClient => "down",
+            };
+            tel.histogram_record(
+                &format!("net.bytes.{dir_name}"),
+                bytes.saturating_mul(repeat as u64),
+            );
+            match fate {
+                MsgFate::Drop => tel.counter_add("net.dropped", 1),
+                MsgFate::Deliver { extra_delay } if extra_delay > Dur::ZERO => {
+                    tel.counter_add("net.delayed", 1)
+                }
+                MsgFate::Deliver { .. } => {}
+            }
+        }
         let mut lat = Dur(self
             .profile
             .rpc_latency

@@ -154,10 +154,13 @@ impl RpcClient {
         repeat: u32,
     ) -> Result<Response, TransportError> {
         assert!(repeat >= 1, "call_repeated needs at least one round trip");
+        let tel = p.telemetry();
+        let t0 = p.now();
+        let req_bytes = req.wire_size();
         let frame = req.encode();
         let delivery = self
             .link
-            .transfer(p, Direction::ToServer, req.wire_size(), repeat);
+            .transfer(p, Direction::ToServer, req_bytes, repeat);
         let (reply_tx, reply_rx) = self.handle.channel::<Bytes>();
         if delivery == Delivery::Delivered {
             self.tx.send(
@@ -169,20 +172,58 @@ impl RpcClient {
                 },
             );
         }
+        let fail = |kind: &str| {
+            if tel.is_enabled() {
+                tel.counter_add(&format!("rpc.{kind}"), 1);
+                tel.counter_add("rpc.transport_errors", 1);
+            }
+        };
         // A dropped request is indistinguishable from a dead server to the
         // client: it waits for the reply and (with a timeout set) gives up.
         let mut reply = match self.timeout {
             Some(t) => match reply_rx.recv_timeout(p, t) {
                 Ok(r) => r,
-                Err(RecvError::Timeout) => return Err(TransportError::Timeout { waited: t }),
-                Err(RecvError::Shutdown) => return Err(TransportError::Closed),
+                Err(RecvError::Timeout) => {
+                    fail("timeouts");
+                    return Err(TransportError::Timeout { waited: t });
+                }
+                Err(RecvError::Shutdown) => {
+                    fail("closed");
+                    return Err(TransportError::Closed);
+                }
             },
             None => match reply_rx.recv(p) {
                 Some(r) => r,
-                None => return Err(TransportError::Closed),
+                None => {
+                    fail("closed");
+                    return Err(TransportError::Closed);
+                }
             },
         };
-        Response::decode(&mut reply).map_err(TransportError::Decode)
+        let resp_bytes = reply.len() as u64;
+        match Response::decode(&mut reply) {
+            Ok(resp) => {
+                if tel.is_enabled() {
+                    let class = req.class();
+                    let end = p.now();
+                    tel.span(p.name(), class, "rpc", t0, end);
+                    tel.histogram_record(
+                        &format!("rpc.latency_ns.{class}"),
+                        end.since(t0).as_nanos(),
+                    );
+                    tel.histogram_record(
+                        &format!("rpc.bytes.{class}"),
+                        (req_bytes + resp_bytes).saturating_mul(repeat as u64),
+                    );
+                    tel.counter_add(&format!("rpc.calls.{class}"), repeat as u64);
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                fail("decode_errors");
+                Err(TransportError::Decode(e))
+            }
+        }
     }
 
     /// The link this client rides on.

@@ -545,6 +545,38 @@ pub fn descriptor_kind_from_u8(v: u8) -> WireResult<DescriptorKind> {
 }
 
 impl Request {
+    /// Telemetry API class of this request: a small, stable label grouping
+    /// the CUDA/cuDNN/cuBLAS surface the way the remoting-characterization
+    /// literature buckets it (memory ops, copies, launches, sync, library
+    /// handles). Used to key per-class latency/bytes histograms.
+    pub fn class(&self) -> &'static str {
+        use Request::*;
+        match self {
+            Init { .. } => "init",
+            RegisterModule { .. } => "register_module",
+            GetDeviceCount
+            | GetDeviceProps { .. }
+            | SetDevice { .. }
+            | PointerGetAttributes { .. } => "device_query",
+            Malloc { .. } | Free { .. } | Memset { .. } | MallocHost { .. } => "mem",
+            MemcpyH2D { .. } => "memcpy_h2d",
+            MemcpyD2H { .. } => "memcpy_d2h",
+            PushCallConfiguration { .. } | Launch { .. } | LaunchConfigured { .. } => "launch",
+            Sync => "sync",
+            StreamCreate | StreamDestroy { .. } | StreamSync { .. } => "stream",
+            EventCreate | EventRecord { .. } | EventSync { .. } => "event",
+            CudnnCreate { .. }
+            | CudnnDestroy { .. }
+            | CudnnCreateDescriptors { .. }
+            | CudnnSetDescriptors { .. }
+            | CudnnDestroyDescriptors { .. }
+            | CudnnOp { .. } => "cudnn",
+            CublasCreate { .. } | CublasDestroy { .. } | CublasOp { .. } => "cublas",
+            Batch(_) => "batch",
+            EndFunction => "end_function",
+        }
+    }
+
     /// Serialize into a fresh frame.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64);

@@ -150,6 +150,7 @@ pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
             .shared
             .context(a.shared.home_gpu)
             .expect("home context provisioned");
+        let serve_start = p.now();
         let session = GpuSession::new(&a.h, home_ctx, Some(asg.mem_limit));
         let mut d = Dispatcher::new(session, asg.registry);
         // Heartbeat the monitor while serving, so the lease check can tell
@@ -213,6 +214,19 @@ pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
             }
         }
         stop_hb.store(true, Ordering::Relaxed);
+        let tel = p.telemetry();
+        if tel.is_enabled() {
+            tel.span(
+                p.name(),
+                &format!("serve:inv{}", asg.invocation),
+                "serve",
+                serve_start,
+                p.now(),
+            );
+            if aborted {
+                tel.counter_add("server.aborts", 1);
+            }
+        }
         // "When the current serverless function finishes, the API server
         // changes its current GPU to the originally assigned one" — with
         // nothing left to copy, since the session was released.
@@ -260,6 +274,22 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
         Ok(report) => {
             a.shared.set_current(target);
             let at = p.now();
+            let tel = p.telemetry();
+            if tel.is_enabled() {
+                tel.counter_add("migrations", 1);
+                tel.instant(
+                    p.name(),
+                    "migration",
+                    at,
+                    &[
+                        ("server", a.shared.id.to_string()),
+                        ("from", from.0.to_string()),
+                        ("to", target.0.to_string()),
+                        ("bytes_moved", report.bytes_moved.to_string()),
+                        ("allocs_moved", report.allocs_moved.to_string()),
+                    ],
+                );
+            }
             a.migration_log.lock().push(MigrationRecord {
                 server: a.shared.id,
                 from,

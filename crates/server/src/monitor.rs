@@ -178,11 +178,21 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     let migration_cooldown = Dur(a.cfg.monitor_period.as_nanos() * 15);
 
     let mut next_tick = p.now() + a.cfg.monitor_period;
+    // Telemetry bookkeeping: only emit the queue-depth gauge on change, and
+    // sample per-GPU timelines once per tick over the since-last-sample
+    // window.
+    let mut last_depth: usize = 0;
+    let mut last_gpu_sample = p.now();
 
     loop {
         // Drop requests whose senders gave up (queue timeout) before they
         // can occupy a server.
         queue.retain(|r| !r.cancelled.load(Ordering::Relaxed));
+        if p.telemetry().is_enabled() && queue.len() != last_depth {
+            last_depth = queue.len();
+            p.telemetry()
+                .gauge_set("monitor.queue_depth", p.now(), last_depth as i64);
+        }
         // Periodic ticks drive the migration policy and the lease check;
         // they are armed only while work is in flight. An idle monitor
         // blocks indefinitely, which lets the simulation's event queue
@@ -247,6 +257,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             }
             Err(RecvError::Timeout) => {
                 next_tick = p.now() + a.cfg.monitor_period;
+                sample_gpus(p, &a, &mut last_gpu_sample);
                 if check_leases(p, &a, &mut servers) {
                     drain_queue(p, &a, &mut servers, &overhead, &mut queue);
                 }
@@ -266,12 +277,38 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     }
 }
 
+/// Sample per-GPU memory and utilization timelines for telemetry. The
+/// utilization is the busy fraction of the since-last-sample window in
+/// integer basis points (floats never reach an export).
+fn sample_gpus(p: &ProcCtx, a: &MonCtx, last_sample: &mut SimTime) {
+    let now = p.now();
+    let since = *last_sample;
+    *last_sample = now;
+    let tel = p.telemetry();
+    if !tel.is_enabled() {
+        return;
+    }
+    let window = now.since(since).as_nanos();
+    for (i, gpu) in a.gpus.iter().enumerate() {
+        tel.gauge_set(
+            &format!("gpu.{i}.mem_used_bytes"),
+            now,
+            gpu.used_mem() as i64,
+        );
+        let busy = gpu.busy_between(since, now).as_nanos();
+        if let Some(util_bp) = busy.saturating_mul(10_000).checked_div(window) {
+            tel.gauge_set(&format!("gpu.{i}.util_bp"), now, util_bp as i64);
+        }
+    }
+}
+
 /// Fail `invocation` over (first failure wins; completed invocations are
 /// left alone).
 fn mark_failed(at: SimTime, a: &MonCtx, invocation: u64) {
     if let Some(rec) = a.records.lock().get_mut(&invocation) {
         if rec.done_at.is_none() && rec.failed_at.is_none() {
             rec.failed_at = Some(at);
+            a.h.telemetry().counter_add("invocation.failures", 1);
         }
     }
 }
@@ -293,6 +330,19 @@ fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook]) -> bool {
         if now.since(s.last_heartbeat) > a.cfg.lease_timeout {
             s.failed = true;
             let b = s.busy.take().expect("checked busy");
+            let tel = p.telemetry();
+            if tel.is_enabled() {
+                tel.counter_add("monitor.lease_expirations", 1);
+                tel.instant(
+                    p.name(),
+                    "lease-expired",
+                    now,
+                    &[
+                        ("server", s.shared.id.to_string()),
+                        ("invocation", b.invocation.to_string()),
+                    ],
+                );
+            }
             mark_failed(now, a, b.invocation);
             any = true;
         }
@@ -370,6 +420,7 @@ fn drain_queue(
                 rec.gpu = Some(s.shared.home_gpu);
             }
         }
+        p.telemetry().counter_add("monitor.assignments", 1);
         s.assign_tx.send(
             p,
             Assignment {

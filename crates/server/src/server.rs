@@ -238,6 +238,7 @@ impl GpuServer {
             Ok(client) => Ok((client, invocation)),
             Err(RecvError::Timeout) => {
                 cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+                p.telemetry().counter_add("server.queue_timeouts", 1);
                 self.mark_invocation_failed(p.now(), invocation);
                 Err(AcquireError::Timeout {
                     waited: p.now().since(now),
@@ -254,6 +255,9 @@ impl GpuServer {
         if let Some(rec) = self.records.lock().get_mut(&invocation) {
             if rec.done_at.is_none() && rec.failed_at.is_none() {
                 rec.failed_at = Some(at);
+                self.handle
+                    .telemetry()
+                    .counter_add("invocation.failures", 1);
             }
         }
     }

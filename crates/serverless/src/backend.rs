@@ -153,9 +153,12 @@ impl Backend {
         opts: OptConfig,
     ) -> FunctionResult {
         let launched_at = p.now();
+        let tel = p.telemetry();
+        tel.counter_add("backend.invocations", 1);
         let mut avoid = None;
         let mut attempt = 1;
         let last: InvokeFailure = loop {
+            tel.counter_add("backend.attempts", 1);
             let idx = self.choose_idx(avoid);
             match invoke_dgsf_attempt(p, &self.servers[idx], store, w, opts, attempt) {
                 Ok(mut r) => {
@@ -165,6 +168,19 @@ impl Backend {
                 }
                 Err(f) => {
                     if f.error.is_transient() && attempt < self.retry.max_attempts {
+                        if tel.is_enabled() {
+                            tel.counter_add("backend.retries", 1);
+                            tel.instant(
+                                p.name(),
+                                "retry",
+                                p.now(),
+                                &[
+                                    ("workload", w.name().to_string()),
+                                    ("failed_attempt", attempt.to_string()),
+                                    ("error", f.error.to_string()),
+                                ],
+                            );
+                        }
                         avoid = Some(idx);
                         p.sleep(self.retry.backoff(attempt));
                         attempt += 1;
@@ -174,6 +190,7 @@ impl Backend {
                 }
             }
         };
+        tel.counter_add("backend.failures", 1);
         FunctionResult {
             name: w.name().to_string(),
             mode: "dgsf".into(),

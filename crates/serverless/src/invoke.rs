@@ -142,6 +142,16 @@ pub fn invoke_dgsf_attempt(
     let mut api = RemoteCuda::new(client, opts);
     let outcome = drive(p, &mut api, w, &mut rec);
     rec.close(p);
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.span(
+            p.name(),
+            &format!("invoke:{}:a{attempt}", w.name()),
+            "invocation",
+            launched_at,
+            p.now(),
+        );
+    }
     match outcome {
         Ok(()) => Ok(FunctionResult {
             name: w.name().to_string(),
@@ -197,6 +207,16 @@ pub fn invoke_native(
         .expect("workload runs on a dedicated local GPU");
     rec.close(p);
 
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.span(
+            p.name(),
+            &format!("invoke:{}:native", w.name()),
+            "invocation",
+            launched_at,
+            p.now(),
+        );
+    }
     FunctionResult {
         name: w.name().to_string(),
         mode: "native".into(),

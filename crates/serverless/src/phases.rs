@@ -40,10 +40,17 @@ impl PhaseRecorder {
         self.open = Some((name.to_string(), p.now()));
     }
 
-    /// Close the currently open phase, if any.
+    /// Close the currently open phase, if any. With telemetry enabled the
+    /// closed interval is also recorded as a span on the calling process's
+    /// track, so traces show the same phase breakdown the harness reads
+    /// back — on every invocation path (DGSF, native, CPU) uniformly.
     pub fn close(&mut self, p: &ProcCtx) {
         if let Some((name, start)) = self.open.take() {
             let d = p.now().since(start);
+            let tel = p.telemetry();
+            if tel.is_enabled() {
+                tel.span(p.name(), &name, "phase", start, p.now());
+            }
             self.add(&name, d);
         }
     }

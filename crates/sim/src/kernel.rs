@@ -44,6 +44,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::telemetry::Telemetry;
 use crate::time::{Dur, SimTime};
 
 /// Identifier of a simulated process.
@@ -144,6 +145,10 @@ pub(crate) struct Shared {
     pub(crate) state: Mutex<SimState>,
     yield_tx: Sender<YieldMsg>,
     handles: Mutex<Vec<(ProcId, JoinHandle<()>)>>,
+    /// Per-simulation telemetry registry (disabled by default). Lives
+    /// outside the state mutex: recording must never contend with the
+    /// scheduler.
+    telemetry: Arc<Telemetry>,
 }
 
 /// A deterministic discrete-event simulation.
@@ -184,8 +189,15 @@ impl Sim {
             }),
             yield_tx,
             handles: Mutex::new(Vec::new()),
+            telemetry: Arc::new(Telemetry::new()),
         });
         Sim { shared, yield_rx }
+    }
+
+    /// This simulation's telemetry registry (disabled until
+    /// [`Telemetry::enable`] is called).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
     }
 
     /// Current virtual time.
@@ -375,6 +387,7 @@ where
     }
     let ctx = ProcCtx {
         pid,
+        name: Arc::from(name),
         shared: Arc::clone(shared),
         yield_tx: shared.yield_tx.clone(),
         resume_rx,
@@ -453,6 +466,11 @@ impl SimHandle {
         let mut st = self.shared.state.lock();
         f(&mut st.rng)
     }
+
+    /// This simulation's telemetry registry.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
 }
 
 impl Sim {
@@ -469,6 +487,7 @@ impl Sim {
 /// on the process's thread.
 pub struct ProcCtx {
     pub(crate) pid: ProcId,
+    name: Arc<str>,
     pub(crate) shared: Arc<Shared>,
     yield_tx: Sender<YieldMsg>,
     resume_rx: Receiver<()>,
@@ -478,6 +497,17 @@ impl ProcCtx {
     /// This process's id.
     pub fn pid(&self) -> ProcId {
         self.pid
+    }
+
+    /// The name this process was spawned with — telemetry uses it as the
+    /// span track.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This simulation's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Current virtual time.

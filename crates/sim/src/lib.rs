@@ -44,10 +44,12 @@ mod kernel;
 mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 
 pub use channel::{RecvError, SimReceiver, SimSender};
 pub use kernel::{ProcCtx, ProcId, ShutdownSignal, Sim, SimHandle};
 pub use resource::{FifoResource, GpsResource, Timeline};
 pub use stats::{moving_average, percentile_sorted, Summary};
+pub use telemetry::{EventRecord, Histogram, SpanRecord, Telemetry, TelemetryExport};
 pub use time::{Dur, SimTime};

@@ -1,0 +1,610 @@
+//! Deterministic sim-time telemetry: spans, counters, gauges, histograms.
+//!
+//! Every [`Sim`](crate::Sim) owns one [`Telemetry`] registry, disabled by
+//! default (recording methods early-return on a single relaxed atomic load).
+//! When enabled, instrumented layers record
+//!
+//! * **spans** — named intervals of virtual time on a named track
+//!   (invocation → phase → RPC nesting falls out of tracks being process
+//!   names),
+//! * **instant events** — point-in-time markers with key/value arguments
+//!   (migrations, retries, lease expirations),
+//! * **counters** — monotonic `u64` sums (RPC calls per API class, retries,
+//!   drops, failures),
+//! * **gauges** — `(SimTime, i64)` timelines (queue depth, per-GPU memory
+//!   and utilization), and
+//! * **histograms** — log₂-bucketed `u64` distributions (per-API-class RPC
+//!   latency and bytes).
+//!
+//! # Determinism contract
+//!
+//! All timestamps are virtual ([`SimTime`]) and recording order follows the
+//! kernel's deterministic schedule, so two runs with the same seed produce
+//! **byte-identical** exports. To keep that property the registry never
+//! consults wall clocks, never iterates hash maps (state lives in `BTreeMap`s
+//! and append-ordered `Vec`s), never draws from any RNG, and exports only
+//! integers — no float formatting. Telemetry being enabled or disabled must
+//! not perturb the simulation itself: recording never sleeps, never yields
+//! and never touches the sim RNG.
+//!
+//! Exports come in two shapes: a JSON metrics snapshot
+//! ([`Telemetry::metrics_json`]) and a Chrome trace-event file
+//! ([`Telemetry::chrome_trace_json`]) loadable in `chrome://tracing` /
+//! Perfetto.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::time::{Dur, SimTime};
+
+/// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1`
+/// holds values with bit length `b` (i.e. `2^(b-1) ..= 2^b - 1`).
+const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed distribution of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Bucket counts; index = bit length of the sample value.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let b = (64 - value.leading_zeros()) as usize;
+        self.buckets[b] += 1;
+    }
+
+    /// Nearest-rank quantile estimate from the buckets: the upper bound of
+    /// the bucket containing the q-th sample (exact for min/max, a ≤2×
+    /// overestimate inside a bucket). Integer-only, so deterministic.
+    pub fn quantile_upper_bound(&self, q_permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count * q_permille).div_ceil(1000)).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 {
+                    0
+                } else {
+                    (1u64 << b).wrapping_sub(1)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// One closed span, for programmatic test oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Track (thread lane) the span lives on — by convention the recording
+    /// process's name.
+    pub track: String,
+    /// Span name (e.g. a phase or an RPC class).
+    pub name: String,
+    /// Category ("invocation", "phase", "rpc", "server", ...).
+    pub cat: String,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn dur(&self) -> Dur {
+        self.end.since(self.start)
+    }
+}
+
+/// One instant event, for programmatic test oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Track the event is attached to.
+    pub track: String,
+    /// Event name (e.g. "migration", "retry", "lease-expired").
+    pub name: String,
+    /// When it happened.
+    pub at: SimTime,
+    /// Key/value arguments, in recording order.
+    pub args: Vec<(String, String)>,
+}
+
+/// Both export artifacts of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryExport {
+    /// JSON metrics snapshot (counters, gauges, histograms).
+    pub metrics_json: String,
+    /// Chrome trace-event JSON (spans + instants + track names).
+    pub chrome_trace_json: String,
+}
+
+enum TraceItem {
+    Span {
+        track: u32,
+        name: String,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+    },
+    Instant {
+        track: u32,
+        name: String,
+        at: SimTime,
+        args: Vec<(String, String)>,
+    },
+}
+
+#[derive(Default)]
+struct TelState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Vec<(SimTime, i64)>>,
+    histograms: BTreeMap<String, Histogram>,
+    items: Vec<TraceItem>,
+    /// Track name → tid, in first-use order (deterministic).
+    tracks: Vec<String>,
+}
+
+impl TelState {
+    fn track_id(&mut self, name: &str) -> u32 {
+        match self.tracks.iter().position(|t| t == name) {
+            Some(i) => i as u32,
+            None => {
+                self.tracks.push(name.to_string());
+                (self.tracks.len() - 1) as u32
+            }
+        }
+    }
+}
+
+/// The per-simulation telemetry registry. See the [module docs](self) for
+/// the recording model and determinism contract.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    state: Mutex<TelState>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A disabled registry (the state every [`Sim`](crate::Sim) starts in).
+    pub fn new() -> Telemetry {
+        Telemetry {
+            enabled: AtomicBool::new(false),
+            state: Mutex::new(TelState::default()),
+        }
+    }
+
+    /// Turn recording on. Everything recorded before this call was dropped.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on. Call sites that need to build strings for
+    /// arguments should guard on this to keep the disabled path free.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    // ---- recording ----------------------------------------------------
+
+    /// Add `delta` to counter `name` (created at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() || delta == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        *st.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Append a `(at, value)` sample to gauge `name`'s timeline.
+    pub fn gauge_set(&self, name: &str, at: SimTime, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.gauges
+            .entry(name.to_string())
+            .or_default()
+            .push((at, value));
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Record a closed span of virtual time on `track`.
+    pub fn span(&self, track: &str, name: &str, cat: &'static str, start: SimTime, end: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let track = st.track_id(track);
+        st.items.push(TraceItem::Span {
+            track,
+            name: name.to_string(),
+            cat,
+            start,
+            end,
+        });
+    }
+
+    /// Record an instant event on `track` with key/value `args`.
+    pub fn instant(&self, track: &str, name: &str, at: SimTime, args: &[(&str, String)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let track = st.track_id(track);
+        st.items.push(TraceItem::Instant {
+            track,
+            name: name.to_string(),
+            at,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    // ---- programmatic queries (test oracles) --------------------------
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        *self.state.lock().counters.get(name).unwrap_or(&0)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.state
+            .lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Timeline of gauge `name` (empty if never touched).
+    pub fn gauge(&self, name: &str) -> Vec<(SimTime, i64)> {
+        self.state
+            .lock()
+            .gauges
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state.lock().histograms.get(name).cloned()
+    }
+
+    /// All closed spans, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let st = self.state.lock();
+        st.items
+            .iter()
+            .filter_map(|it| match it {
+                TraceItem::Span {
+                    track,
+                    name,
+                    cat,
+                    start,
+                    end,
+                } => Some(SpanRecord {
+                    track: st.tracks[*track as usize].clone(),
+                    name: name.clone(),
+                    cat: (*cat).to_string(),
+                    start: *start,
+                    end: *end,
+                }),
+                TraceItem::Instant { .. } => None,
+            })
+            .collect()
+    }
+
+    /// All instant events, in recording order.
+    pub fn instants(&self) -> Vec<EventRecord> {
+        let st = self.state.lock();
+        st.items
+            .iter()
+            .filter_map(|it| match it {
+                TraceItem::Instant {
+                    track,
+                    name,
+                    at,
+                    args,
+                } => Some(EventRecord {
+                    track: st.tracks[*track as usize].clone(),
+                    name: name.clone(),
+                    at: *at,
+                    args: args.clone(),
+                }),
+                TraceItem::Span { .. } => None,
+            })
+            .collect()
+    }
+
+    // ---- exporters -----------------------------------------------------
+
+    /// Both export artifacts in one call.
+    pub fn export(&self) -> TelemetryExport {
+        TelemetryExport {
+            metrics_json: self.metrics_json(),
+            chrome_trace_json: self.chrome_trace_json(),
+        }
+    }
+
+    /// JSON metrics snapshot: counters, gauge timelines and histogram
+    /// summaries, all keys sorted, all values integers. Byte-identical
+    /// across same-seed runs.
+    pub fn metrics_json(&self) -> String {
+        let st = self.state.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in st.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, samples)) in st.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": [");
+            for (j, (at, v)) in samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", at.as_nanos(), v));
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in st.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.quantile_upper_bound(500),
+                h.quantile_upper_bound(950),
+                h.quantile_upper_bound(990),
+            ));
+        }
+        let (spans, instants) = st.items.iter().fold((0u64, 0u64), |(s, e), it| match it {
+            TraceItem::Span { .. } => (s + 1, e),
+            TraceItem::Instant { .. } => (s, e + 1),
+        });
+        out.push_str(&format!(
+            "\n  }},\n  \"spans\": {spans},\n  \"events\": {instants}\n}}\n"
+        ));
+        out
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form):
+    /// one metadata `thread_name` entry per track, then every span
+    /// (`"ph":"X"`) and instant (`"ph":"i"`) in recording order. Timestamps
+    /// are virtual microseconds rendered with fixed nanosecond fractions, so
+    /// the output is byte-identical across same-seed runs.
+    pub fn chrome_trace_json(&self) -> String {
+        let st = self.state.lock();
+        let mut out = String::with_capacity(8192);
+        out.push_str("{\"traceEvents\": [\n");
+        let mut first = true;
+        for (tid, name) in st.tracks.iter().enumerate() {
+            sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": "
+            ));
+            json_str(&mut out, name);
+            out.push_str("}}");
+        }
+        for it in &st.items {
+            sep(&mut out, &mut first);
+            match it {
+                TraceItem::Span {
+                    track,
+                    name,
+                    cat,
+                    start,
+                    end,
+                } => {
+                    out.push_str("{\"name\": ");
+                    json_str(&mut out, name);
+                    out.push_str(&format!(
+                        ", \"cat\": \"{cat}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {track}, \"ts\": {}, \"dur\": {}}}",
+                        micros(start.as_nanos()),
+                        micros(end.since(*start).as_nanos()),
+                    ));
+                }
+                TraceItem::Instant {
+                    track,
+                    name,
+                    at,
+                    args,
+                } => {
+                    out.push_str("{\"name\": ");
+                    json_str(&mut out, name);
+                    out.push_str(&format!(
+                        ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": {track}, \"ts\": {}, \"args\": {{",
+                        micros(at.as_nanos()),
+                    ));
+                    for (j, (k, v)) in args.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        json_str(&mut out, k);
+                        out.push_str(": ");
+                        json_str(&mut out, v);
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// Nanoseconds → microsecond timestamp with a fixed 3-digit fraction
+/// (integer math only; Chrome's `ts`/`dur` are microseconds).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Append `s` as a JSON string literal.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::new();
+        t.counter_add("c", 3);
+        t.gauge_set("g", SimTime(5), 1);
+        t.histogram_record("h", 9);
+        t.span("trk", "s", "cat", SimTime(0), SimTime(1));
+        t.instant("trk", "e", SimTime(2), &[]);
+        assert_eq!(t.counter("c"), 0);
+        assert!(t.gauge("g").is_empty());
+        assert!(t.histogram("h").is_none());
+        assert!(t.spans().is_empty());
+        assert!(t.instants().is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_round_trips() {
+        let t = Telemetry::new();
+        t.enable();
+        t.counter_add("rpc.calls", 2);
+        t.counter_add("rpc.calls", 1);
+        t.gauge_set("q", SimTime(10), 4);
+        t.histogram_record("lat", 1000);
+        t.histogram_record("lat", 2000);
+        t.span("fn-0", "init", "phase", SimTime(0), SimTime(1_000));
+        t.instant("monitor", "retry", SimTime(500), &[("attempt", "2".into())]);
+        assert_eq!(t.counter("rpc.calls"), 3);
+        assert_eq!(t.gauge("q"), vec![(SimTime(10), 4)]);
+        let h = t.histogram("lat").unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 1000, 2000));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].dur(), Dur(1_000));
+        assert_eq!(t.instants()[0].args[0].1, "2");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounded_by_min_max_buckets() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(500);
+        let p99 = h.quantile_upper_bound(990);
+        assert!(p50 <= p99);
+        assert!(p99 >= h.max / 2, "upper bound covers the top bucket");
+        assert_eq!(Histogram::default().quantile_upper_bound(500), 0);
+    }
+
+    #[test]
+    fn exports_are_valid_shape_and_deterministic() {
+        let build = || {
+            let t = Telemetry::new();
+            t.enable();
+            t.counter_add("b", 1);
+            t.counter_add("a", 2);
+            t.gauge_set("g", SimTime(1_500), -3);
+            t.histogram_record("h", 7);
+            t.span("trk\"x", "s", "rpc", SimTime(0), SimTime(2_500));
+            t.instant("trk\"x", "e", SimTime(2_000), &[("k", "v".into())]);
+            t.export()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same recording order must export byte-identically");
+        assert!(a.metrics_json.contains("\"a\": 2"));
+        assert!(a.metrics_json.contains("[[1500,-3]]"));
+        assert!(a.chrome_trace_json.contains("\"ts\": 0.000"));
+        assert!(a.chrome_trace_json.contains("\"dur\": 2.500"));
+        assert!(a.chrome_trace_json.contains("trk\\\"x"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use dgsf_sim::{Dur, GpsResource, Sim, SimTime};
+use dgsf_sim::{percentile_sorted, Dur, GpsResource, Sim, SimTime, Summary};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 
@@ -116,6 +116,67 @@ proptest! {
         sim.run();
         let got = got.lock().clone();
         prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Percentiles are monotone in q, and every percentile of a sample lies
+    /// between its min and max; the summary's own p50 ≤ p95 ≤ p99 chain
+    /// holds too.
+    #[test]
+    fn percentiles_monotone_and_bounded(
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..60),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi));
+        let s = Summary::from(&samples);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        for q in [0.0, lo, hi, 1.0] {
+            let p = percentile_sorted(&sorted, q);
+            prop_assert!(s.min <= p && p <= s.max, "p({q}) = {p} outside [{}, {}]", s.min, s.max);
+        }
+    }
+
+    /// Nearest-rank semantics, robust to ties: the percentile is a member
+    /// of the sample, at least ⌈q·n⌉ samples are ≤ it, and fewer than
+    /// ⌈q·n⌉ are strictly below it. The narrow value range makes heavy
+    /// ties the common case.
+    #[test]
+    fn percentile_is_nearest_rank(
+        values in proptest::collection::vec(0u32..20, 1..60),
+        q in 0.0f64..1.0,
+    ) {
+        let mut sorted: Vec<f64> = values.iter().map(|&x| f64::from(x)).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p = percentile_sorted(&sorted, q);
+        let n = sorted.len();
+        let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+        prop_assert!(sorted.contains(&p), "percentile must be a sample member");
+        let le = sorted.iter().filter(|&&x| x <= p).count();
+        let lt = sorted.iter().filter(|&&x| x < p).count();
+        prop_assert!(le >= rank, "only {le} samples ≤ {p}, need ≥ {rank}");
+        prop_assert!(lt < rank, "{lt} samples < {p}, must be < {rank}");
+    }
+
+    /// A single-sample summary collapses to that sample everywhere, and
+    /// every percentile of a singleton is the sample itself.
+    #[test]
+    fn single_sample_summary_collapses(x in -1e6f64..1e6) {
+        let s = Summary::from(&[x]);
+        prop_assert_eq!(s.n, 1);
+        for v in [s.mean, s.min, s.max, s.p50, s.p95, s.p99, s.sum] {
+            prop_assert_eq!(v, x);
+        }
+        prop_assert_eq!(s.std, 0.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            prop_assert_eq!(percentile_sorted(&[x], q), x);
+        }
     }
 }
 

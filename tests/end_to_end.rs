@@ -31,8 +31,8 @@ fn dgsf_beats_native_for_every_dnn_workload() {
 fn native_pays_init_dgsf_does_not() {
     let cfg = TestbedConfig::paper_default();
     let w: Arc<dyn Workload> = Arc::new(workloads::kmeans());
-    let native = Testbed::run_native_once(1, &cfg.server.costs, w.clone());
-    let dgsf_run = Testbed::run_dgsf_once(&cfg, w);
+    let (native, native_tel) = Testbed::run_native_once_traced(1, &cfg.server.costs, w.clone());
+    let (dgsf_run, dgsf_tel) = Testbed::run_dgsf_once_traced(&cfg, w);
     let native_init = native.phases.get(phase::INIT).as_secs_f64();
     let dgsf_init = dgsf_run.phases.get(phase::INIT).as_secs_f64();
     assert!(
@@ -40,6 +40,42 @@ fn native_pays_init_dgsf_does_not() {
         "native init on critical path: {native_init}"
     );
     assert!(dgsf_init < 0.1, "DGSF init hidden by pooling: {dgsf_init}");
+
+    // Trace oracle: the recorded phase spans tell the same story as the
+    // phase recorder — native pays init in the trace, DGSF's init span
+    // time is (near) zero because the pool absorbed it.
+    let init_span_secs = |tel: &dgsf::sim::Telemetry| -> f64 {
+        tel.spans()
+            .iter()
+            .filter(|s| s.cat == "phase" && s.name == phase::INIT)
+            .map(|s| s.dur().as_secs_f64())
+            .sum()
+    };
+    let native_span = init_span_secs(&native_tel);
+    let dgsf_span = init_span_secs(&dgsf_tel);
+    assert!(
+        (native_span - native_init).abs() < 1e-9,
+        "native init span must equal the recorded phase: {native_span} vs {native_init}"
+    );
+    assert!(
+        dgsf_span < 0.1,
+        "DGSF trace must show ~zero init span time: {dgsf_span}"
+    );
+    // The DGSF trace carries exactly one invocation span enclosing every
+    // phase span on the function's track.
+    let spans = dgsf_tel.spans();
+    let invocations: Vec<_> = spans.iter().filter(|s| s.cat == "invocation").collect();
+    assert_eq!(invocations.len(), 1);
+    for ph in spans
+        .iter()
+        .filter(|s| s.cat == "phase" && s.track == invocations[0].track)
+    {
+        assert!(
+            invocations[0].start <= ph.start && ph.end <= invocations[0].end,
+            "phase span {} must nest inside the invocation span",
+            ph.name
+        );
+    }
 }
 
 #[test]

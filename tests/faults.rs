@@ -91,15 +91,23 @@ fn record_key(r: &InvocationRecord) -> RecordKey {
 }
 
 /// Run `n` staggered functions through a two-server backend where server A
-/// carries `faults`. Returns (per-function outcome digests in launch
-/// order, the concatenated record digests of both servers, dropped-transfer
-/// count on the faulted link).
+/// carries `faults`, with telemetry recording on. Returns (per-function
+/// outcome digests in launch order, the concatenated record digests of both
+/// servers, dropped-transfer count on the faulted link, the run's telemetry
+/// registry).
 fn chaos_run(
     seed: u64,
     n: usize,
     faults: FaultPlan,
-) -> (Vec<ResultKey>, Vec<Vec<InvocationRecord>>, u64) {
+) -> (
+    Vec<ResultKey>,
+    Vec<Vec<InvocationRecord>>,
+    u64,
+    Arc<dgsf::sim::Telemetry>,
+) {
     let mut sim = Sim::new(seed);
+    let tel = sim.telemetry();
+    tel.enable();
     let h = sim.handle();
     let out: Arc<Mutex<Vec<(usize, ResultKey)>>> = Arc::new(Mutex::new(Vec::new()));
     let records: Arc<Mutex<Vec<Vec<InvocationRecord>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -161,7 +169,7 @@ fn chaos_run(
     let results = results.into_iter().map(|(_, k)| k).collect();
     let records = records.lock().clone();
     let dropped = *dropped.lock();
-    (results, records, dropped)
+    (results, records, dropped, tel)
 }
 
 #[test]
@@ -169,7 +177,7 @@ fn kill_and_drops_recover_and_replay_identically() {
     // Server A dies 1 s in (mid-kernel of the first function) and its link
     // eats one early RPC round trip outright.
     let plan = FaultPlan::new(11).kill_server(0, t(1.0)).drop_message(6);
-    let (results, records, dropped) = chaos_run(11, 6, plan.clone());
+    let (results, records, dropped, tel) = chaos_run(11, 6, plan.clone());
 
     // Termination: every launched function produced an outcome.
     assert_eq!(results.len(), 6, "no invocation may hang or get lost");
@@ -205,9 +213,10 @@ fn kill_and_drops_recover_and_replay_identically() {
         );
     }
 
-    // Determinism: replaying the same seed gives byte-identical outcomes
-    // and byte-identical server-side timelines.
-    let (results2, records2, dropped2) = chaos_run(11, 6, plan);
+    // Determinism: replaying the same seed gives byte-identical outcomes,
+    // byte-identical server-side timelines, and byte-identical telemetry
+    // exports — chaos and all.
+    let (results2, records2, dropped2, tel2) = chaos_run(11, 6, plan);
     assert_eq!(results, results2, "chaos outcomes must replay exactly");
     assert_eq!(dropped, dropped2);
     let keys = |rs: &Vec<Vec<InvocationRecord>>| -> Vec<_> {
@@ -218,23 +227,78 @@ fn kill_and_drops_recover_and_replay_identically() {
         keys(&records2),
         "record timelines must replay exactly"
     );
+    assert_eq!(
+        tel.export(),
+        tel2.export(),
+        "telemetry exports must replay byte-for-byte under chaos"
+    );
+}
+
+#[test]
+fn chaos_counters_match_invocation_records_exactly() {
+    // The telemetry counters are exact, not approximate: they must agree
+    // with the ground truth the backend and servers already report.
+    let plan = FaultPlan::new(11).kill_server(0, t(1.0)).drop_message(6);
+    let (results, records, dropped, tel) = chaos_run(11, 6, plan);
+
+    let total_attempts: u64 = results.iter().map(|(_, _, a, _, _)| u64::from(*a)).sum();
+    let failed_functions = results
+        .iter()
+        .filter(|(_, _, _, failure, _)| failure.is_some())
+        .count() as u64;
+    let failed_records = records
+        .iter()
+        .flatten()
+        .filter(|r| r.failed_at.is_some())
+        .count() as u64;
+
+    assert_eq!(tel.counter("backend.invocations"), 6);
+    assert_eq!(
+        tel.counter("backend.attempts"),
+        total_attempts,
+        "attempt counter must equal the sum of per-function attempts"
+    );
+    assert_eq!(
+        tel.counter("backend.retries"),
+        total_attempts - 6,
+        "every attempt beyond the first is exactly one retry"
+    );
+    assert_eq!(tel.counter("backend.failures"), failed_functions);
+    assert_eq!(
+        tel.counter("invocation.failures"),
+        failed_records,
+        "failure counter must match records with failed_at set"
+    );
+    assert_eq!(
+        tel.counter("net.dropped"),
+        dropped,
+        "drop counter must match the faulted link's own accounting"
+    );
+    assert!(
+        tel.counter("rpc.transport_errors") >= 1,
+        "the kill+drop plan must surface transport errors"
+    );
+    // Every retry left an instant event, one per counted retry.
+    let retry_events = tel.instants().iter().filter(|e| e.name == "retry").count() as u64;
+    assert_eq!(retry_events, tel.counter("backend.retries"));
 }
 
 #[test]
 fn empty_fault_plan_is_invisible() {
     // A plan that injects nothing must leave the run bit-identical to one
-    // provisioned with no plan at all (the no-chaos baseline).
-    let baseline = chaos_run_no_faults(17, 4);
-    let (results, records, dropped) = chaos_run(17, 4, FaultPlan::new(17));
+    // provisioned with no plan at all (the no-chaos baseline) — including
+    // the telemetry exports, byte for byte.
+    let (base_results, base_records, base_tel) = chaos_run_no_faults(17, 4);
+    let (results, records, dropped, tel) = chaos_run(17, 4, FaultPlan::new(17));
     assert_eq!(dropped, 0);
     assert_eq!(
-        results, baseline.0,
+        results, base_results,
         "an empty plan must not perturb outcomes"
     );
     let keys = |rs: &Vec<Vec<InvocationRecord>>| -> Vec<_> {
         rs.iter().flatten().map(record_key).collect::<Vec<_>>()
     };
-    assert_eq!(keys(&records), keys(&baseline.1));
+    assert_eq!(keys(&records), keys(&base_records));
     for (_, _, attempts, failure, _) in &results {
         assert_eq!(*attempts, 1);
         assert!(
@@ -242,13 +306,35 @@ fn empty_fault_plan_is_invisible() {
             "nothing may fail without injected faults"
         );
     }
+    let base_export = base_tel.export();
+    let export = tel.export();
+    assert_eq!(
+        export.metrics_json, base_export.metrics_json,
+        "empty plan must leave metrics byte-identical to no plan"
+    );
+    assert_eq!(
+        export.chrome_trace_json, base_export.chrome_trace_json,
+        "empty plan must leave the trace byte-identical to no plan"
+    );
+    assert_eq!(tel.counter("backend.retries"), 0);
+    assert_eq!(tel.counter("invocation.failures"), 0);
+    assert_eq!(tel.counter("rpc.transport_errors"), 0);
 }
 
 /// The same scenario as [`chaos_run`] but with `faults: None` — the
 /// pre-chaos configuration (identical explicit timeouts, so the only
 /// difference is the absence of a fault plan).
-fn chaos_run_no_faults(seed: u64, n: usize) -> (Vec<ResultKey>, Vec<Vec<InvocationRecord>>) {
+fn chaos_run_no_faults(
+    seed: u64,
+    n: usize,
+) -> (
+    Vec<ResultKey>,
+    Vec<Vec<InvocationRecord>>,
+    Arc<dgsf::sim::Telemetry>,
+) {
     let mut sim = Sim::new(seed);
+    let tel = sim.telemetry();
+    tel.enable();
     let h = sim.handle();
     let out: Arc<Mutex<Vec<(usize, ResultKey)>>> = Arc::new(Mutex::new(Vec::new()));
     let records: Arc<Mutex<Vec<Vec<InvocationRecord>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -305,7 +391,7 @@ fn chaos_run_no_faults(seed: u64, n: usize) -> (Vec<ResultKey>, Vec<Vec<Invocati
     results.sort_by_key(|(i, _)| *i);
     let results = results.into_iter().map(|(_, k)| k).collect();
     let records = records.lock().clone();
-    (results, records)
+    (results, records, tel)
 }
 
 #[test]
@@ -315,7 +401,7 @@ fn blackhole_window_terminates_every_invocation() {
     let plan = FaultPlan::new(3)
         .blackhole(t(0.5), t(1.5))
         .drop_probability(0.05);
-    let (results, _records, dropped) = chaos_run(3, 5, plan);
+    let (results, _records, dropped, _tel) = chaos_run(3, 5, plan);
     assert_eq!(
         results.len(),
         5,

@@ -34,8 +34,10 @@ fn registry() -> Arc<ModuleRegistry> {
 #[test]
 fn forced_migration_is_invisible_to_the_function() {
     let mut sim = Sim::new(2);
+    let tel = sim.telemetry();
+    tel.enable();
     let h = sim.handle();
-    let checked = Arc::new(Mutex::new(false));
+    let checked: Arc<Mutex<Option<(u64, usize)>>> = Arc::new(Mutex::new(None));
     let c2 = checked.clone();
     sim.spawn("root", move |p| {
         let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(2));
@@ -73,10 +75,29 @@ fn forced_migration_is_invisible_to_the_function() {
         assert!(migs[0].report.bytes_moved >= 32 * MB);
         assert!(migs[0].report.total > Dur::ZERO);
         api.finish(p).unwrap();
-        *c2.lock() = true;
+        *c2.lock() = Some((migs[0].report.bytes_moved, migs[0].report.allocs_moved));
     });
     sim.run();
-    assert!(*checked.lock());
+    let (bytes_moved, allocs_moved) = checked.lock().expect("function ran to completion");
+
+    // Trace oracle: exactly one migration event, agreeing field-for-field
+    // with the migration record the server kept.
+    assert_eq!(tel.counter("migrations"), 1);
+    let events = tel.instants();
+    let migration_events: Vec<_> = events.iter().filter(|e| e.name == "migration").collect();
+    assert_eq!(migration_events.len(), 1, "exactly one migration event");
+    let arg = |k: &str| -> &str {
+        migration_events[0]
+            .args
+            .iter()
+            .find(|(a, _)| a == k)
+            .map(|(_, v)| v.as_str())
+            .expect("migration event carries all args")
+    };
+    assert_eq!(arg("from"), "0");
+    assert_eq!(arg("to"), "1");
+    assert_eq!(arg("bytes_moved"), bytes_moved.to_string());
+    assert_eq!(arg("allocs_moved"), allocs_moved.to_string());
 }
 
 #[test]
