@@ -10,8 +10,13 @@
 //! trace-event `trace.json` (browsable in `chrome://tracing` / Perfetto)
 //! to DIR (default `target/trace`). Deterministic: same seed ⇒
 //! byte-identical files.
+//!
+//! `dgsf-expt sweep [--quick] [--out DIR]` drives the Poisson load sweep
+//! against the autoscaled, admission-controlled fleet and writes
+//! `BENCH_sweep.json` to DIR (default `target/sweep`). Deterministic:
+//! same seed ⇒ byte-identical file.
 
-use dgsf_bench::{mixed, single, trace};
+use dgsf_bench::{mixed, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +44,25 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
     let seed = 42;
+
+    if what == "sweep" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/sweep")
+        } else {
+            out_dir
+        };
+        let s = sweep::sweep(seed, quick);
+        println!("== Load sweep: autoscaled fleet with admission control ==");
+        print!("{}", sweep::sweep_text(&s));
+        match sweep::write_sweep(&dir, &s) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("sweep export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if what == "trace" {
         match trace::write_trace(&out_dir, copies, seed) {

@@ -18,6 +18,7 @@
 //! | §V-C API counts | [`single::apicounts`] | `dgsf-expt apicounts` |
 //! | §VIII-D future work (SJF) | [`mixed::queue_policy`] | `dgsf-expt sjf` |
 //! | telemetry trace | [`trace::write_trace`] | `dgsf-expt trace` |
+//! | autoscaler load sweep | [`sweep::sweep`] | `dgsf-expt sweep` |
 //!
 //! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
 //! records). `dgsf-expt trace` instead writes telemetry artifacts
@@ -28,4 +29,5 @@
 pub mod mixed;
 pub mod report;
 pub mod single;
+pub mod sweep;
 pub mod trace;

@@ -1,0 +1,301 @@
+//! `dgsf-expt sweep` — the open-loop load sweep.
+//!
+//! Drives Poisson (exponential-gap) arrivals of a fixed synthetic workload
+//! at a range of offered rates through the serverless backend, against an
+//! autoscaled GPU server with admission control. For each rate the sweep
+//! records throughput, p50/p99 end-to-end latency, the shed rate and the
+//! autoscaler's activity — the curve that shows the platform saturating
+//! gracefully (bounded p99, shed < 100%) instead of queueing without
+//! bound.
+//!
+//! Everything in `BENCH_sweep.json` is an integer derived from virtual
+//! time, so the file is **byte-identical per seed** across runs and
+//! machines — CI diffs it against a committed golden.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaResult, KernelDef};
+use dgsf::gpu::GB;
+use dgsf::prelude::*;
+
+use crate::report::TextTable;
+
+/// The sweep's synthetic workload: 0.5 s of GPU work, 1 GB footprint, no
+/// download. Small enough that the saturation point is set by compute, not
+/// memory.
+struct Spin;
+
+impl Workload for Spin {
+    fn name(&self) -> &str {
+        "spin"
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        GB
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        api.launch_kernel(
+            p,
+            "k",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(SPIN_SECS, 0),
+        )?;
+        api.device_synchronize(p)?;
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        30.0
+    }
+}
+
+/// GPU seconds of work per invocation. With 2 GPUs the fleet's compute
+/// ceiling is `2 / SPIN_SECS` = 4 functions per second.
+const SPIN_SECS: f64 = 0.5;
+
+/// Offered load points, in milli-requests-per-second. The ceiling of the
+/// swept fleet is 4 rps, so the top points are firmly past saturation.
+const RATES_MILLI_RPS: &[u64] = &[1_000, 2_000, 3_000, 4_000, 6_000, 8_000];
+
+/// One point of the sweep. All integers (virtual-time derived), so the
+/// JSON rendering is byte-stable per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Offered arrival rate (milli-requests/second).
+    pub offered_rps_milli: u64,
+    /// Functions launched at this point.
+    pub launched: u64,
+    /// Functions that completed successfully.
+    pub completed: u64,
+    /// Functions shed by admission control / overload.
+    pub shed: u64,
+    /// Functions that failed for any other reason.
+    pub failed: u64,
+    /// Median end-to-end latency of completed functions (microseconds).
+    pub p50_e2e_us: u64,
+    /// 99th-percentile end-to-end latency of completed functions
+    /// (microseconds, nearest-rank).
+    pub p99_e2e_us: u64,
+    /// Achieved goodput (milli-requests/second of completions over the
+    /// first-launch → all-done window).
+    pub throughput_rps_milli: u64,
+    /// Peak API-server pool size across the run (telemetry gauge).
+    pub pool_peak: i64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
+}
+
+/// The whole sweep: one point per offered rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutput {
+    /// Base seed the per-point seeds derive from.
+    pub seed: u64,
+    /// Launches per point.
+    pub launches_per_point: usize,
+    /// The measured curve, in offered-rate order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The fleet under test: 2 GPUs, autoscaling 1→4 servers per GPU,
+/// admission-controlled backend.
+fn sweep_config(seed: u64) -> BackendRunConfig {
+    BackendRunConfig {
+        seed,
+        server: GpuServerConfig::paper_default().gpus(2).with_autoscale(
+            AutoscaleConfig::new(1, 4)
+                .with_target_queue_delay(Dur::from_millis(250))
+                .with_up_ticks(2)
+                .with_idle_ttl(Dur::from_secs(3))
+                .with_cooldown(Dur::from_millis(400)),
+        ),
+        num_servers: 1,
+        policy: ServerPolicy::RoundRobin,
+        retry: RetryPolicy::default(),
+        admission: Some(AdmissionConfig::new(24).with_max_queue_age(Dur::from_secs(3))),
+        opts: OptConfig::full(),
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (q in permille). Integer-only.
+fn percentile_sorted(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = ((n * q_permille).div_ceil(1000)).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Run one point: `launches` Poisson arrivals at `rate_milli_rps` through
+/// the admission-controlled, autoscaled fleet.
+fn run_point(base_seed: u64, idx: usize, rate_milli_rps: u64, launches: usize) -> SweepPoint {
+    // Distinct, deterministic seed per point.
+    let seed = base_seed.wrapping_add((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mean_gap = Dur(1_000_000_000_000 / rate_milli_rps);
+    let suite: Vec<Arc<dyn Workload>> = vec![Arc::new(Spin)];
+    let schedule = Schedule::mixed(
+        seed,
+        1,
+        launches,
+        ArrivalPattern::Exponential { mean: mean_gap },
+    );
+    let cfg = sweep_config(seed);
+    let (out, tel) = Testbed::run_backend_schedule_traced(&cfg, &suite, &schedule);
+    let mut e2e_us: Vec<u64> = out
+        .results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.e2e().as_nanos() / 1_000)
+        .collect();
+    e2e_us.sort_unstable();
+    let completed = out.completed() as u64;
+    let window_ns = out.all_done.since(out.first_launch).as_nanos();
+    let throughput_rps_milli = if window_ns == 0 {
+        0
+    } else {
+        ((completed as u128 * 1_000_000_000_000) / window_ns as u128) as u64
+    };
+    SweepPoint {
+        offered_rps_milli: rate_milli_rps,
+        launched: out.results.len() as u64,
+        completed,
+        shed: out.shed() as u64,
+        failed: out.failed() as u64,
+        p50_e2e_us: percentile_sorted(&e2e_us, 500),
+        p99_e2e_us: percentile_sorted(&e2e_us, 990),
+        throughput_rps_milli,
+        pool_peak: tel.gauge_peak("monitor.pool_size").unwrap_or(
+            // pool never moved: it stayed at the provisioned baseline
+            cfg.server.total_api_servers() as i64,
+        ),
+        scale_ups: tel.counter("autoscale.scale_ups"),
+        scale_downs: tel.counter("autoscale.scale_downs"),
+    }
+}
+
+/// Run the full sweep. `quick` shrinks launches per point (CI smoke);
+/// deterministic per `(seed, quick)`.
+pub fn sweep(seed: u64, quick: bool) -> SweepOutput {
+    let launches = if quick { 40 } else { 120 };
+    let points = RATES_MILLI_RPS
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| run_point(seed, i, r, launches))
+        .collect();
+    SweepOutput {
+        seed,
+        launches_per_point: launches,
+        points,
+    }
+}
+
+/// Render the sweep as JSON. Integers only — byte-identical per seed.
+pub fn sweep_json(s: &SweepOutput) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", s.seed));
+    out.push_str(&format!(
+        "  \"launches_per_point\": {},\n",
+        s.launches_per_point
+    ));
+    out.push_str("  \"points\": [");
+    for (i, p) in s.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"offered_rps_milli\": {}, \"launched\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \"p50_e2e_us\": {}, \"p99_e2e_us\": {}, \"throughput_rps_milli\": {}, \"pool_peak\": {}, \"scale_ups\": {}, \"scale_downs\": {}}}",
+            p.offered_rps_milli,
+            p.launched,
+            p.completed,
+            p.shed,
+            p.failed,
+            p.p50_e2e_us,
+            p.p99_e2e_us,
+            p.throughput_rps_milli,
+            p.pool_peak,
+            p.scale_ups,
+            p.scale_downs,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_sweep.json` into `out_dir`; returns the path.
+pub fn write_sweep(out_dir: &Path, s: &SweepOutput) -> io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_sweep.json");
+    fs::write(&path, sweep_json(s))?;
+    Ok(path)
+}
+
+/// Human-readable table of the sweep.
+pub fn sweep_text(s: &SweepOutput) -> String {
+    let mut t = TextTable::new(vec![
+        "offered rps",
+        "goodput rps",
+        "completed",
+        "shed",
+        "failed",
+        "p50 e2e",
+        "p99 e2e",
+        "pool peak",
+        "ups/downs",
+    ]);
+    for p in &s.points {
+        t.row(vec![
+            format!("{:.1}", p.offered_rps_milli as f64 / 1000.0),
+            format!("{:.2}", p.throughput_rps_milli as f64 / 1000.0),
+            p.completed.to_string(),
+            p.shed.to_string(),
+            p.failed.to_string(),
+            format!("{:.2}s", p.p50_e2e_us as f64 / 1e6),
+            format!("{:.2}s", p.p99_e2e_us as f64 / 1e6),
+            p.pool_peak.to_string(),
+            format!("{}/{}", p.scale_ups, p.scale_downs),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile_sorted(&v, 500), 50);
+        assert_eq!(percentile_sorted(&v, 990), 100);
+        assert_eq!(percentile_sorted(&v, 1000), 100);
+        assert_eq!(percentile_sorted(&[], 500), 0);
+        assert_eq!(percentile_sorted(&[7], 990), 7);
+    }
+
+    #[test]
+    fn one_light_point_completes_everything() {
+        // Far below the 4 rps ceiling: nothing shed, all completed.
+        let p = run_point(42, 0, 1_000, 10);
+        assert_eq!(p.launched, 10);
+        assert_eq!(p.completed, 10);
+        assert_eq!(p.shed + p.failed, 0);
+        assert!(p.p50_e2e_us >= (SPIN_SECS * 1e6) as u64);
+    }
+}

@@ -41,7 +41,7 @@
 
 mod testbed;
 
-pub use testbed::{RunOutput, Testbed, TestbedConfig};
+pub use testbed::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
 
 /// Discrete-event simulation substrate.
 pub use dgsf_sim as sim;
@@ -66,10 +66,13 @@ pub use dgsf_workloads as workloads;
 
 /// Convenient top-level re-exports of the most used types.
 pub mod prelude {
-    pub use crate::{RunOutput, Testbed, TestbedConfig};
+    pub use crate::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
     pub use dgsf_cuda::{CostTable, CudaApi, HostBuf, KernelArgs, LaunchConfig, ModuleRegistry};
     pub use dgsf_remoting::{NetProfile, OptConfig};
-    pub use dgsf_server::{GpuServerConfig, PlacementPolicy, QueuePolicy};
-    pub use dgsf_serverless::{ArrivalPattern, PhaseRecorder, Schedule, Workload};
+    pub use dgsf_server::{AutoscaleConfig, GpuServerConfig, PlacementPolicy, QueuePolicy};
+    pub use dgsf_serverless::{
+        AdmissionConfig, ArrivalPattern, FailureClass, PhaseRecorder, RetryPolicy, Schedule,
+        ServerPolicy, Workload,
+    };
     pub use dgsf_sim::{Dur, Sim, SimTime};
 }

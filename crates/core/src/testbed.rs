@@ -13,7 +13,8 @@ use dgsf_cuda::CostTable;
 use dgsf_remoting::OptConfig;
 use dgsf_server::{GpuServer, GpuServerConfig, InvocationRecord, MigrationRecord};
 use dgsf_serverless::{
-    invoke_cpu, invoke_dgsf, invoke_native, FunctionResult, ObjectStore, Schedule, Workload,
+    invoke_cpu, invoke_dgsf, invoke_native, AdmissionConfig, Backend, FunctionResult, ObjectStore,
+    RetryPolicy, Schedule, ServerPolicy, Workload,
 };
 use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
@@ -96,6 +97,79 @@ impl RunOutput {
             .filter_map(|r| r.queue_delay())
             .map(|d| d.as_secs_f64())
             .collect()
+    }
+}
+
+/// Configuration of a backend-level run: a fleet of GPU servers behind the
+/// serverless backend's selection, retry and admission policies.
+#[derive(Clone)]
+pub struct BackendRunConfig {
+    /// RNG seed (arrivals, jitter).
+    pub seed: u64,
+    /// Shape of each GPU server in the fleet.
+    pub server: GpuServerConfig,
+    /// Fleet size.
+    pub num_servers: usize,
+    /// Server-selection policy.
+    pub policy: ServerPolicy,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Optional admission control (overload shedding).
+    pub admission: Option<AdmissionConfig>,
+    /// Guest-library optimization level.
+    pub opts: OptConfig,
+}
+
+impl BackendRunConfig {
+    /// One paper-default GPU server behind a round-robin backend, default
+    /// retries, no admission control.
+    pub fn paper_default() -> BackendRunConfig {
+        BackendRunConfig {
+            seed: 42,
+            server: GpuServerConfig::paper_default(),
+            num_servers: 1,
+            policy: ServerPolicy::RoundRobin,
+            retry: RetryPolicy::default(),
+            admission: None,
+            opts: OptConfig::full(),
+        }
+    }
+}
+
+/// Everything a backend-level schedule run produced.
+pub struct BackendRunOutput {
+    /// Per-function results in completion order — including shed ones
+    /// ([`FunctionResult::shed`]), which is the point of running through
+    /// the backend.
+    pub results: Vec<FunctionResult>,
+    /// Server-side invocation records, one `Vec` per fleet member.
+    pub records: Vec<Vec<InvocationRecord>>,
+    /// Final API-server pool size per fleet member (autoscaled fleets may
+    /// differ from the provisioned count).
+    pub pool_sizes: Vec<usize>,
+    /// When the first function launched.
+    pub first_launch: SimTime,
+    /// When the last function finished (completed or shed).
+    pub all_done: SimTime,
+}
+
+impl BackendRunOutput {
+    /// Functions that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.succeeded()).count()
+    }
+
+    /// Functions shed by admission control / overload.
+    pub fn shed(&self) -> usize {
+        self.results.iter().filter(|r| r.shed).count()
+    }
+
+    /// Functions that failed for any non-shed reason.
+    pub fn failed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| !r.succeeded() && !r.shed)
+            .count()
     }
 }
 
@@ -203,6 +277,118 @@ impl Testbed {
                 records,
                 migrations,
                 gpu_timelines,
+                first_launch,
+                all_done,
+            },
+            telemetry,
+        )
+    }
+
+    /// Run a schedule through the serverless backend: a fleet of
+    /// `num_servers` GPU servers behind selection, retry and (optionally)
+    /// admission control. Unlike [`run_schedule`](Self::run_schedule),
+    /// every launch always yields a [`FunctionResult`] — overload turns
+    /// into shed results, not panics — so saturation experiments terminate.
+    pub fn run_backend_schedule(
+        cfg: &BackendRunConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> BackendRunOutput {
+        Self::run_backend_schedule_inner(cfg, suite, schedule, false).0
+    }
+
+    /// [`run_backend_schedule`](Self::run_backend_schedule) with telemetry
+    /// recording on. Same seed ⇒ byte-identical exports.
+    pub fn run_backend_schedule_traced(
+        cfg: &BackendRunConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> (BackendRunOutput, Arc<Telemetry>) {
+        Self::run_backend_schedule_inner(cfg, suite, schedule, true)
+    }
+
+    fn run_backend_schedule_inner(
+        cfg: &BackendRunConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+        trace: bool,
+    ) -> (BackendRunOutput, Arc<Telemetry>) {
+        assert!(cfg.num_servers >= 1, "a fleet needs at least one server");
+        let mut sim = Sim::new(cfg.seed);
+        let telemetry = sim.telemetry();
+        if trace {
+            telemetry.enable();
+        }
+        let h = sim.handle();
+        type FleetSnapshot = (Vec<Vec<InvocationRecord>>, Vec<usize>);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let out: Arc<Mutex<Option<FleetSnapshot>>> = Arc::new(Mutex::new(None));
+        let store = Arc::new(ObjectStore::new(cfg.server.net.s3_bw));
+        let cfg2 = cfg.clone();
+        let suite: Vec<Arc<dyn Workload>> = suite.to_vec();
+        let schedule = schedule.clone();
+        let n_functions = schedule.len();
+        let results2 = Arc::clone(&results);
+        let out2 = Arc::clone(&out);
+        let h2 = h.clone();
+        sim.spawn("platform-root", move |p| {
+            let fleet: Vec<Arc<GpuServer>> = (0..cfg2.num_servers)
+                .map(|_| GpuServer::provision(p, &h2, cfg2.server.clone()))
+                .collect();
+            let mut backend = Backend::new(fleet.clone(), cfg2.policy).with_retry(cfg2.retry);
+            if let Some(adm) = cfg2.admission.clone() {
+                backend = backend.with_admission(adm);
+            }
+            let backend = Arc::new(backend);
+            let done_count = Arc::new(Mutex::new(0usize));
+            for (at, widx) in schedule.entries.iter().copied() {
+                let w = Arc::clone(&suite[widx]);
+                let backend = Arc::clone(&backend);
+                let store = Arc::clone(&store);
+                let results = Arc::clone(&results2);
+                let done_count = Arc::clone(&done_count);
+                let opts = cfg2.opts;
+                h2.spawn_at(&format!("fn-{}-{widx}", at.as_nanos()), at, move |p| {
+                    let r = backend.invoke(p, &store, w.as_ref(), opts);
+                    results.lock().push(r);
+                    *done_count.lock() += 1;
+                });
+            }
+            let out3 = Arc::clone(&out2);
+            h2.spawn("collector", move |p| {
+                loop {
+                    p.sleep(Dur::from_millis(500));
+                    if *done_count.lock() >= n_functions {
+                        break;
+                    }
+                }
+                let records: Vec<Vec<InvocationRecord>> =
+                    fleet.iter().map(|s| s.records()).collect();
+                let pools: Vec<usize> = fleet.iter().map(|s| s.pool_size()).collect();
+                *out3.lock() = Some((records, pools));
+            });
+        });
+        sim.run();
+        let mut results = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|a| a.lock().clone());
+        results.sort_by_key(|r| r.finished_at);
+        let (records, pool_sizes) = out.lock().take().expect("collector observed completion");
+        let first_launch = results
+            .iter()
+            .map(|r| r.launched_at)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let all_done = results
+            .iter()
+            .map(|r| r.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        (
+            BackendRunOutput {
+                results,
+                records,
+                pool_sizes,
                 first_launch,
                 all_done,
             },

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dgsf_cuda::{CostTable, CudaContext, GpuSession, MigrationReport, ModuleRegistry};
-use dgsf_gpu::{Gpu, GpuId};
+use dgsf_gpu::{Gpu, GpuId, ReservationId};
 use dgsf_remoting::{Dispatcher, NetLink, RpcInbox};
 use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
 use parking_lot::Mutex;
@@ -26,6 +26,16 @@ pub(crate) struct Assignment {
     pub registry: Arc<ModuleRegistry>,
     pub mem_limit: u64,
     pub invocation: u64,
+}
+
+/// What the monitor can tell an API server over its command channel.
+pub(crate) enum ServerCmd {
+    /// Serve one function.
+    Assign(Assignment),
+    /// Tear down (autoscaler scale-down): release every CUDA context and
+    /// the pooled-handle reservation, then exit. Only ever sent to an idle
+    /// server.
+    Retire,
 }
 
 /// One completed migration, for the experiment harness.
@@ -62,10 +72,18 @@ pub struct ApiServerShared {
     /// Set by the fault injector: a killed server stops responding,
     /// heartbeating and serving — permanently.
     killed: AtomicBool,
+    /// The pre-created cuDNN/cuBLAS handle-pool reservation (452 MB) on the
+    /// home GPU, released when the autoscaler retires this server.
+    pool_reservation: Mutex<Option<ReservationId>>,
 }
 
 impl ApiServerShared {
-    pub(crate) fn new(id: u32, home_gpu: GpuId, home_ctx: Arc<CudaContext>) -> ApiServerShared {
+    pub(crate) fn new(
+        id: u32,
+        home_gpu: GpuId,
+        home_ctx: Arc<CudaContext>,
+        pool_reservation: Option<ReservationId>,
+    ) -> ApiServerShared {
         let mut contexts = HashMap::new();
         contexts.insert(home_gpu, home_ctx);
         ApiServerShared {
@@ -77,6 +95,7 @@ impl ApiServerShared {
                 migration_request: None,
             }),
             killed: AtomicBool::new(false),
+            pool_reservation: Mutex::new(pool_reservation),
         }
     }
 
@@ -121,6 +140,23 @@ impl ApiServerShared {
     fn insert_context(&self, gpu: GpuId, ctx: Arc<CudaContext>) {
         self.state.lock().contexts.insert(gpu, ctx);
     }
+
+    /// Release every GPU resource this server holds: all lazily created
+    /// CUDA contexts (303 MB each) plus the pooled-handle reservation
+    /// (452 MB). Called by the server process when it is retired.
+    fn release_resources(&self, gpus: &[Arc<Gpu>]) {
+        let contexts: Vec<Arc<CudaContext>> = {
+            let mut st = self.state.lock();
+            st.migration_request = None;
+            st.contexts.drain().map(|(_, c)| c).collect()
+        };
+        for ctx in contexts {
+            ctx.release();
+        }
+        if let Some(r) = self.pool_reservation.lock().take() {
+            gpus[self.home_gpu.0 as usize].release(r);
+        }
+    }
 }
 
 /// Everything an API server process needs.
@@ -130,17 +166,28 @@ pub(crate) struct ApiServerArgs {
     pub gpus: Vec<Arc<Gpu>>,
     pub costs: Arc<CostTable>,
     pub link: Arc<NetLink>,
-    pub assign_rx: SimReceiver<Assignment>,
+    pub assign_rx: SimReceiver<ServerCmd>,
     pub monitor_tx: SimSender<MonitorMsg>,
     pub migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     pub heartbeat_period: Dur,
     pub idle_timeout: Option<Dur>,
 }
 
-/// Body of the API server process. Returns when the simulation shuts down
-/// or the fault injector kills the server.
+/// Body of the API server process. Returns when the simulation shuts
+/// down, the monitor retires the server, or the fault injector kills it.
 pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
-    while let Some(asg) = a.assign_rx.recv(p) {
+    while let Some(cmd) = a.assign_rx.recv(p) {
+        let asg = match cmd {
+            ServerCmd::Assign(asg) => asg,
+            ServerCmd::Retire => {
+                // A killed process frees nothing — the crash leaks its GPU
+                // footprint exactly as a real dead worker would.
+                if !a.shared.is_killed() {
+                    a.shared.release_resources(&a.gpus);
+                }
+                return;
+            }
+        };
         if a.shared.is_killed() {
             // Crashed while idle: the assignment is silently swallowed; the
             // monitor's lease check will notice and fail the invocation over.

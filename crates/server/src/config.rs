@@ -4,6 +4,8 @@ use dgsf_cuda::CostTable;
 use dgsf_remoting::{FaultPlan, NetProfile};
 use dgsf_sim::Dur;
 
+use crate::autoscale::AutoscaleConfig;
+
 /// How the monitor picks a GPU for an incoming function (§VIII-D/E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementPolicy {
@@ -73,6 +75,9 @@ pub struct GpuServerConfig {
     /// blackholes). `None` injects nothing and leaves behaviour
     /// bit-identical to a fault-free build.
     pub faults: Option<FaultPlan>,
+    /// Optional warm-pool autoscaling policy. `None` keeps the paper's
+    /// fixed fleet of `api_servers_per_gpu` servers per GPU.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl GpuServerConfig {
@@ -94,6 +99,7 @@ impl GpuServerConfig {
             heartbeat_period: Dur::from_millis(200),
             lease_timeout: Dur::from_secs(1),
             faults: None,
+            autoscale: None,
         }
     }
 
@@ -162,6 +168,14 @@ impl GpuServerConfig {
     /// Builder-style: install a chaos schedule.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Builder-style: turn on warm-pool autoscaling. `api_servers_per_gpu`
+    /// remains the provisioned baseline; the policy's `min_per_gpu` should
+    /// normally match it.
+    pub fn with_autoscale(mut self, policy: AutoscaleConfig) -> Self {
+        self.autoscale = Some(policy);
         self
     }
 

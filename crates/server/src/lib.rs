@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 mod api_server;
+mod autoscale;
 mod config;
 mod monitor;
 mod server;
 
 pub use api_server::{ApiServerShared, MigrationRecord};
+pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
 pub use monitor::InvocationRecord;
 pub use server::{AcquireError, GpuServer};

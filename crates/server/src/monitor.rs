@@ -12,17 +12,20 @@
 //! serverless layer can retry elsewhere), and it is excluded from future
 //! placement.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use dgsf_cuda::ModuleRegistry;
+use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{NetLink, RpcClient};
 use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
 use parking_lot::Mutex;
 
-use crate::api_server::{ApiServerShared, Assignment};
+use crate::api_server::{
+    run_api_server, ApiServerArgs, ApiServerShared, Assignment, MigrationRecord, ServerCmd,
+};
+use crate::autoscale::Autoscaler;
 use crate::config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
 
 /// A function's request for a virtual GPU.
@@ -31,6 +34,9 @@ pub(crate) struct FnRequest {
     pub registry: Arc<ModuleRegistry>,
     pub reply: SimSender<RpcClient>,
     pub invocation: u64,
+    /// When the requester asked (drives the autoscaler's queue-delay
+    /// signal).
+    pub requested_at: SimTime,
     /// Set by the requester when it gives up waiting (queue timeout); the
     /// monitor purges cancelled requests instead of assigning them.
     pub cancelled: Arc<AtomicBool>,
@@ -99,12 +105,15 @@ impl InvocationRecord {
 
 struct SrvBook {
     shared: Arc<ApiServerShared>,
-    assign_tx: SimSender<Assignment>,
+    assign_tx: SimSender<ServerCmd>,
     busy: Option<BusyInfo>,
     /// Declared dead by the lease check; excluded from placement forever.
     failed: bool,
     /// Last liveness signal (assignment or heartbeat).
     last_heartbeat: SimTime,
+    /// Start of the server's current idle period (spawn, or the moment its
+    /// last function left). Drives the autoscaler's scale-down TTL.
+    idle_since: SimTime,
 }
 
 struct BusyInfo {
@@ -117,9 +126,18 @@ pub(crate) struct MonitorArgs {
     pub cfg: GpuServerConfig,
     pub gpus: Vec<Arc<Gpu>>,
     pub link: Arc<NetLink>,
-    pub servers: Vec<(Arc<ApiServerShared>, SimSender<Assignment>)>,
+    pub servers: Vec<(Arc<ApiServerShared>, SimSender<ServerCmd>)>,
     pub rx: SimReceiver<MonitorMsg>,
     pub records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
+    /// Shared cost table (the autoscaler creates contexts for new servers).
+    pub costs: Arc<CostTable>,
+    /// The monitor's own inbox, handed to autoscaled API servers.
+    pub monitor_tx: SimSender<MonitorMsg>,
+    /// Migration log, handed to autoscaled API servers.
+    pub migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+    /// Live-server registry shared with [`crate::GpuServer`]; the
+    /// autoscaler pushes spawned servers and removes retired ones.
+    pub registry: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
 }
 
 /// Immutable monitor context shared by the helpers below.
@@ -129,6 +147,10 @@ struct MonCtx {
     gpus: Vec<Arc<Gpu>>,
     link: Arc<NetLink>,
     records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
+    costs: Arc<CostTable>,
+    monitor_tx: SimSender<MonitorMsg>,
+    migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+    registry: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
 }
 
 /// Body of the monitor process.
@@ -141,6 +163,10 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         servers,
         rx,
         records,
+        costs,
+        monitor_tx,
+        migration_log,
+        registry,
     } = args;
     let a = MonCtx {
         h,
@@ -148,7 +174,12 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         gpus,
         link,
         records,
+        costs,
+        monitor_tx,
+        migration_log,
+        registry,
     };
+    let spawn_time = p.now();
     let mut servers: Vec<SrvBook> = servers
         .into_iter()
         .map(|(shared, assign_tx)| SrvBook {
@@ -157,6 +188,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             busy: None,
             failed: false,
             last_heartbeat: SimTime::ZERO,
+            idle_since: spawn_time,
         })
         .collect();
     // Static per-GPU overhead: each homed server holds its 755 MB idle
@@ -167,10 +199,14 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     for s in &servers {
         *overhead.entry(s.shared.home_gpu).or_insert(0) += idle_fp;
     }
-    let mut known_ctxs: std::collections::HashSet<(u32, GpuId)> = servers
+    let mut known_ctxs: HashSet<(u32, GpuId)> = servers
         .iter()
         .map(|s| (s.shared.id, s.shared.home_gpu))
         .collect();
+    // Warm-pool autoscaling state: ids continue past the provisioned
+    // fleet; the scaler is pure policy (hysteresis/TTL/cooldown).
+    let mut next_server_id = servers.len() as u32;
+    let mut scaler = a.cfg.autoscale.clone().map(Autoscaler::new);
     let mut queue: VecDeque<FnRequest> = VecDeque::new();
     // Migration damping: never overlap migrations, and let the system
     // settle before judging imbalance again.
@@ -193,14 +229,29 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             p.telemetry()
                 .gauge_set("monitor.queue_depth", p.now(), last_depth as i64);
         }
-        // Periodic ticks drive the migration policy and the lease check;
-        // they are armed only while work is in flight. An idle monitor
-        // blocks indefinitely, which lets the simulation's event queue
-        // drain and `Sim::run` terminate naturally. The deadline is
-        // absolute: heartbeat traffic must not indefinitely re-arm the
-        // timeout and starve the tick.
+        // Periodic ticks drive the migration policy, the lease check and
+        // the autoscaler; they are armed only while work is in flight or
+        // the pool holds live servers above the autoscaler's floor (which
+        // must eventually be retired). An idle monitor blocks indefinitely,
+        // which lets the simulation's event queue drain and `Sim::run`
+        // terminate naturally. Failed servers never retire, so they do not
+        // keep the tick armed. The deadline is absolute: heartbeat traffic
+        // must not indefinitely re-arm the timeout and starve the tick.
         let work_in_flight = servers.iter().any(|s| s.busy.is_some()) || !queue.is_empty();
-        let msg = if work_in_flight {
+        let excess_live = scaler
+            .as_ref()
+            .map(|sc| {
+                let min = sc.config().min_per_gpu as usize;
+                (0..a.gpus.len()).any(|g| {
+                    servers
+                        .iter()
+                        .filter(|s| !s.failed && s.shared.home_gpu == GpuId(g as u32))
+                        .count()
+                        > min
+                })
+            })
+            .unwrap_or(false);
+        let msg = if work_in_flight || excess_live {
             let now = p.now();
             let wait = if next_tick > now {
                 next_tick.since(now)
@@ -225,6 +276,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             Ok(MonitorMsg::FunctionDone { server, invocation }) => {
                 if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
                     s.busy = None;
+                    s.idle_since = p.now();
                 }
                 if let Some(rec) = a.records.lock().get_mut(&invocation) {
                     // A lease may already have failed this invocation over;
@@ -245,6 +297,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
                 // the placement pool — only the invocation failed.
                 if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
                     s.busy = None;
+                    s.idle_since = p.now();
                 }
                 mark_failed(p.now(), &a, invocation);
                 drain_queue(p, &a, &mut servers, &overhead, &mut queue);
@@ -258,9 +311,24 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             Err(RecvError::Timeout) => {
                 next_tick = p.now() + a.cfg.monitor_period;
                 sample_gpus(p, &a, &mut last_gpu_sample);
-                if check_leases(p, &a, &mut servers) {
-                    drain_queue(p, &a, &mut servers, &overhead, &mut queue);
+                check_leases(p, &a, &mut servers);
+                if let Some(sc) = scaler.as_mut() {
+                    autoscale_tick(
+                        p,
+                        &a,
+                        sc,
+                        &mut servers,
+                        &mut overhead,
+                        &mut known_ctxs,
+                        &mut next_server_id,
+                        &queue,
+                    );
                 }
+                // Drain unconditionally: a lease expiry or scale-up may
+                // have freed capacity, and a cancelled head-of-line
+                // request must not strand placeable requests behind it
+                // until the next message arrives.
+                drain_queue(p, &a, &mut servers, &overhead, &mut queue);
                 let any_pending = servers.iter().any(|s| s.shared.migration_pending());
                 let cooled = p.now().since(last_migration_request) >= migration_cooldown
                     || last_migration_request == SimTime::ZERO;
@@ -378,6 +446,11 @@ fn drain_queue(
     queue: &mut VecDeque<FnRequest>,
 ) {
     loop {
+        // Purge cancelled requests *before* placement. Checking only after
+        // a successful `pick_server` left a cancelled head-of-line request
+        // that fits no GPU blocking the FCFS queue (and the SmallestFirst
+        // early-return) forever.
+        queue.retain(|r| !r.cancelled.load(Ordering::Relaxed));
         let pos = match a.cfg.queue {
             QueuePolicy::Fcfs => {
                 if queue.is_empty() {
@@ -400,9 +473,6 @@ fn drain_queue(
             return; // head-of-line blocks (the paper's FCFS policy)
         };
         let req = queue.remove(pos).expect("index in bounds");
-        if req.cancelled.load(Ordering::Relaxed) {
-            continue; // requester gave up while queued
-        }
         let (mut client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
         client.set_timeout(a.cfg.rpc_timeout);
         let s = &mut servers[srv_idx];
@@ -423,12 +493,12 @@ fn drain_queue(
         p.telemetry().counter_add("monitor.assignments", 1);
         s.assign_tx.send(
             p,
-            Assignment {
+            ServerCmd::Assign(Assignment {
                 inbox,
                 registry: req.registry,
                 mem_limit: req.mem,
                 invocation: req.invocation,
-            },
+            }),
         );
         req.reply.send(p, client);
     }
@@ -461,6 +531,217 @@ fn pick_server(
         }
     }
     best.map(|(i, _)| i)
+}
+
+/// One autoscaler tick: feed the queue-delay signal, then fire at most one
+/// scaling action (scale-up wins over scale-down when both are due).
+#[allow(clippy::too_many_arguments)]
+fn autoscale_tick(
+    p: &ProcCtx,
+    a: &MonCtx,
+    scaler: &mut Autoscaler,
+    servers: &mut Vec<SrvBook>,
+    overhead: &mut HashMap<GpuId, u64>,
+    known_ctxs: &mut HashSet<(u32, GpuId)>,
+    next_server_id: &mut u32,
+    queue: &VecDeque<FnRequest>,
+) {
+    let now = p.now();
+    let oldest_wait = queue
+        .iter()
+        .filter(|r| !r.cancelled.load(Ordering::Relaxed))
+        .map(|r| now.since(r.requested_at))
+        .max();
+    scaler.observe_queue(oldest_wait);
+    let idle_fp = a.cfg.costs.idle_worker_mem();
+    if scaler.scale_up_due(now) {
+        // Home the new server on the GPU with the most declared free
+        // memory among those under the per-GPU ceiling that still fit the
+        // 755 MB idle footprint (ties: lowest GPU id).
+        let max = scaler.config().max_per_gpu;
+        let mut best: Option<(GpuId, i64)> = None;
+        for g in 0..a.gpus.len() {
+            let gpu = GpuId(g as u32);
+            let homed = servers
+                .iter()
+                .filter(|s| !s.failed && s.shared.home_gpu == gpu)
+                .count() as u32;
+            if homed >= max {
+                continue;
+            }
+            let free = avail(&a.gpus, servers, overhead, gpu);
+            if free < idle_fp as i64 {
+                continue;
+            }
+            if best.map(|(_, bf)| free > bf).unwrap_or(true) {
+                best = Some((gpu, free));
+            }
+        }
+        if let Some((gpu, _)) = best {
+            if spawn_server(p, a, servers, overhead, known_ctxs, next_server_id, gpu) {
+                scaler.record_action(now);
+                return; // one action per tick
+            }
+        }
+    }
+    // Scale down the longest-idle live server whose idle period passed the
+    // TTL, as long as its GPU stays at or above the floor (ties: lowest
+    // server id).
+    let min = scaler.config().min_per_gpu;
+    let mut cand: Option<usize> = None;
+    for (i, s) in servers.iter().enumerate() {
+        if s.failed || s.busy.is_some() || s.shared.migration_pending() {
+            continue;
+        }
+        let live_homed = servers
+            .iter()
+            .filter(|t| !t.failed && t.shared.home_gpu == s.shared.home_gpu)
+            .count() as u32;
+        if live_homed <= min || !scaler.scale_down_due(now, s.idle_since) {
+            continue;
+        }
+        let better = match cand {
+            None => true,
+            Some(j) => {
+                let c = &servers[j];
+                s.idle_since < c.idle_since
+                    || (s.idle_since == c.idle_since && s.shared.id < c.shared.id)
+            }
+        };
+        if better {
+            cand = Some(i);
+        }
+    }
+    if let Some(i) = cand {
+        retire_server(p, a, servers, overhead, known_ctxs, i);
+        scaler.record_action(now);
+    }
+}
+
+/// Number of live (non-failed) servers in the pool, for the pool-size
+/// gauge.
+fn live_pool(servers: &[SrvBook]) -> i64 {
+    servers.iter().filter(|s| !s.failed).count() as i64
+}
+
+/// Spawn one autoscaled API server homed on `gpu`: pre-initialize its CUDA
+/// context and cuDNN/cuBLAS handle pools (the same 755 MB idle footprint a
+/// provisioned server pays), register it everywhere, and start its
+/// process. Returns false — without charging anything — if the GPU cannot
+/// actually fit the footprint.
+fn spawn_server(
+    p: &ProcCtx,
+    a: &MonCtx,
+    servers: &mut Vec<SrvBook>,
+    overhead: &mut HashMap<GpuId, u64>,
+    known_ctxs: &mut HashSet<(u32, GpuId)>,
+    next_server_id: &mut u32,
+    gpu: GpuId,
+) -> bool {
+    let gpu_arc = Arc::clone(&a.gpus[gpu.0 as usize]);
+    // Warm-pool spawn is off any function's critical path; like
+    // provisioning, the footprint is charged but no init latency is
+    // slept here.
+    let Ok(ctx) = CudaContext::create(p, &a.h, Arc::clone(&gpu_arc), Arc::clone(&a.costs), false)
+    else {
+        return false;
+    };
+    let pool_res = match gpu_arc.reserve(a.cfg.costs.cudnn_mem + a.cfg.costs.cublas_mem) {
+        Ok(r) => r,
+        Err(_) => {
+            ctx.release();
+            return false;
+        }
+    };
+    let id = *next_server_id;
+    *next_server_id += 1;
+    let shared = Arc::new(ApiServerShared::new(id, gpu, ctx, Some(pool_res)));
+    let (assign_tx, assign_rx) = a.h.channel::<ServerCmd>();
+    let args = ApiServerArgs {
+        h: a.h.clone(),
+        shared: Arc::clone(&shared),
+        gpus: a.gpus.clone(),
+        costs: Arc::clone(&a.costs),
+        link: Arc::clone(&a.link),
+        assign_rx,
+        monitor_tx: a.monitor_tx.clone(),
+        migration_log: Arc::clone(&a.migration_log),
+        heartbeat_period: a.cfg.heartbeat_period,
+        idle_timeout: a.cfg.idle_timeout,
+    };
+    a.h.spawn(&format!("api-server-{id}"), move |pp| {
+        run_api_server(pp, args)
+    });
+    *overhead.entry(gpu).or_insert(0) += a.cfg.costs.idle_worker_mem();
+    known_ctxs.insert((id, gpu));
+    a.registry.lock().push(Arc::clone(&shared));
+    let now = p.now();
+    servers.push(SrvBook {
+        shared,
+        assign_tx,
+        busy: None,
+        failed: false,
+        last_heartbeat: now,
+        idle_since: now,
+    });
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.counter_add("autoscale.scale_ups", 1);
+        tel.gauge_set("monitor.pool_size", now, live_pool(servers));
+        tel.instant(
+            p.name(),
+            "scale-up",
+            now,
+            &[("server", id.to_string()), ("gpu", gpu.0.to_string())],
+        );
+    }
+    true
+}
+
+/// Retire the idle server at `idx`: roll back its declared overhead (idle
+/// footprint on its home GPU plus every lazily created migration context
+/// elsewhere), deregister it, and send `Retire` so the process releases
+/// its real reservations and exits.
+fn retire_server(
+    p: &ProcCtx,
+    a: &MonCtx,
+    servers: &mut Vec<SrvBook>,
+    overhead: &mut HashMap<GpuId, u64>,
+    known_ctxs: &mut HashSet<(u32, GpuId)>,
+    idx: usize,
+) {
+    let s = servers.remove(idx);
+    let id = s.shared.id;
+    let home = s.shared.home_gpu;
+    if let Some(o) = overhead.get_mut(&home) {
+        *o = o.saturating_sub(a.cfg.costs.idle_worker_mem());
+    }
+    let ctx_gpus: Vec<GpuId> = known_ctxs
+        .iter()
+        .filter(|(sid, _)| *sid == id)
+        .map(|&(_, g)| g)
+        .collect();
+    for g in ctx_gpus {
+        known_ctxs.remove(&(id, g));
+        if g != home {
+            if let Some(o) = overhead.get_mut(&g) {
+                *o = o.saturating_sub(a.cfg.costs.cuda_ctx_mem);
+            }
+        }
+    }
+    a.registry.lock().retain(|sh| sh.id != id);
+    s.assign_tx.send(p, ServerCmd::Retire);
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.counter_add("autoscale.scale_downs", 1);
+        tel.gauge_set("monitor.pool_size", p.now(), live_pool(servers));
+        tel.instant(
+            p.name(),
+            "scale-down",
+            p.now(),
+            &[("server", id.to_string()), ("gpu", home.0.to_string())],
+        );
+    }
 }
 
 /// Detect load imbalance and request a migration: a GPU running ≥2 busy API

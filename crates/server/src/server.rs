@@ -21,7 +21,7 @@ use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimSender, SimTime};
 use parking_lot::Mutex;
 
 use crate::api_server::{
-    run_api_server, ApiServerArgs, ApiServerShared, Assignment, MigrationRecord,
+    run_api_server, ApiServerArgs, ApiServerShared, MigrationRecord, ServerCmd,
 };
 use crate::config::GpuServerConfig;
 use crate::monitor::{run_monitor, FnRequest, InvocationRecord, MonitorArgs, MonitorMsg};
@@ -62,7 +62,9 @@ pub struct GpuServer {
     cfg: GpuServerConfig,
     handle: SimHandle,
     monitor_tx: SimSender<MonitorMsg>,
-    servers: Vec<Arc<ApiServerShared>>,
+    /// Live-server registry, shared with the monitor: the autoscaler
+    /// pushes spawned servers and removes retired ones.
+    servers: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
     records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
     migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     next_invocation: AtomicU64,
@@ -98,7 +100,7 @@ impl GpuServer {
         let migration_log = Arc::new(Mutex::new(Vec::new()));
 
         let mut servers = Vec::new();
-        let mut monitor_servers: Vec<(Arc<ApiServerShared>, SimSender<Assignment>)> = Vec::new();
+        let mut monitor_servers: Vec<(Arc<ApiServerShared>, SimSender<ServerCmd>)> = Vec::new();
         for id in 0..cfg.total_api_servers() {
             let home = GpuId(id % cfg.num_gpus);
             let gpu = Arc::clone(&gpus[home.0 as usize]);
@@ -107,11 +109,12 @@ impl GpuServer {
             let ctx = CudaContext::create(p, h, Arc::clone(&gpu), Arc::clone(&costs), false)
                 .expect("fresh GPU fits a context");
             // Pre-created cuDNN + cuBLAS pool footprint (452 MB), held for
-            // the server's lifetime.
-            gpu.reserve(costs.cudnn_mem + costs.cublas_mem)
+            // the server's lifetime (released if the autoscaler retires it).
+            let pool_res = gpu
+                .reserve(costs.cudnn_mem + costs.cublas_mem)
                 .expect("fresh GPU fits the handle pools");
-            let shared = Arc::new(ApiServerShared::new(id, home, ctx));
-            let (assign_tx, assign_rx) = h.channel::<Assignment>();
+            let shared = Arc::new(ApiServerShared::new(id, home, ctx, Some(pool_res)));
+            let (assign_tx, assign_rx) = h.channel::<ServerCmd>();
             let args = ApiServerArgs {
                 h: h.clone(),
                 shared: Arc::clone(&shared),
@@ -131,6 +134,7 @@ impl GpuServer {
             servers.push(shared);
         }
 
+        let servers = Arc::new(Mutex::new(servers));
         let margs = MonitorArgs {
             h: h.clone(),
             cfg: cfg.clone(),
@@ -139,13 +143,17 @@ impl GpuServer {
             servers: monitor_servers,
             rx: monitor_rx,
             records: Arc::clone(&records),
+            costs: Arc::clone(&costs),
+            monitor_tx: monitor_tx.clone(),
+            migration_log: Arc::clone(&migration_log),
+            registry: Arc::clone(&servers),
         };
         h.spawn("monitor", move |pp| run_monitor(pp, margs));
 
         // Schedule the fault plan's API-server kills on the virtual clock.
         if let Some(plan) = &cfg.faults {
             for &(sid, at) in plan.kills() {
-                if let Some(shared) = servers.get(sid as usize) {
+                if let Some(shared) = servers.lock().iter().find(|s| s.id == sid) {
                     let shared = Arc::clone(shared);
                     h.spawn_at(&format!("fault-kill-{sid}"), at, move |_pp| shared.kill());
                 }
@@ -201,6 +209,22 @@ impl GpuServer {
         registry: Arc<ModuleRegistry>,
         attempt: u32,
     ) -> Result<(RpcClient, u64), AcquireError> {
+        self.try_request_gpu_with_timeout(p, name, mem, registry, attempt, self.cfg.queue_timeout)
+    }
+
+    /// Like [`try_request_gpu`](Self::try_request_gpu), but with an
+    /// explicit queue-wait bound overriding the configured one. The
+    /// serverless backend's admission control uses this to enforce its
+    /// queue-age limit.
+    pub fn try_request_gpu_with_timeout(
+        &self,
+        p: &ProcCtx,
+        name: &str,
+        mem: u64,
+        registry: Arc<ModuleRegistry>,
+        attempt: u32,
+        timeout: Option<Dur>,
+    ) -> Result<(RpcClient, u64), AcquireError> {
         let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         let now = p.now();
         self.records.lock().insert(
@@ -227,10 +251,11 @@ impl GpuServer {
                 registry,
                 reply: reply_tx,
                 invocation,
+                requested_at: now,
                 cancelled: Arc::clone(&cancelled),
             }),
         );
-        let got = match self.cfg.queue_timeout {
+        let got = match timeout {
             Some(t) => reply_rx.recv_timeout(p, t),
             None => reply_rx.recv(p).ok_or(RecvError::Shutdown),
         };
@@ -268,14 +293,32 @@ impl GpuServer {
     }
 
     /// Force an API server to migrate to `target` at its next API-call
-    /// boundary (Table V's forced-migration microbenchmark).
+    /// boundary (Table V's forced-migration microbenchmark). No-op if the
+    /// server has been retired.
     pub fn force_migration(&self, server: u32, target: GpuId) {
-        self.servers[server as usize].request_migration(target);
+        if let Some(s) = self.servers.lock().iter().find(|s| s.id == server) {
+            s.request_migration(target);
+        }
     }
 
     /// GPU an API server currently executes on.
+    ///
+    /// # Panics
+    /// If the server does not exist (never spawned, or already retired).
     pub fn server_current_gpu(&self, server: u32) -> GpuId {
-        self.servers[server as usize].current_gpu()
+        self.servers
+            .lock()
+            .iter()
+            .find(|s| s.id == server)
+            .expect("server exists")
+            .current_gpu()
+    }
+
+    /// Current size of the API-server pool (provisioned plus autoscaled,
+    /// minus retired; servers killed by the fault injector still count —
+    /// the monitor cannot distinguish them until their lease expires).
+    pub fn pool_size(&self) -> usize {
+        self.servers.lock().len()
     }
 
     /// Functions currently on this server: assigned-but-unfinished plus

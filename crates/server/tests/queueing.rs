@@ -178,6 +178,77 @@ fn queue_timeout_abandons_the_request_and_records_the_failure() {
     assert!(rec.assigned_at.is_none() && rec.done_at.is_none());
 }
 
+/// Regression for the cancelled-head-of-line stall. A 64 GB request can
+/// never fit a 16 GB V100, so it queues until its timeout cancels it; a
+/// small live request queued behind it under FCFS must then be served from
+/// the warm server that was free all along. Before the fix, the cancelled
+/// corpse was only purged on *message* arrival (never mid-tick), and the
+/// tick drained the queue only after a lease expiry — so the small request
+/// starved against a free server until its own timeout killed it.
+fn cancelled_unplaceable_head_cannot_stall(policy: QueuePolicy) {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_queue_policy(policy)
+                .with_queue_timeout(Dur::from_secs(1)),
+        );
+        // 64 GB never fits a 16 GB V100: this request can only queue until
+        // its 1 s timeout cancels it (at t = 1 s).
+        let s2 = Arc::clone(&srv);
+        h2.spawn("giant", move |p| {
+            let err = match s2.try_request_gpu(p, "giant", 64 * GB, registry(), 1) {
+                Err(e) => e,
+                Ok(_) => panic!("64 GB can never be placed"),
+            };
+            assert!(matches!(err, AcquireError::Timeout { .. }));
+        });
+        // Queued behind the giant at t = 0.5 s (FCFS head-of-line). Its own
+        // timeout budget runs to t = 1.5 s — the giant cancels at 1 s, so a
+        // correct monitor has half a second to notice and place it.
+        let s3 = Arc::clone(&srv);
+        h2.spawn_at("small", SimTime::ZERO + Dur::from_millis(500), move |p| {
+            hold_gpu(p, &s3, "small", GB, 0.2);
+        });
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(10));
+            *o3.lock() = srv.records();
+        });
+    });
+    sim.run();
+    let recs = out.lock().clone();
+    let by_name = |n: &str| recs.iter().find(|r| r.name == n).unwrap().clone();
+    let giant = by_name("giant");
+    assert!(giant.failed_at.is_some() && giant.assigned_at.is_none());
+    let small = by_name("small");
+    assert!(
+        small.done_at.is_some(),
+        "the free server must serve the live request once the cancelled \
+         unplaceable head is purged"
+    );
+}
+
+#[test]
+fn cancelled_unplaceable_head_cannot_stall_fcfs() {
+    // Genuinely fails before the fix: FCFS refuses to look past its head.
+    cancelled_unplaceable_head_cannot_stall(QueuePolicy::Fcfs);
+}
+
+#[test]
+fn cancelled_unplaceable_head_cannot_stall_smallest_first() {
+    // SmallestFirst would place `small` anyway (placement is monotone in
+    // size), but the cancelled giant must still be purged, not resurrected.
+    cancelled_unplaceable_head_cannot_stall(QueuePolicy::SmallestFirst);
+}
+
 #[test]
 fn abandoned_request_never_occupies_a_server() {
     // After "starved" gives up, the GPU freed by "hold" must go to a later

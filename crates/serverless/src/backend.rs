@@ -15,14 +15,17 @@
 //! comes back as a [`FunctionResult`] with `failure` set after the attempt
 //! budget is spent.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
 use dgsf_server::GpuServer;
 use dgsf_sim::{Dur, ProcCtx};
+use parking_lot::Mutex;
 
-use crate::invoke::{invoke_dgsf_attempt, FunctionResult, InvokeFailure};
+use crate::invoke::{invoke_dgsf_bounded, FailureClass, FunctionResult, InvokeFailure};
+use crate::phases::PhaseRecorder;
 use crate::store::ObjectStore;
 use crate::workload::Workload;
 
@@ -70,12 +73,82 @@ impl RetryPolicy {
     }
 }
 
+/// Admission control at the backend's front door: bounded concurrency and
+/// queue age, so overload turns into fast, explicit shedding instead of
+/// unbounded queueing. Shed invocations come back immediately with
+/// [`FunctionResult::shed`] set and are never retried.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum invocations admitted concurrently (platform-wide). Anything
+    /// beyond is shed on arrival.
+    pub max_inflight: usize,
+    /// Maximum time one attempt may wait in a GPU server's queue before
+    /// the work is shed as overload (bounds queue *age*, not just depth).
+    pub max_queue_age: Option<Dur>,
+    /// Per-workload concurrency cap: one hot function cannot occupy the
+    /// whole admitted set.
+    pub max_per_workload: Option<usize>,
+}
+
+impl AdmissionConfig {
+    /// Admit up to `max_inflight` concurrent invocations; no age or
+    /// per-workload bounds.
+    pub fn new(max_inflight: usize) -> AdmissionConfig {
+        assert!(max_inflight >= 1, "admitting nothing serves nothing");
+        AdmissionConfig {
+            max_inflight,
+            max_queue_age: None,
+            max_per_workload: None,
+        }
+    }
+
+    /// Builder-style: bound per-attempt queue wait.
+    pub fn with_max_queue_age(mut self, d: Dur) -> Self {
+        self.max_queue_age = Some(d);
+        self
+    }
+
+    /// Builder-style: cap concurrent invocations of any single workload.
+    pub fn with_max_per_workload(mut self, n: usize) -> Self {
+        self.max_per_workload = Some(n.max(1));
+        self
+    }
+}
+
+/// Live admission counters (one lock: admission decisions are atomic).
+#[derive(Default)]
+struct AdmissionState {
+    inflight: usize,
+    per_workload: HashMap<String, usize>,
+}
+
+/// RAII release of an admission slot.
+struct AdmissionSlot<'a> {
+    state: &'a Mutex<AdmissionState>,
+    name: String,
+}
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        let mut st = self.state.lock();
+        st.inflight -= 1;
+        if let Some(n) = st.per_workload.get_mut(&self.name) {
+            *n -= 1;
+            if *n == 0 {
+                st.per_workload.remove(&self.name);
+            }
+        }
+    }
+}
+
 /// The central serverless backend: a registry of GPU servers plus a
 /// selection policy.
 pub struct Backend {
     servers: Vec<Arc<GpuServer>>,
     policy: ServerPolicy,
     retry: RetryPolicy,
+    admission: Option<AdmissionConfig>,
+    admitted: Mutex<AdmissionState>,
     rr: AtomicUsize,
 }
 
@@ -90,6 +163,8 @@ impl Backend {
             servers,
             policy,
             retry: RetryPolicy::default(),
+            admission: None,
+            admitted: Mutex::new(AdmissionState::default()),
             rr: AtomicUsize::new(0),
         }
     }
@@ -98,6 +173,18 @@ impl Backend {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Backend {
         self.retry = retry;
         self
+    }
+
+    /// Turn on admission control. Without it the backend admits everything
+    /// and queues without bound (the paper's prototype behaviour).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Backend {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Invocations currently admitted (holding an admission slot).
+    pub fn inflight(&self) -> usize {
+        self.admitted.lock().inflight
     }
 
     /// A GPU server announcing readiness (§IV: "it annouces it is ready
@@ -155,19 +242,35 @@ impl Backend {
         let launched_at = p.now();
         let tel = p.telemetry();
         tel.counter_add("backend.invocations", 1);
+        // Admission control: claim a slot or shed on the spot.
+        let _slot = match self.try_admit(w.name()) {
+            Ok(slot) => slot,
+            Err(reason) => return self.shed(p, w, launched_at, &reason),
+        };
+        let max_queue_age = self.admission.as_ref().and_then(|a| a.max_queue_age);
         let mut avoid = None;
         let mut attempt = 1;
         let last: InvokeFailure = loop {
             tel.counter_add("backend.attempts", 1);
             let idx = self.choose_idx(avoid);
-            match invoke_dgsf_attempt(p, &self.servers[idx], store, w, opts, attempt) {
+            match invoke_dgsf_bounded(
+                p,
+                &self.servers[idx],
+                store,
+                w,
+                opts,
+                attempt,
+                max_queue_age,
+            ) {
                 Ok(mut r) => {
                     r.launched_at = launched_at;
                     r.attempts = attempt;
                     return r;
                 }
                 Err(f) => {
-                    if f.error.is_transient() && attempt < self.retry.max_attempts {
+                    // Overloaded is deliberately not retried: piling
+                    // retries onto a saturated platform makes it worse.
+                    if f.class == FailureClass::Transient && attempt < self.retry.max_attempts {
                         if tel.is_enabled() {
                             tel.counter_add("backend.retries", 1);
                             tel.instant(
@@ -190,17 +293,101 @@ impl Backend {
                 }
             }
         };
-        tel.counter_add("backend.failures", 1);
+        let shed = last.class == FailureClass::Overloaded;
+        if shed {
+            tel.counter_add("backend.shed", 1);
+            if tel.is_enabled() {
+                tel.instant(
+                    p.name(),
+                    "shed",
+                    p.now(),
+                    &[
+                        ("workload", w.name().to_string()),
+                        ("reason", last.error.to_string()),
+                    ],
+                );
+            }
+        } else {
+            tel.counter_add("backend.failures", 1);
+        }
+        let failure = if shed {
+            format!("overloaded: {}", last.error)
+        } else {
+            last.error.to_string()
+        };
         FunctionResult {
             name: w.name().to_string(),
             mode: "dgsf".into(),
             launched_at,
             finished_at: p.now(),
-            phases: last.phases,
+            phases: *last.phases,
             api_stats: dgsf_cuda::ApiStats::default(),
             invocation: last.invocation,
             attempts: attempt,
-            failure: Some(last.error.to_string()),
+            failure: Some(failure),
+            shed,
+        }
+    }
+
+    /// Claim an admission slot for `name`, or say why it was refused.
+    fn try_admit(&self, name: &str) -> Result<Option<AdmissionSlot<'_>>, String> {
+        let Some(adm) = &self.admission else {
+            return Ok(None); // no admission control: everything enters
+        };
+        let mut st = self.admitted.lock();
+        if st.inflight >= adm.max_inflight {
+            return Err(format!(
+                "inflight limit reached ({}/{})",
+                st.inflight, adm.max_inflight
+            ));
+        }
+        let running = st.per_workload.get(name).copied().unwrap_or(0);
+        if let Some(cap) = adm.max_per_workload {
+            if running >= cap {
+                return Err(format!("workload cap reached ({running}/{cap})"));
+            }
+        }
+        st.inflight += 1;
+        *st.per_workload.entry(name.to_string()).or_insert(0) += 1;
+        Ok(Some(AdmissionSlot {
+            state: &self.admitted,
+            name: name.to_string(),
+        }))
+    }
+
+    /// A refused invocation: returns immediately, marked shed, never
+    /// retried.
+    fn shed(
+        &self,
+        p: &ProcCtx,
+        w: &dyn Workload,
+        launched_at: dgsf_sim::SimTime,
+        reason: &str,
+    ) -> FunctionResult {
+        let tel = p.telemetry();
+        tel.counter_add("backend.shed", 1);
+        if tel.is_enabled() {
+            tel.instant(
+                p.name(),
+                "shed",
+                p.now(),
+                &[
+                    ("workload", w.name().to_string()),
+                    ("reason", reason.to_string()),
+                ],
+            );
+        }
+        FunctionResult {
+            name: w.name().to_string(),
+            mode: "dgsf".into(),
+            launched_at,
+            finished_at: p.now(),
+            phases: PhaseRecorder::new(),
+            api_stats: dgsf_cuda::ApiStats::default(),
+            invocation: None,
+            attempts: 0,
+            failure: Some(format!("overloaded: {reason}")),
+            shed: true,
         }
     }
 }
@@ -310,6 +497,116 @@ mod tests {
         let (a, c) = *spread.lock();
         assert_eq!(a + c, 4);
         assert_eq!(a, 2, "least-loaded balances 2/2, got {a}/{c}");
+    }
+
+    #[test]
+    fn admission_sheds_beyond_the_inflight_limit() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        sim.spawn("root", move |p| {
+            let cfg = GpuServerConfig::paper_default().gpus(1);
+            let srv = GpuServer::provision(p, &h, cfg);
+            let b = Arc::new(
+                Backend::new(vec![srv], ServerPolicy::RoundRobin)
+                    .with_admission(AdmissionConfig::new(1)),
+            );
+            let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+            for i in 0..2 {
+                let b = Arc::clone(&b);
+                let store = Arc::clone(&store);
+                let r = r2.clone();
+                h.spawn(&format!("fn{i}"), move |p| {
+                    // stagger by 1 ms so fn0 holds the only slot when fn1
+                    // arrives (both well within fn0's ~1 s runtime)
+                    p.sleep(Dur::from_millis(i as u64));
+                    let res = b.invoke(p, &store, &Spin, OptConfig::full());
+                    r.lock().push(res);
+                });
+            }
+            p.sleep(Dur::from_secs(10));
+            assert_eq!(b.inflight(), 0, "slots released after completion");
+        });
+        sim.run();
+        let res = results.lock().clone();
+        assert_eq!(res.len(), 2);
+        let shed: Vec<&FunctionResult> = res.iter().filter(|r| r.shed).collect();
+        assert_eq!(shed.len(), 1, "exactly one invocation shed");
+        assert_eq!(shed[0].attempts, 0, "shed before any attempt");
+        assert!(shed[0].failure.as_deref().unwrap().contains("overloaded"));
+        assert!(
+            res.iter().any(|r| r.succeeded()),
+            "the admitted invocation completed"
+        );
+    }
+
+    #[test]
+    fn per_workload_cap_spares_other_workloads() {
+        struct Named(&'static str);
+        impl Workload for Named {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn registry(&self) -> Arc<ModuleRegistry> {
+                Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+            }
+            fn required_gpu_mem(&self) -> u64 {
+                GB
+            }
+            fn download_bytes(&self) -> u64 {
+                0
+            }
+            fn run(
+                &self,
+                p: &ProcCtx,
+                api: &mut dyn dgsf_cuda::CudaApi,
+                rec: &mut PhaseRecorder,
+            ) -> CudaResult<()> {
+                rec.enter(p, crate::phases::phase::PROCESSING);
+                api.launch_kernel(
+                    p,
+                    "k",
+                    LaunchConfig::linear(1, 32),
+                    KernelArgs::timed(1.0, 0),
+                )?;
+                api.device_synchronize(p)?;
+                rec.close(p);
+                Ok(())
+            }
+            fn cpu_secs(&self) -> f64 {
+                30.0
+            }
+        }
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        sim.spawn("root", move |p| {
+            let cfg = GpuServerConfig::paper_default().gpus(2).sharing(2);
+            let srv = GpuServer::provision(p, &h, cfg);
+            let b = Arc::new(
+                Backend::new(vec![srv], ServerPolicy::RoundRobin)
+                    .with_admission(AdmissionConfig::new(16).with_max_per_workload(1)),
+            );
+            let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+            for (i, name) in ["hot", "hot", "cold"].into_iter().enumerate() {
+                let b = Arc::clone(&b);
+                let store = Arc::clone(&store);
+                let r = r2.clone();
+                h.spawn(&format!("fn{i}"), move |p| {
+                    p.sleep(Dur::from_millis(i as u64));
+                    let res = b.invoke(p, &store, &Named(name), OptConfig::full());
+                    r.lock().push((name, res.shed));
+                });
+            }
+        });
+        sim.run();
+        let res = results.lock().clone();
+        let hot_shed = res.iter().filter(|(n, s)| *n == "hot" && *s).count();
+        let cold_shed = res.iter().filter(|(n, s)| *n == "cold" && *s).count();
+        assert_eq!(hot_shed, 1, "second concurrent 'hot' hits the cap");
+        assert_eq!(cold_shed, 0, "'cold' is unaffected by 'hot''s cap");
     }
 
     #[test]

@@ -20,6 +20,20 @@ use crate::phases::{phase, PhaseRecorder};
 use crate::store::ObjectStore;
 use crate::workload::Workload;
 
+/// How the backend should react to a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Transport-class blip: worth retrying, preferably elsewhere.
+    Transient,
+    /// The platform refused or shed the work under load. Retrying would
+    /// only add load to an already saturated system, so this class is
+    /// *never* retried.
+    Overloaded,
+    /// Anything else (programming errors, device OOM, …): retrying the
+    /// same function would fail the same way.
+    Permanent,
+}
+
 /// Outcome of one function execution.
 #[derive(Debug, Clone)]
 pub struct FunctionResult {
@@ -39,10 +53,14 @@ pub struct FunctionResult {
     /// for retried functions).
     pub invocation: Option<u64>,
     /// How many platform attempts the function took (1 on the fault-free
-    /// path).
+    /// path; 0 when admission control shed it before any attempt).
     pub attempts: u32,
     /// Why the function ultimately failed, if it did — `None` on success.
     pub failure: Option<String>,
+    /// True when the invocation was refused by admission control or shed
+    /// under overload (the [`FailureClass::Overloaded`] path) rather than
+    /// failing while executing.
+    pub shed: bool,
 }
 
 impl FunctionResult {
@@ -63,10 +81,13 @@ impl FunctionResult {
 pub struct InvokeFailure {
     /// What went wrong.
     pub error: CudaError,
+    /// How the retry layer should treat it.
+    pub class: FailureClass,
     /// The GPU-server invocation involved, if acquisition got that far.
     pub invocation: Option<u64>,
-    /// Phases recorded up to the failure point.
-    pub phases: PhaseRecorder,
+    /// Phases recorded up to the failure point (boxed to keep the
+    /// `Err`-variant small — `clippy::result_large_err`).
+    pub phases: Box<PhaseRecorder>,
     /// When the attempt started.
     pub launched_at: SimTime,
     /// When it failed.
@@ -118,6 +139,25 @@ pub fn invoke_dgsf_attempt(
     opts: OptConfig,
     attempt: u32,
 ) -> Result<FunctionResult, InvokeFailure> {
+    invoke_dgsf_bounded(p, server, store, w, opts, attempt, None)
+}
+
+/// Like [`invoke_dgsf_attempt`], with an additional bound on how long the
+/// attempt may wait in the GPU server's queue. When `max_queue_age` is the
+/// binding constraint and expires, the failure is classed
+/// [`FailureClass::Overloaded`] — the platform is saturated and the work is
+/// shed rather than retried. The server's own `queue_timeout` (operator
+/// patience, not overload) stays [`FailureClass::Transient`].
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_dgsf_bounded(
+    p: &ProcCtx,
+    server: &GpuServer,
+    store: &ObjectStore,
+    w: &dyn Workload,
+    opts: OptConfig,
+    attempt: u32,
+    max_queue_age: Option<Dur>,
+) -> Result<FunctionResult, InvokeFailure> {
     let launched_at = p.now();
     let mut rec = PhaseRecorder::new();
 
@@ -125,15 +165,39 @@ pub fn invoke_dgsf_attempt(
     store.download(p, w.download_bytes());
 
     rec.enter(p, phase::QUEUE);
-    let acquired = server.try_request_gpu(p, w.name(), w.required_gpu_mem(), w.registry(), attempt);
+    let cfg_timeout = server.config().queue_timeout;
+    let (timeout, age_binds) = match (cfg_timeout, max_queue_age) {
+        (None, None) => (None, false),
+        (Some(t), None) => (Some(t), false),
+        (None, Some(a)) => (Some(a), true),
+        (Some(t), Some(a)) => (Some(t.min(a)), a <= t),
+    };
+    let acquired = server.try_request_gpu_with_timeout(
+        p,
+        w.name(),
+        w.required_gpu_mem(),
+        w.registry(),
+        attempt,
+        timeout,
+    );
     let (client, invocation) = match acquired {
         Ok(x) => x,
         Err(e) => {
             rec.close(p);
+            let error = CudaError::Transport(e.to_string());
+            let timed_out = matches!(e, dgsf_server::AcquireError::Timeout { .. });
+            let class = if timed_out && age_binds {
+                FailureClass::Overloaded
+            } else if error.is_transient() {
+                FailureClass::Transient
+            } else {
+                FailureClass::Permanent
+            };
             return Err(InvokeFailure {
-                error: CudaError::Transport(e.to_string()),
+                error,
+                class,
                 invocation: None,
-                phases: rec,
+                phases: Box::new(rec),
                 launched_at,
                 failed_at: p.now(),
             });
@@ -163,13 +227,20 @@ pub fn invoke_dgsf_attempt(
             invocation: Some(invocation),
             attempts: attempt,
             failure: None,
+            shed: false,
         }),
         Err(error) => {
             server.mark_invocation_failed(p.now(), invocation);
+            let class = if error.is_transient() {
+                FailureClass::Transient
+            } else {
+                FailureClass::Permanent
+            };
             Err(InvokeFailure {
                 error,
+                class,
                 invocation: Some(invocation),
-                phases: rec,
+                phases: Box::new(rec),
                 launched_at,
                 failed_at: p.now(),
             })
@@ -227,6 +298,7 @@ pub fn invoke_native(
         invocation: None,
         attempts: 1,
         failure: None,
+        shed: false,
     }
 }
 
@@ -250,5 +322,6 @@ pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> Functio
         invocation: None,
         attempts: 1,
         failure: None,
+        shed: false,
     }
 }

@@ -21,9 +21,10 @@ mod store;
 mod workload;
 
 pub use arrivals::{ArrivalPattern, Schedule};
-pub use backend::{Backend, RetryPolicy, ServerPolicy};
+pub use backend::{AdmissionConfig, Backend, RetryPolicy, ServerPolicy};
 pub use invoke::{
-    invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_native, FunctionResult, InvokeFailure,
+    invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded, invoke_native, FailureClass,
+    FunctionResult, InvokeFailure,
 };
 pub use phases::{phase, PhaseRecorder};
 pub use store::ObjectStore;

@@ -315,6 +315,16 @@ impl Telemetry {
             .unwrap_or_default()
     }
 
+    /// Highest value ever recorded on gauge `name` (`None` if never
+    /// touched). Convenient oracle for peak pool size / queue depth.
+    pub fn gauge_peak(&self, name: &str) -> Option<i64> {
+        self.state
+            .lock()
+            .gauges
+            .get(name)
+            .and_then(|samples| samples.iter().map(|&(_, v)| v).max())
+    }
+
     /// Snapshot of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.state.lock().histograms.get(name).cloned()
@@ -564,6 +574,10 @@ mod tests {
         t.instant("monitor", "retry", SimTime(500), &[("attempt", "2".into())]);
         assert_eq!(t.counter("rpc.calls"), 3);
         assert_eq!(t.gauge("q"), vec![(SimTime(10), 4)]);
+        t.gauge_set("q", SimTime(20), 9);
+        t.gauge_set("q", SimTime(30), 2);
+        assert_eq!(t.gauge_peak("q"), Some(9));
+        assert_eq!(t.gauge_peak("missing"), None);
         let h = t.histogram("lat").unwrap();
         assert_eq!((h.count, h.min, h.max), (2, 1000, 2000));
         let spans = t.spans();

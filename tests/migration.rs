@@ -201,6 +201,97 @@ fn monitor_fixes_the_fig8_imbalance() {
 }
 
 #[test]
+fn repeat_migration_charges_each_context_at_most_once() {
+    // Migration contexts are created lazily, once per (server, GPU) pair
+    // (§V-B): a server bouncing between the same two GPUs reuses the
+    // context from its first visit. The monitor's overhead accounting must
+    // match — charge the 303 MB context footprint on the *first* arrival
+    // only. This test pins that with a placement probe sized to fit GPU 1
+    // exactly iff the context was charged once: double-charging would
+    // shrink availability below the probe and starve it.
+    let mut sim = Sim::new(3);
+    let h = sim.handle();
+    let probe_ok = Arc::new(Mutex::new(None));
+    let p2 = probe_ok.clone();
+    sim.spawn("root", move |p| {
+        let cfg = GpuServerConfig::paper_default()
+            .gpus(2)
+            .with_queue_timeout(Dur::from_secs(1));
+        let idle_fp = cfg.costs.idle_worker_mem();
+        let ctx_fp = cfg.costs.cuda_ctx_mem;
+        let server = GpuServer::provision(p, &h, cfg);
+        let total = server.gpus[1].total_mem();
+
+        // The holder occupies server 0 (home GPU 0) for ~3.5 s, giving the
+        // conductor migration boundaries (device_synchronize) to hit.
+        let s2 = Arc::clone(&server);
+        h.spawn("holder", move |p| {
+            let (client, _) = s2.request_gpu(p, "holder", 1024 * MB, registry());
+            let mut api = RemoteCuda::new(client, OptConfig::full());
+            api.runtime_init(p).unwrap();
+            api.register_module(p, registry()).unwrap();
+            for _ in 0..20 {
+                api.launch_kernel(
+                    p,
+                    "spin",
+                    LaunchConfig::linear(1, 32),
+                    KernelArgs::timed(0.25, 0),
+                )
+                .unwrap();
+                api.device_synchronize(p).unwrap();
+            }
+            api.finish(p).unwrap();
+        });
+
+        // Bounce server 0 between the GPUs: GPU 1 is visited twice, but
+        // its migration context must be charged exactly once.
+        let s3 = Arc::clone(&server);
+        h.spawn("conductor", move |p| {
+            for target in [GpuId(1), GpuId(0), GpuId(1), GpuId(0)] {
+                p.sleep(Dur::from_millis(500));
+                s3.force_migration(0, target);
+            }
+        });
+
+        // Probe at t = 3.2 s: the bounce is over, server 0 is back home on
+        // GPU 0 and still busy, so only server 1 (GPU 1) can take this. It
+        // fits exactly when GPU 1 carries idle_fp + one ctx_fp of overhead
+        // — a double charge starves it past its queue timeout.
+        let s4 = Arc::clone(&server);
+        let p3 = p2.clone();
+        h.spawn_at("probe", SimTime::ZERO + Dur::from_millis(3200), move |p| {
+            let probe_mem = total - idle_fp - ctx_fp;
+            match s4.try_request_gpu(p, "probe", probe_mem, registry(), 1) {
+                Ok((client, _)) => {
+                    let mut api = RemoteCuda::new(client, OptConfig::full());
+                    api.runtime_init(p).unwrap();
+                    api.register_module(p, registry()).unwrap();
+                    api.launch_kernel(
+                        p,
+                        "spin",
+                        LaunchConfig::linear(1, 32),
+                        KernelArgs::timed(0.1, 0),
+                    )
+                    .unwrap();
+                    api.device_synchronize(p).unwrap();
+                    api.finish(p).unwrap();
+                    assert_eq!(s4.server_current_gpu(1), GpuId(1));
+                    *p3.lock() = Some(true);
+                }
+                Err(_) => *p3.lock() = Some(false),
+            }
+        });
+    });
+    sim.run();
+    assert_eq!(
+        probe_ok.lock().take(),
+        Some(true),
+        "the probe must fit GPU 1: repeat migrations may not re-charge the \
+         303 MB context footprint"
+    );
+}
+
+#[test]
 fn table_v_shape_holds() {
     // max(stop, copy): small arrays pay ~the stop floor, large arrays are
     // copy-dominated and scale linearly.
