@@ -15,8 +15,13 @@
 //! against the autoscaled, admission-controlled fleet and writes
 //! `BENCH_sweep.json` to DIR (default `target/sweep`). Deterministic:
 //! same seed ⇒ byte-identical file.
+//!
+//! `dgsf-expt fleet [--quick] [--out DIR]` drives the two-tenant mix
+//! across a 4-server fleet for every routing × shedding policy
+//! combination and writes `BENCH_fleet.json` to DIR (default
+//! `target/fleet`). Deterministic: same seed ⇒ byte-identical file.
 
-use dgsf_bench::{mixed, single, sweep, trace};
+use dgsf_bench::{fleet, mixed, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +63,25 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("sweep export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "fleet" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/fleet")
+        } else {
+            out_dir
+        };
+        let f = fleet::fleet(seed, quick);
+        println!("== Fleet sweep: cluster balancing × per-tenant fair shedding ==");
+        print!("{}", fleet::fleet_text(&f));
+        match fleet::write_fleet(&dir, &f) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("fleet export failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,452 @@
+//! `dgsf-expt fleet` — the multi-tenant fleet sweep.
+//!
+//! Drives a two-tenant Poisson mix (a "hot" tenant flooding short
+//! functions and a "cold" tenant with sparse long functions) across a
+//! fleet of 4 GPU servers, for every combination of cluster-balancer
+//! routing (round-robin vs load-aware) and shed policy (FIFO vs
+//! per-tenant weighted fair). Every variant replays the *same* arrival
+//! schedule per load point, so differences are attributable to policy
+//! alone. Per point it records per-tenant goodput, completion ratios and
+//! Jain's fairness index over the tenants' weight-normalized goodput.
+//!
+//! Everything in `BENCH_fleet.json` is an integer derived from virtual
+//! time, so the file is **byte-identical per seed** across runs and
+//! machines — CI diffs it against a committed golden.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaResult, KernelDef};
+use dgsf::gpu::GB;
+use dgsf::prelude::*;
+
+use crate::report::TextTable;
+
+/// A synthetic spin workload with a configurable footprint, so the two
+/// tenants stress the fleet differently.
+struct Spin {
+    name: &'static str,
+    secs: f64,
+    mem: u64,
+}
+
+impl Workload for Spin {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        self.mem
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        api.launch_kernel(
+            p,
+            "k",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(self.secs, 0),
+        )?;
+        api.device_synchronize(p)?;
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        30.0
+    }
+}
+
+/// GPU seconds per hot-tenant invocation.
+const HOT_SECS: f64 = 0.3;
+/// GPU seconds per cold-tenant invocation — 4× heavier per job, so blind
+/// routing queues short functions behind it.
+const COLD_SECS: f64 = 1.2;
+/// The cold tenant's fixed offered rate (milli-requests/second): 2.4 GPUs
+/// of work, past its half-fleet fair share, so at the overloaded points
+/// *both* tenants are backlogged and the shed policy decides who is
+/// served.
+const COLD_RPS_MILLI: u64 = 2_000;
+/// Hot-tenant offered rates (milli-requests/second): mid-saturation, the
+/// knee, and firm overload of the 4-GPU fleet.
+const HOT_RATES_MILLI_RPS: &[u64] = &[2_000, 8_000, 16_000];
+/// Platform-wide admission budget (2 slots per fleet server). Tight
+/// enough that overload turns into admission-time shedding, where the
+/// shed policy decides who pays.
+const MAX_INFLIGHT: usize = 8;
+
+/// Per-tenant slice of one load point. All integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantPoint {
+    /// Functions launched by this tenant.
+    pub launched: u64,
+    /// Functions completed.
+    pub completed: u64,
+    /// Functions shed.
+    pub shed: u64,
+    /// Goodput (milli-requests/second of completions over the run window).
+    pub goodput_rps_milli: u64,
+    /// Completions per launch, in permille — the tenant's served fraction
+    /// of its own demand, which is what fairness budgets.
+    pub completion_permille: u64,
+    /// 99th-percentile end-to-end latency of this tenant's completions
+    /// (microseconds, nearest-rank).
+    pub p99_e2e_us: u64,
+}
+
+/// One load point of one variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetPoint {
+    /// Hot tenant's offered rate (milli-requests/second).
+    pub hot_rps_milli: u64,
+    /// The hot tenant's slice.
+    pub hot: TenantPoint,
+    /// The cold tenant's slice.
+    pub cold: TenantPoint,
+    /// p50 end-to-end latency over all completions (microseconds).
+    pub p50_e2e_us: u64,
+    /// p99 end-to-end latency over all completions (microseconds).
+    pub p99_e2e_us: u64,
+    /// Jain's fairness index over the two tenants' weight-normalized
+    /// goodputs, in permille (1000 = each tenant's served rate matches
+    /// its weight). Meaningful at the backlogged points, where demand
+    /// exceeds every tenant's share.
+    pub jain_permille: u64,
+}
+
+/// One (routing, shedding) policy combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetVariant {
+    /// Cluster-balancer routing policy label.
+    pub fleet_policy: &'static str,
+    /// Shed policy label.
+    pub shed_policy: &'static str,
+    /// The measured curve, in offered-rate order.
+    pub points: Vec<FleetPoint>,
+}
+
+/// The whole fleet sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOutput {
+    /// Base seed the per-point seeds derive from.
+    pub seed: u64,
+    /// Fleet size.
+    pub num_servers: usize,
+    /// Arrival window per point, in seconds.
+    pub window_secs: u64,
+    /// The cold tenant's fixed offered rate (milli-requests/second).
+    pub cold_rps_milli: u64,
+    /// One entry per policy combination.
+    pub variants: Vec<FleetVariant>,
+}
+
+/// The fleet under test: 4 single-GPU servers behind the cluster
+/// balancer, platform-wide admission control, optional weighted fair
+/// shedding with equal tenant weights.
+fn fleet_config(seed: u64, policy: FleetPolicy, fair: bool) -> PlatformConfig {
+    let mut cfg = PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(GpuServerConfig::paper_default().gpus(1))
+        .with_num_servers(4)
+        .with_fleet_policy(policy)
+        .with_max_inflight(MAX_INFLIGHT);
+    if fair {
+        cfg = cfg.with_weighted_fair(
+            FairShedConfig::new()
+                .with_weight("hot", 1)
+                .with_weight("cold", 1)
+                .with_burst(2)
+                .with_refill(1_000),
+        );
+    }
+    cfg
+}
+
+/// Nearest-rank percentile of a sorted slice (q in permille).
+fn percentile_sorted(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = ((n * q_permille).div_ceil(1000)).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Jain's fairness index over `xs`, in permille: `(Σx)² / (n·Σx²)`.
+/// 1000 means every tenant gets the same value; 1000/n means one tenant
+/// gets everything. All-zero input is vacuously fair.
+pub fn jain_permille(xs: &[u64]) -> u64 {
+    let n = xs.len() as u128;
+    if n == 0 {
+        return 1000;
+    }
+    let s: u128 = xs.iter().map(|&x| x as u128).sum();
+    let s2: u128 = xs.iter().map(|&x| (x as u128) * (x as u128)).sum();
+    if s2 == 0 {
+        return 1000;
+    }
+    ((s * s * 1000) / (n * s2)) as u64
+}
+
+/// Tenant slice of a run's results.
+fn tenant_point(results: &[&dgsf::serverless::FunctionResult], window_ns: u64) -> TenantPoint {
+    let launched = results.len() as u64;
+    let completed = results.iter().filter(|r| r.succeeded()).count() as u64;
+    let shed = results.iter().filter(|r| r.shed).count() as u64;
+    let mut e2e_us: Vec<u64> = results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.e2e().as_nanos() / 1_000)
+        .collect();
+    e2e_us.sort_unstable();
+    let goodput_rps_milli = if window_ns == 0 {
+        0
+    } else {
+        ((completed as u128 * 1_000_000_000_000) / window_ns as u128) as u64
+    };
+    TenantPoint {
+        launched,
+        completed,
+        shed,
+        goodput_rps_milli,
+        completion_permille: (completed * 1000).checked_div(launched).unwrap_or(0),
+        p99_e2e_us: percentile_sorted(&e2e_us, 990),
+    }
+}
+
+/// Run one load point of one variant. Every variant at the same
+/// `(base_seed, idx)` replays the identical schedule.
+fn run_point(
+    base_seed: u64,
+    idx: usize,
+    hot_rps_milli: u64,
+    window_secs: u64,
+    policy: FleetPolicy,
+    fair: bool,
+) -> FleetPoint {
+    // Distinct, deterministic seed per load point — shared across the
+    // four variants so their schedules are identical.
+    let seed = base_seed.wrapping_add((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let hot_n = (hot_rps_milli * window_secs / 1000) as usize;
+    let cold_n = (COLD_RPS_MILLI * window_secs / 1000) as usize;
+    let suite: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(Tenanted::new(
+            "hot",
+            Spin {
+                name: "hot-spin",
+                secs: HOT_SECS,
+                mem: GB,
+            },
+        )),
+        Arc::new(Tenanted::new(
+            "cold",
+            Spin {
+                name: "cold-spin",
+                secs: COLD_SECS,
+                mem: 4 * GB,
+            },
+        )),
+    ];
+    let schedule = dgsf::serverless::Schedule::merged(
+        seed,
+        &[
+            (
+                0,
+                hot_n,
+                ArrivalPattern::Exponential {
+                    mean: Dur(1_000_000_000_000 / hot_rps_milli),
+                },
+            ),
+            (
+                1,
+                cold_n,
+                ArrivalPattern::Exponential {
+                    mean: Dur(1_000_000_000_000 / COLD_RPS_MILLI),
+                },
+            ),
+        ],
+    );
+    let cfg = fleet_config(seed, policy, fair);
+    let out = Testbed::run_platform_schedule(&cfg, &suite, &schedule);
+    let window_ns = out.all_done.since(out.first_launch).as_nanos();
+    let hot_results: Vec<&dgsf::serverless::FunctionResult> =
+        out.results.iter().filter(|r| r.tenant == "hot").collect();
+    let cold_results: Vec<&dgsf::serverless::FunctionResult> =
+        out.results.iter().filter(|r| r.tenant == "cold").collect();
+    let hot = tenant_point(&hot_results, window_ns);
+    let cold = tenant_point(&cold_results, window_ns);
+    let mut all_e2e_us: Vec<u64> = out
+        .results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.e2e().as_nanos() / 1_000)
+        .collect();
+    all_e2e_us.sort_unstable();
+    // Equal tenant weights, so the weight-normalized goodputs are the
+    // goodputs themselves.
+    let jain = jain_permille(&[hot.goodput_rps_milli, cold.goodput_rps_milli]);
+    FleetPoint {
+        hot_rps_milli,
+        p50_e2e_us: percentile_sorted(&all_e2e_us, 500),
+        p99_e2e_us: percentile_sorted(&all_e2e_us, 990),
+        jain_permille: jain,
+        hot,
+        cold,
+    }
+}
+
+/// The four policy combinations of the sweep.
+const VARIANTS: &[(FleetPolicy, bool)] = &[
+    (FleetPolicy::RoundRobin, false),
+    (FleetPolicy::RoundRobin, true),
+    (FleetPolicy::LoadAware, false),
+    (FleetPolicy::LoadAware, true),
+];
+
+/// Run the full fleet sweep. `quick` shrinks the arrival window (CI
+/// smoke); deterministic per `(seed, quick)`.
+pub fn fleet(seed: u64, quick: bool) -> FleetOutput {
+    let window_secs = if quick { 4 } else { 10 };
+    let variants = VARIANTS
+        .iter()
+        .map(|&(policy, fair)| FleetVariant {
+            fleet_policy: policy.label(),
+            shed_policy: if fair { "weighted_fair" } else { "fifo" },
+            points: HOT_RATES_MILLI_RPS
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| run_point(seed, i, r, window_secs, policy, fair))
+                .collect(),
+        })
+        .collect();
+    FleetOutput {
+        seed,
+        num_servers: 4,
+        window_secs,
+        cold_rps_milli: COLD_RPS_MILLI,
+        variants,
+    }
+}
+
+fn tenant_json(t: &TenantPoint) -> String {
+    format!(
+        "{{\"launched\": {}, \"completed\": {}, \"shed\": {}, \"goodput_rps_milli\": {}, \"completion_permille\": {}, \"p99_e2e_us\": {}}}",
+        t.launched, t.completed, t.shed, t.goodput_rps_milli, t.completion_permille, t.p99_e2e_us,
+    )
+}
+
+/// Render the sweep as JSON. Integers only — byte-identical per seed.
+pub fn fleet_json(f: &FleetOutput) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", f.seed));
+    out.push_str(&format!("  \"num_servers\": {},\n", f.num_servers));
+    out.push_str(&format!("  \"window_secs\": {},\n", f.window_secs));
+    out.push_str(&format!("  \"cold_rps_milli\": {},\n", f.cold_rps_milli));
+    out.push_str("  \"variants\": [");
+    for (i, v) in f.variants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"fleet_policy\": \"{}\", \"shed_policy\": \"{}\", \"points\": [",
+            v.fleet_policy, v.shed_policy
+        ));
+        for (j, p) in v.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"hot_rps_milli\": {}, \"p50_e2e_us\": {}, \"p99_e2e_us\": {}, \"jain_permille\": {}, \"hot\": {}, \"cold\": {}}}",
+                p.hot_rps_milli,
+                p.p50_e2e_us,
+                p.p99_e2e_us,
+                p.jain_permille,
+                tenant_json(&p.hot),
+                tenant_json(&p.cold),
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_fleet.json` into `out_dir`; returns the path.
+pub fn write_fleet(out_dir: &Path, f: &FleetOutput) -> io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_fleet.json");
+    fs::write(&path, fleet_json(f))?;
+    Ok(path)
+}
+
+/// Human-readable table of the sweep.
+pub fn fleet_text(f: &FleetOutput) -> String {
+    let mut t = TextTable::new(vec![
+        "routing",
+        "shedding",
+        "hot rps",
+        "p99 e2e",
+        "jain",
+        "hot done/shed",
+        "cold done/shed",
+        "hot goodput",
+        "cold goodput",
+    ]);
+    for v in &f.variants {
+        for p in &v.points {
+            t.row(vec![
+                v.fleet_policy.to_string(),
+                v.shed_policy.to_string(),
+                format!("{:.1}", p.hot_rps_milli as f64 / 1000.0),
+                format!("{:.2}s", p.p99_e2e_us as f64 / 1e6),
+                format!("{:.3}", p.jain_permille as f64 / 1000.0),
+                format!("{}/{}", p.hot.completed, p.hot.shed),
+                format!("{}/{}", p.cold.completed, p.cold.shed),
+                format!("{:.2}", p.hot.goodput_rps_milli as f64 / 1000.0),
+                format!("{:.2}", p.cold.goodput_rps_milli as f64 / 1000.0),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_permille(&[500, 500]), 1000, "equal shares are fair");
+        assert_eq!(
+            jain_permille(&[800, 0]),
+            500,
+            "starvation halves 2-tenant J"
+        );
+        assert_eq!(jain_permille(&[]), 1000);
+        assert_eq!(jain_permille(&[0, 0]), 1000);
+        let j = jain_permille(&[900, 300]);
+        assert!(j > 500 && j < 1000, "skew lands between: {j}");
+    }
+
+    #[test]
+    fn one_light_point_serves_both_tenants() {
+        // Light load, plain FIFO round-robin: nobody shed.
+        let p = run_point(42, 0, 2_000, 3, FleetPolicy::RoundRobin, false);
+        assert_eq!(p.hot.launched, 6);
+        assert_eq!(p.cold.launched, 6);
+        assert_eq!(p.hot.shed + p.cold.shed, 0);
+        assert_eq!(p.hot.completion_permille, 1000);
+        assert_eq!(p.cold.completion_permille, 1000);
+    }
+}

@@ -19,6 +19,7 @@
 //! | §VIII-D future work (SJF) | [`mixed::queue_policy`] | `dgsf-expt sjf` |
 //! | telemetry trace | [`trace::write_trace`] | `dgsf-expt trace` |
 //! | autoscaler load sweep | [`sweep::sweep`] | `dgsf-expt sweep` |
+//! | multi-tenant fleet sweep | [`fleet::fleet`] | `dgsf-expt fleet` |
 //!
 //! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
 //! records). `dgsf-expt trace` instead writes telemetry artifacts
@@ -26,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod mixed;
 pub mod report;
 pub mod single;

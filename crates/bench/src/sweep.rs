@@ -114,22 +114,20 @@ pub struct SweepOutput {
 
 /// The fleet under test: 2 GPUs, autoscaling 1→4 servers per GPU,
 /// admission-controlled backend.
-fn sweep_config(seed: u64) -> BackendRunConfig {
-    BackendRunConfig {
-        seed,
-        server: GpuServerConfig::paper_default().gpus(2).with_autoscale(
-            AutoscaleConfig::new(1, 4)
-                .with_target_queue_delay(Dur::from_millis(250))
-                .with_up_ticks(2)
-                .with_idle_ttl(Dur::from_secs(3))
-                .with_cooldown(Dur::from_millis(400)),
-        ),
-        num_servers: 1,
-        policy: ServerPolicy::RoundRobin,
-        retry: RetryPolicy::default(),
-        admission: Some(AdmissionConfig::new(24).with_max_queue_age(Dur::from_secs(3))),
-        opts: OptConfig::full(),
-    }
+fn sweep_config(seed: u64) -> PlatformConfig {
+    PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(
+            GpuServerConfig::paper_default().gpus(2).with_autoscale(
+                AutoscaleConfig::new(1, 4)
+                    .with_target_queue_delay(Dur::from_millis(250))
+                    .with_up_ticks(2)
+                    .with_idle_ttl(Dur::from_secs(3))
+                    .with_cooldown(Dur::from_millis(400)),
+            ),
+        )
+        .with_max_inflight(24)
+        .with_max_queue_age(Dur::from_secs(3))
 }
 
 /// Nearest-rank percentile of a sorted slice (q in permille). Integer-only.
@@ -156,7 +154,7 @@ fn run_point(base_seed: u64, idx: usize, rate_milli_rps: u64, launches: usize) -
         ArrivalPattern::Exponential { mean: mean_gap },
     );
     let cfg = sweep_config(seed);
-    let (out, tel) = Testbed::run_backend_schedule_traced(&cfg, &suite, &schedule);
+    let (out, tel) = Testbed::run_platform_schedule_traced(&cfg, &suite, &schedule);
     let mut e2e_us: Vec<u64> = out
         .results
         .iter()

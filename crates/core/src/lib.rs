@@ -25,13 +25,17 @@
 //!
 //! ## Quickstart
 //!
+//! Configuration goes through one entry point, [`PlatformConfig`]: a
+//! builder covering the server shape, the fleet, and the backend's
+//! routing, retry and admission policies.
+//!
 //! ```
-//! use dgsf::{Testbed, TestbedConfig};
+//! use dgsf::{PlatformConfig, Testbed};
 //! use std::sync::Arc;
 //!
-//! let cfg = TestbedConfig::paper_default();
+//! let cfg = PlatformConfig::paper_default();
 //! let w = Arc::new(dgsf::workloads::kmeans());
-//! let dgsf_run = Testbed::run_dgsf_once(&cfg, w.clone());
+//! let dgsf_run = Testbed::run_dgsf_once(&cfg.testbed(), w.clone());
 //! let native_run = Testbed::run_native_once(1, &cfg.server.costs, w);
 //! // DGSF hides the 3.2 s CUDA initialization → often faster than native.
 //! assert!(dgsf_run.e2e() < native_run.e2e());
@@ -39,8 +43,10 @@
 
 #![warn(missing_docs)]
 
+mod platform;
 mod testbed;
 
+pub use platform::PlatformConfig;
 pub use testbed::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
 
 /// Discrete-event simulation substrate.
@@ -66,13 +72,17 @@ pub use dgsf_workloads as workloads;
 
 /// Convenient top-level re-exports of the most used types.
 pub mod prelude {
-    pub use crate::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
+    pub use crate::{
+        BackendRunConfig, BackendRunOutput, PlatformConfig, RunOutput, Testbed, TestbedConfig,
+    };
     pub use dgsf_cuda::{CostTable, CudaApi, HostBuf, KernelArgs, LaunchConfig, ModuleRegistry};
     pub use dgsf_remoting::{NetProfile, OptConfig};
-    pub use dgsf_server::{AutoscaleConfig, GpuServerConfig, PlacementPolicy, QueuePolicy};
+    pub use dgsf_server::{
+        AutoscaleConfig, FleetPolicy, GpuServerConfig, PlacementPolicy, QueuePolicy, ShedPolicy,
+    };
     pub use dgsf_serverless::{
-        AdmissionConfig, ArrivalPattern, FailureClass, PhaseRecorder, RetryPolicy, Schedule,
-        ServerPolicy, Workload,
+        AdmissionConfig, ArrivalPattern, ClusterBalancer, FailureClass, FairShedConfig,
+        PhaseRecorder, RetryPolicy, Schedule, ServerPolicy, Tenanted, Workload,
     };
     pub use dgsf_sim::{Dur, Sim, SimTime};
 }

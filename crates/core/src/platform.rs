@@ -1,0 +1,254 @@
+//! [`PlatformConfig`]: the single entry point for configuring a DGSF
+//! platform run.
+//!
+//! Experiment configuration used to be scattered over five types —
+//! [`TestbedConfig`], [`BackendRunConfig`], [`GpuServerConfig`],
+//! [`AdmissionConfig`] and [`RetryPolicy`] — each with its own defaults.
+//! `PlatformConfig` consolidates them behind one builder: start from
+//! [`PlatformConfig::paper_default`], chain `with_*` calls, and hand the
+//! result to [`Testbed::run_platform_schedule`](crate::Testbed::run_platform_schedule)
+//! (or convert into the legacy types, which remain as thin views so
+//! existing code compiles unchanged).
+//!
+//! ```
+//! use dgsf::{PlatformConfig, Testbed};
+//! use dgsf::serverless::{FairShedConfig, FleetPolicy};
+//!
+//! let cfg = PlatformConfig::paper_default()
+//!     .with_seed(7)
+//!     .with_num_servers(4)
+//!     .with_fleet_policy(FleetPolicy::LoadAware)
+//!     .with_max_inflight(64)
+//!     .with_weighted_fair(FairShedConfig::new().with_weight("hot", 1));
+//! assert_eq!(cfg.backend().num_servers, 4);
+//! ```
+
+use dgsf_remoting::OptConfig;
+use dgsf_server::{FleetPolicy, GpuServerConfig, ShedPolicy};
+use dgsf_serverless::{AdmissionConfig, FairShedConfig, RetryPolicy};
+
+use crate::testbed::{BackendRunConfig, TestbedConfig};
+
+/// One consolidated configuration for a whole platform run: the RNG seed,
+/// the shape of every GPU server, the fleet in front of them, and the
+/// backend's routing, retry and admission policies.
+#[derive(Clone)]
+pub struct PlatformConfig {
+    /// RNG seed (arrivals, jitter).
+    pub seed: u64,
+    /// Shape of each GPU server in the fleet.
+    pub server: GpuServerConfig,
+    /// Fleet size (number of GPU servers behind the backend).
+    pub num_servers: usize,
+    /// Cluster-balancer routing policy.
+    pub policy: FleetPolicy,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Optional admission control (overload shedding).
+    pub admission: Option<AdmissionConfig>,
+    /// Guest-library optimization level.
+    pub opts: OptConfig,
+}
+
+impl PlatformConfig {
+    /// The paper's default platform: one paper-default GPU server behind a
+    /// round-robin backend, default retries, no admission control.
+    pub fn paper_default() -> PlatformConfig {
+        PlatformConfig {
+            seed: 42,
+            server: GpuServerConfig::paper_default(),
+            num_servers: 1,
+            policy: FleetPolicy::RoundRobin,
+            retry: RetryPolicy::default(),
+            admission: None,
+            opts: OptConfig::full(),
+        }
+    }
+
+    /// Builder-style: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the per-server shape.
+    pub fn with_server(mut self, server: GpuServerConfig) -> Self {
+        self.server = server;
+        self
+    }
+
+    /// Builder-style: set the fleet size.
+    pub fn with_num_servers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a fleet needs at least one server");
+        self.num_servers = n;
+        self
+    }
+
+    /// Builder-style: set the cluster-balancer routing policy.
+    pub fn with_fleet_policy(mut self, policy: FleetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style: install a complete admission configuration.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Builder-style: admission control with a platform-wide in-flight
+    /// cap (creating a default [`AdmissionConfig`] if none is set yet).
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        let adm = match self.admission.take() {
+            Some(mut a) => {
+                a.max_inflight = n.max(1);
+                a
+            }
+            None => AdmissionConfig::new(n),
+        };
+        self.admission = Some(adm);
+        self
+    }
+
+    /// Builder-style: bound per-attempt queue wait (requires admission
+    /// control; creates one with the given cap applied to an existing
+    /// config, or panics if none is configured yet).
+    pub fn with_max_queue_age(mut self, d: dgsf_sim::Dur) -> Self {
+        let adm = self
+            .admission
+            .take()
+            .expect("set with_max_inflight before with_max_queue_age");
+        self.admission = Some(adm.with_max_queue_age(d));
+        self
+    }
+
+    /// Builder-style: per-tenant weighted fair shedding (requires
+    /// admission control to be configured first).
+    pub fn with_weighted_fair(mut self, fairness: FairShedConfig) -> Self {
+        let adm = self
+            .admission
+            .take()
+            .expect("set with_max_inflight before with_weighted_fair");
+        self.admission = Some(adm.with_weighted_fair(fairness));
+        self
+    }
+
+    /// Builder-style: set the guest-library optimization level.
+    pub fn with_opts(mut self, opts: OptConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The shed policy this platform implements.
+    pub fn shed_policy(&self) -> ShedPolicy {
+        self.admission
+            .as_ref()
+            .map(|a| a.shed_policy())
+            .unwrap_or(ShedPolicy::Fifo)
+    }
+
+    /// View as a single-server [`TestbedConfig`] (fleet settings dropped).
+    pub fn testbed(&self) -> TestbedConfig {
+        TestbedConfig {
+            seed: self.seed,
+            server: self.server.clone(),
+            opts: self.opts,
+        }
+    }
+
+    /// View as a [`BackendRunConfig`] for the backend-level runner.
+    pub fn backend(&self) -> BackendRunConfig {
+        BackendRunConfig {
+            seed: self.seed,
+            server: self.server.clone(),
+            num_servers: self.num_servers,
+            policy: self.policy,
+            retry: self.retry,
+            admission: self.admission.clone(),
+            opts: self.opts,
+        }
+    }
+}
+
+impl From<PlatformConfig> for TestbedConfig {
+    fn from(p: PlatformConfig) -> TestbedConfig {
+        p.testbed()
+    }
+}
+
+impl From<PlatformConfig> for BackendRunConfig {
+    fn from(p: PlatformConfig) -> BackendRunConfig {
+        p.backend()
+    }
+}
+
+impl From<TestbedConfig> for PlatformConfig {
+    fn from(t: TestbedConfig) -> PlatformConfig {
+        PlatformConfig::paper_default()
+            .with_seed(t.seed)
+            .with_server(t.server)
+            .with_opts(t.opts)
+    }
+}
+
+impl From<BackendRunConfig> for PlatformConfig {
+    fn from(b: BackendRunConfig) -> PlatformConfig {
+        PlatformConfig {
+            seed: b.seed,
+            server: b.server,
+            num_servers: b.num_servers,
+            policy: b.policy,
+            retry: b.retry,
+            admission: b.admission,
+            opts: b.opts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgsf_sim::Dur;
+
+    #[test]
+    fn builder_round_trips_through_backend_config() {
+        let cfg = PlatformConfig::paper_default()
+            .with_seed(9)
+            .with_num_servers(4)
+            .with_fleet_policy(FleetPolicy::LoadAware)
+            .with_max_inflight(32)
+            .with_max_queue_age(Dur::from_secs(2))
+            .with_weighted_fair(FairShedConfig::new());
+        let b = cfg.backend();
+        assert_eq!(b.seed, 9);
+        assert_eq!(b.num_servers, 4);
+        assert_eq!(b.policy, FleetPolicy::LoadAware);
+        let adm = b.admission.expect("admission configured");
+        assert_eq!(adm.max_inflight, 32);
+        assert_eq!(adm.shed_policy(), ShedPolicy::WeightedFair);
+        let back: PlatformConfig = cfg.backend().into();
+        assert_eq!(back.num_servers, 4);
+    }
+
+    #[test]
+    fn testbed_view_keeps_seed_and_server_shape() {
+        let cfg = PlatformConfig::paper_default().with_seed(3);
+        let t = cfg.testbed();
+        assert_eq!(t.seed, 3);
+        assert_eq!(t.server.num_gpus, cfg.server.num_gpus);
+    }
+
+    #[test]
+    fn shed_policy_reflects_fairness() {
+        let fifo = PlatformConfig::paper_default().with_max_inflight(8);
+        assert_eq!(fifo.shed_policy(), ShedPolicy::Fifo);
+        let fair = fifo.with_weighted_fair(FairShedConfig::new());
+        assert_eq!(fair.shed_policy(), ShedPolicy::WeightedFair);
+    }
+}

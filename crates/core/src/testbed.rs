@@ -20,6 +20,10 @@ use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
 
 /// Configuration of one experiment run.
+///
+/// A thin single-server view of [`crate::PlatformConfig`] — the
+/// consolidated builder is the documented entry point; this type remains
+/// for the testbed's single-server runners.
 #[derive(Clone)]
 pub struct TestbedConfig {
     /// RNG seed (arrivals, jitter).
@@ -102,6 +106,10 @@ impl RunOutput {
 
 /// Configuration of a backend-level run: a fleet of GPU servers behind the
 /// serverless backend's selection, retry and admission policies.
+///
+/// A thin view of [`crate::PlatformConfig`] — build one with the
+/// consolidated builder and convert via [`crate::PlatformConfig::backend`]
+/// (or `.into()`).
 #[derive(Clone)]
 pub struct BackendRunConfig {
     /// RNG seed (arrivals, jitter).
@@ -282,6 +290,30 @@ impl Testbed {
             },
             telemetry,
         )
+    }
+
+    /// Run a schedule on a platform described by one consolidated
+    /// [`crate::PlatformConfig`]: the fleet is provisioned, the cluster
+    /// balancer routes under `cfg.policy`, and admission control sheds
+    /// per `cfg.admission`. This is the preferred entry point;
+    /// [`run_backend_schedule`](Self::run_backend_schedule) is its
+    /// lower-level equivalent.
+    pub fn run_platform_schedule(
+        cfg: &crate::PlatformConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> BackendRunOutput {
+        Self::run_backend_schedule(&cfg.backend(), suite, schedule)
+    }
+
+    /// [`run_platform_schedule`](Self::run_platform_schedule) with
+    /// telemetry recording on. Same seed ⇒ byte-identical exports.
+    pub fn run_platform_schedule_traced(
+        cfg: &crate::PlatformConfig,
+        suite: &[Arc<dyn Workload>],
+        schedule: &Schedule,
+    ) -> (BackendRunOutput, Arc<Telemetry>) {
+        Self::run_backend_schedule_traced(&cfg.backend(), suite, schedule)
     }
 
     /// Run a schedule through the serverless backend: a fleet of

@@ -5,32 +5,9 @@ use dgsf_remoting::{FaultPlan, NetProfile};
 use dgsf_sim::Dur;
 
 use crate::autoscale::AutoscaleConfig;
-
-/// How the monitor picks a GPU for an incoming function (§VIII-D/E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlacementPolicy {
-    /// Pack: the GPU with the *least* free (uncommitted) memory that still
-    /// fits the request.
-    BestFit,
-    /// Spread: the GPU with the *most* free memory.
-    WorstFit,
-}
-
-/// Queue discipline at the GPU server. The paper evaluates strict FCFS and
-/// "leaves exploration of policies like shortest-function-first, which
-/// could improve throughput at some loss of fairness, for future work"
-/// (§VIII-D) — implemented here as [`QueuePolicy::SmallestFirst`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QueuePolicy {
-    /// Strict first-come-first-serve with head-of-line blocking (the
-    /// paper's evaluated policy).
-    Fcfs,
-    /// Serve the queued function with the smallest declared GPU memory
-    /// first (a practical proxy for shortest-function-first: small
-    /// footprints correlate with short runs in the paper's suite). Improves
-    /// throughput; large functions can be bypassed repeatedly.
-    SmallestFirst,
-}
+// The policy enums historically lived here; they moved to the unified
+// `policy` module and are re-exported for compatibility.
+pub use crate::policy::{PlacementPolicy, QueuePolicy};
 
 /// Configuration of one disaggregated GPU server.
 #[derive(Debug, Clone)]

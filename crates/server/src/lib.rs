@@ -24,13 +24,15 @@ mod api_server;
 mod autoscale;
 mod config;
 mod monitor;
+pub mod policy;
 mod server;
 
 pub use api_server::{ApiServerShared, MigrationRecord};
 pub use autoscale::{AutoscaleConfig, Autoscaler};
-pub use config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
+pub use config::GpuServerConfig;
 pub use monitor::InvocationRecord;
-pub use server::{AcquireError, GpuServer};
+pub use policy::{FleetPolicy, PlacementPolicy, QueuePolicy, ShedPolicy};
+pub use server::{AcquireError, GpuServer, ServerGauges};
 
 #[cfg(test)]
 mod tests {

@@ -138,6 +138,9 @@ pub(crate) struct MonitorArgs {
     /// Live-server registry shared with [`crate::GpuServer`]; the
     /// autoscaler pushes spawned servers and removes retired ones.
     pub registry: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
+    /// Ids of API servers whose lease expired, shared with
+    /// [`crate::GpuServer`] so the cluster balancer can see dead capacity.
+    pub failed_servers: Arc<Mutex<HashSet<u32>>>,
 }
 
 /// Immutable monitor context shared by the helpers below.
@@ -151,6 +154,7 @@ struct MonCtx {
     monitor_tx: SimSender<MonitorMsg>,
     migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     registry: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
+    failed_servers: Arc<Mutex<HashSet<u32>>>,
 }
 
 /// Body of the monitor process.
@@ -167,6 +171,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         monitor_tx,
         migration_log,
         registry,
+        failed_servers,
     } = args;
     let a = MonCtx {
         h,
@@ -178,6 +183,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         monitor_tx,
         migration_log,
         registry,
+        failed_servers,
     };
     let spawn_time = p.now();
     let mut servers: Vec<SrvBook> = servers
@@ -397,6 +403,7 @@ fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook]) -> bool {
         }
         if now.since(s.last_heartbeat) > a.cfg.lease_timeout {
             s.failed = true;
+            a.failed_servers.lock().insert(s.shared.id);
             let b = s.busy.take().expect("checked busy");
             let tel = p.telemetry();
             if tel.is_enabled() {

@@ -1,0 +1,113 @@
+//! The platform's policy surface, in one place.
+//!
+//! Every scheduling decision the platform makes is named here, under one
+//! naming scheme (`*Policy` enums with plain variant names):
+//!
+//! * [`PlacementPolicy`] — which GPU the monitor homes a function on;
+//! * [`QueuePolicy`] — the monitor's queue discipline;
+//! * [`FleetPolicy`] — which GPU *server* the cluster balancer routes an
+//!   invocation to (the paper's §IV open policy space);
+//! * [`ShedPolicy`] — how admission control picks what to shed under
+//!   overload.
+//!
+//! Historically `PlacementPolicy`/`QueuePolicy` lived in
+//! `dgsf_server::config` and the fleet selection enum in
+//! `dgsf_serverless::backend` (as `ServerPolicy`); those paths re-export
+//! from here so existing code compiles unchanged.
+
+/// How the monitor picks a GPU for an incoming function (§VIII-D/E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Pack: the GPU with the *least* free (uncommitted) memory that still
+    /// fits the request.
+    BestFit,
+    /// Spread: the GPU with the *most* free memory.
+    WorstFit,
+}
+
+/// Queue discipline at the GPU server. The paper evaluates strict FCFS and
+/// "leaves exploration of policies like shortest-function-first, which
+/// could improve throughput at some loss of fairness, for future work"
+/// (§VIII-D) — implemented here as [`QueuePolicy::SmallestFirst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Strict first-come-first-serve with head-of-line blocking (the
+    /// paper's evaluated policy).
+    Fcfs,
+    /// Serve the queued function with the smallest declared GPU memory
+    /// first (a practical proxy for shortest-function-first: small
+    /// footprints correlate with short runs in the paper's suite). Improves
+    /// throughput; large functions can be bypassed repeatedly.
+    SmallestFirst,
+}
+
+/// How the serverless backend picks a GPU server from the fleet for a
+/// function (§IV: "different policies can be used in a commercial
+/// deployment, such as choosing the least loaded GPU server to optimize
+/// latency or the opposite to increase utilization").
+///
+/// Whatever the variant, the cluster balancer never routes to a server
+/// whose lease has expired (every API server declared dead by its
+/// monitor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// Rotate through live servers (the fixed policy of the prototype).
+    RoundRobin,
+    /// Fewest active functions — optimizes latency.
+    LeastLoaded,
+    /// Most active functions — consolidates to maximize utilization (and
+    /// lets the provider idle whole servers).
+    MostLoaded,
+    /// Cluster-level scoring over the monitor's exported gauges: queue
+    /// depth, active functions, live capacity and memory pressure combine
+    /// into one load score; the lowest-scored live server wins.
+    LoadAware,
+}
+
+impl FleetPolicy {
+    /// Stable lowercase label, used in benchmark exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetPolicy::RoundRobin => "round_robin",
+            FleetPolicy::LeastLoaded => "least_loaded",
+            FleetPolicy::MostLoaded => "most_loaded",
+            FleetPolicy::LoadAware => "load_aware",
+        }
+    }
+}
+
+/// What admission control sheds when the platform is overloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Tenant-blind: whoever arrives while the platform is full is shed,
+    /// regardless of who already holds the in-flight budget.
+    Fifo,
+    /// Per-tenant weighted fair shedding: each tenant owns a weighted
+    /// share of the in-flight budget plus a token bucket for bursts;
+    /// overload sheds the most over-budget tenant first, so one hot
+    /// customer cannot eat the whole budget.
+    WeightedFair,
+}
+
+impl ShedPolicy {
+    /// Stable lowercase label, used in benchmark exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedPolicy::Fifo => "fifo",
+            ShedPolicy::WeightedFair => "weighted_fair",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FleetPolicy::RoundRobin.label(), "round_robin");
+        assert_eq!(FleetPolicy::LoadAware.label(), "load_aware");
+        assert_eq!(ShedPolicy::Fifo.label(), "fifo");
+        assert_eq!(ShedPolicy::WeightedFair.label(), "weighted_fair");
+    }
+}

@@ -8,7 +8,7 @@
 //! off any function's critical path), and spawns the monitor and API server
 //! processes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +51,50 @@ impl std::fmt::Display for AcquireError {
 
 impl std::error::Error for AcquireError {}
 
+/// One gauge snapshot of a GPU server, exported by the monitor's
+/// bookkeeping for the cluster balancer (and any other external observer).
+/// All counts are the monitor's view — a killed-but-undetected API server
+/// still counts as live until its lease expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerGauges {
+    /// API servers in the pool (provisioned + autoscaled − retired),
+    /// including ones whose lease has expired.
+    pub pool_size: usize,
+    /// API servers whose lease expired (declared dead by the monitor and
+    /// excluded from placement forever).
+    pub failed_api_servers: usize,
+    /// Functions on this server: assigned-but-unfinished plus queued.
+    pub active_functions: usize,
+    /// Functions still waiting in the monitor's queue.
+    pub queued_functions: usize,
+    /// Bytes of GPU memory currently reserved across all GPUs.
+    pub used_mem_bytes: u64,
+    /// Total GPU memory across all GPUs.
+    pub total_mem_bytes: u64,
+}
+
+impl ServerGauges {
+    /// API servers the monitor still considers placeable.
+    pub fn live_api_servers(&self) -> usize {
+        self.pool_size.saturating_sub(self.failed_api_servers)
+    }
+
+    /// True while at least one API server holds a valid lease. A server
+    /// whose whole pool is lease-expired serves nothing; the balancer must
+    /// never route to it.
+    pub fn lease_live(&self) -> bool {
+        self.live_api_servers() > 0
+    }
+
+    /// Memory pressure in integer permille of total capacity.
+    pub fn mem_used_permille(&self) -> u64 {
+        if self.total_mem_bytes == 0 {
+            return 1000;
+        }
+        ((self.used_mem_bytes as u128 * 1000) / self.total_mem_bytes as u128) as u64
+    }
+}
+
 /// A provisioned, running GPU server.
 pub struct GpuServer {
     /// The physical GPUs.
@@ -67,6 +111,8 @@ pub struct GpuServer {
     servers: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
     records: Arc<Mutex<HashMap<u64, InvocationRecord>>>,
     migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
+    /// Ids of lease-expired API servers, shared with the monitor.
+    failed_servers: Arc<Mutex<HashSet<u32>>>,
     next_invocation: AtomicU64,
     provisioned_at: SimTime,
     faults: Option<Arc<LinkFaults>>,
@@ -135,6 +181,7 @@ impl GpuServer {
         }
 
         let servers = Arc::new(Mutex::new(servers));
+        let failed_servers = Arc::new(Mutex::new(HashSet::new()));
         let margs = MonitorArgs {
             h: h.clone(),
             cfg: cfg.clone(),
@@ -147,6 +194,7 @@ impl GpuServer {
             monitor_tx: monitor_tx.clone(),
             migration_log: Arc::clone(&migration_log),
             registry: Arc::clone(&servers),
+            failed_servers: Arc::clone(&failed_servers),
         };
         h.spawn("monitor", move |pp| run_monitor(pp, margs));
 
@@ -170,6 +218,7 @@ impl GpuServer {
             servers,
             records,
             migration_log,
+            failed_servers,
             next_invocation: AtomicU64::new(1),
             provisioned_at: p.now(),
             faults,
@@ -340,6 +389,38 @@ impl GpuServer {
             .values()
             .filter(|r| r.assigned_at.is_none() && r.done_at.is_none() && r.failed_at.is_none())
             .count()
+    }
+
+    /// API servers whose lease expired (declared dead by the monitor).
+    pub fn failed_api_servers(&self) -> usize {
+        self.failed_servers.lock().len()
+    }
+
+    /// True while at least one API server holds a valid lease; a server
+    /// with none cannot serve anything and must not be routed to.
+    pub fn lease_live(&self) -> bool {
+        self.gauges().lease_live()
+    }
+
+    /// One consistent gauge snapshot for the cluster balancer: pool and
+    /// lease state from the monitor's bookkeeping, load from the
+    /// invocation records, memory from the GPUs' real reservations.
+    pub fn gauges(&self) -> ServerGauges {
+        let pool_size = self.servers.lock().len();
+        let failed_api_servers = self.failed_servers.lock().len();
+        let (mut used, mut total) = (0u64, 0u64);
+        for g in &self.gpus {
+            used += g.used_mem();
+            total += g.total_mem();
+        }
+        ServerGauges {
+            pool_size,
+            failed_api_servers,
+            active_functions: self.active_functions(),
+            queued_functions: self.queued_functions(),
+            used_mem_bytes: used,
+            total_mem_bytes: total,
+        }
     }
 
     /// Snapshot of all invocation records.

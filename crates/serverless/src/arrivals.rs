@@ -84,6 +84,44 @@ impl Schedule {
         Schedule { entries }
     }
 
+    /// Merge several independent arrival streams into one schedule — the
+    /// multi-tenant mixes of the fleet experiments, where each tenant's
+    /// workload arrives as its own Poisson process at its own rate.
+    ///
+    /// Each stream is `(workload_index, launches, pattern)` and draws from
+    /// its own RNG derived from `seed` and its position, so adding or
+    /// re-ordering one stream never perturbs another's arrival times.
+    /// Entries are merged in time order (ties break by workload index,
+    /// then stream order), deterministically per seed.
+    pub fn merged(seed: u64, streams: &[(usize, usize, ArrivalPattern)]) -> Schedule {
+        let mut entries = Vec::new();
+        for (k, &(widx, launches, pattern)) in streams.iter().enumerate() {
+            let stream_seed = seed.wrapping_add((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut r = StdRng::seed_from_u64(stream_seed);
+            let mut t = SimTime::ZERO;
+            for i in 0..launches {
+                match pattern {
+                    ArrivalPattern::Fixed(gap) => {
+                        entries.push((t, widx));
+                        t += gap;
+                    }
+                    ArrivalPattern::Exponential { mean } => {
+                        entries.push((t, widx));
+                        t += rng::exp_gap(&mut r, mean);
+                    }
+                    ArrivalPattern::Burst { group_size, gap } => {
+                        entries.push((t, widx));
+                        if (i + 1) % group_size == 0 {
+                            t += gap;
+                        }
+                    }
+                }
+            }
+        }
+        entries.sort_by_key(|&(t, w)| (t, w));
+        Schedule { entries }
+    }
+
     /// Number of launches.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -158,6 +196,40 @@ mod tests {
         let total = s.last_launch().as_secs_f64();
         let mean = total / (s.len() - 1) as f64;
         assert!((mean - 2.0).abs() < 0.3, "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn merged_streams_are_independent_and_sorted() {
+        let hot = (
+            0usize,
+            20usize,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_millis(250),
+            },
+        );
+        let cold = (
+            1usize,
+            5usize,
+            ArrivalPattern::Exponential {
+                mean: Dur::from_secs(1),
+            },
+        );
+        let both = Schedule::merged(9, &[hot, cold]);
+        assert_eq!(both.len(), 25);
+        assert!(both.entries.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        // A stream's arrival times do not depend on the other streams.
+        let alone = Schedule::merged(9, &[hot]);
+        let hot_times: Vec<SimTime> = both
+            .entries
+            .iter()
+            .filter(|e| e.1 == 0)
+            .map(|e| e.0)
+            .collect();
+        let alone_times: Vec<SimTime> = alone.entries.iter().map(|e| e.0).collect();
+        assert_eq!(hot_times, alone_times);
+        // Deterministic per seed.
+        assert_eq!(both, Schedule::merged(9, &[hot, cold]));
+        assert_ne!(both, Schedule::merged(10, &[hot, cold]));
     }
 
     #[test]

@@ -16,60 +16,89 @@
 //! budget is spent.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
-use dgsf_server::GpuServer;
+use dgsf_server::{GpuServer, ShedPolicy};
 use dgsf_sim::{Dur, ProcCtx};
 use parking_lot::Mutex;
 
+use crate::cluster::ClusterBalancer;
 use crate::invoke::{invoke_dgsf_bounded, FailureClass, FunctionResult, InvokeFailure};
 use crate::phases::PhaseRecorder;
 use crate::store::ObjectStore;
+use crate::tenant::{FairShedConfig, FairShedder};
 use crate::workload::Workload;
 
 /// How the backend picks a GPU server for a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServerPolicy {
-    /// Rotate through servers (the fixed policy of the prototype).
-    RoundRobin,
-    /// Fewest active functions — optimizes latency.
-    LeastLoaded,
-    /// Most active functions — consolidates to maximize utilization (and
-    /// lets the provider idle whole servers).
-    MostLoaded,
-}
+///
+/// The canonical type is [`dgsf_server::FleetPolicy`] (one naming scheme
+/// shared with the cluster balancer); this alias keeps the backend's
+/// original name working.
+pub type ServerPolicy = dgsf_server::FleetPolicy;
 
 /// Bounded retry-with-backoff for transient invocation failures.
-#[derive(Debug, Clone, Copy)]
+///
+/// All arithmetic is integer milliseconds: the old `f64` `powi` path
+/// rounded differently across platforms and silently went infinite for
+/// large attempt counts. Growth is expressed in permille so non-integral
+/// factors (×1.5 = 1500) stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempt budget per function (first try included). 1 disables
     /// retries.
     pub max_attempts: u32,
-    /// Backoff before the second attempt.
-    pub initial_backoff: Dur,
-    /// Growth factor for each subsequent backoff.
-    pub backoff_multiplier: f64,
+    /// Backoff before the second attempt, in milliseconds.
+    pub initial_backoff_ms: u64,
+    /// Growth factor for each subsequent backoff, in permille
+    /// (2000 = double each time).
+    pub backoff_multiplier_permille: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
-            initial_backoff: Dur::from_millis(50),
-            backoff_multiplier: 2.0,
+            initial_backoff_ms: 50,
+            backoff_multiplier_permille: 2000,
         }
     }
 }
 
 impl RetryPolicy {
+    /// Builder-style: set the attempt budget.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the first backoff in milliseconds.
+    pub fn with_initial_backoff_ms(mut self, ms: u64) -> Self {
+        self.initial_backoff_ms = ms;
+        self
+    }
+
+    /// Builder-style: set the growth factor in permille (2000 = ×2).
+    pub fn with_multiplier_permille(mut self, permille: u64) -> Self {
+        self.backoff_multiplier_permille = permille;
+        self
+    }
+
     /// Backoff to sleep after failed attempt number `attempt` (1-based).
+    /// Saturates instead of overflowing: absurd policies produce the
+    /// longest representable backoff, never a wrapped short one.
     pub fn backoff(&self, attempt: u32) -> Dur {
-        let factor = self
-            .backoff_multiplier
-            .powi(attempt.saturating_sub(1) as i32);
-        Dur::from_secs_f64(self.initial_backoff.as_secs_f64() * factor)
+        // Largest millisecond count Dur's u64 nanoseconds can hold.
+        const MAX_MS: u128 = (u64::MAX / 1_000_000) as u128;
+        let mut ms: u128 = self.initial_backoff_ms as u128;
+        for _ in 1..attempt {
+            ms = ms.saturating_mul(self.backoff_multiplier_permille as u128) / 1000;
+            if ms >= MAX_MS {
+                ms = MAX_MS;
+                break;
+            }
+        }
+        Dur::from_millis(ms.min(MAX_MS) as u64)
     }
 }
 
@@ -88,6 +117,10 @@ pub struct AdmissionConfig {
     /// Per-workload concurrency cap: one hot function cannot occupy the
     /// whole admitted set.
     pub max_per_workload: Option<usize>,
+    /// Per-tenant weighted fair shedding ([`ShedPolicy::WeightedFair`]).
+    /// `None` is the FIFO baseline: slots go to whoever arrives first,
+    /// tenant-blind.
+    pub fairness: Option<FairShedConfig>,
 }
 
 impl AdmissionConfig {
@@ -99,6 +132,7 @@ impl AdmissionConfig {
             max_inflight,
             max_queue_age: None,
             max_per_workload: None,
+            fairness: None,
         }
     }
 
@@ -113,6 +147,21 @@ impl AdmissionConfig {
         self.max_per_workload = Some(n.max(1));
         self
     }
+
+    /// Builder-style: shed per tenant (weighted fair) instead of FIFO.
+    pub fn with_weighted_fair(mut self, fairness: FairShedConfig) -> Self {
+        self.fairness = Some(fairness);
+        self
+    }
+
+    /// Which shed policy this configuration implements.
+    pub fn shed_policy(&self) -> ShedPolicy {
+        if self.fairness.is_some() {
+            ShedPolicy::WeightedFair
+        } else {
+            ShedPolicy::Fifo
+        }
+    }
 }
 
 /// Live admission counters (one lock: admission decisions are atomic).
@@ -120,12 +169,16 @@ impl AdmissionConfig {
 struct AdmissionState {
     inflight: usize,
     per_workload: HashMap<String, usize>,
+    /// Present iff the admission config asked for weighted fair shedding.
+    fair: Option<FairShedder>,
 }
 
 /// RAII release of an admission slot.
 struct AdmissionSlot<'a> {
     state: &'a Mutex<AdmissionState>,
     name: String,
+    /// Tenant charged by the fair shedder, when fairness is on.
+    tenant: Option<String>,
 }
 
 impl Drop for AdmissionSlot<'_> {
@@ -138,18 +191,20 @@ impl Drop for AdmissionSlot<'_> {
                 st.per_workload.remove(&self.name);
             }
         }
+        if let (Some(t), Some(fair)) = (&self.tenant, st.fair.as_mut()) {
+            fair.release(t);
+        }
     }
 }
 
-/// The central serverless backend: a registry of GPU servers plus a
-/// selection policy.
+/// The central serverless backend: a registry of GPU servers plus the
+/// cluster balancer that routes across them.
 pub struct Backend {
     servers: Vec<Arc<GpuServer>>,
-    policy: ServerPolicy,
+    balancer: ClusterBalancer,
     retry: RetryPolicy,
     admission: Option<AdmissionConfig>,
     admitted: Mutex<AdmissionState>,
-    rr: AtomicUsize,
 }
 
 impl Backend {
@@ -161,11 +216,10 @@ impl Backend {
         );
         Backend {
             servers,
-            policy,
+            balancer: ClusterBalancer::new(policy),
             retry: RetryPolicy::default(),
             admission: None,
             admitted: Mutex::new(AdmissionState::default()),
-            rr: AtomicUsize::new(0),
         }
     }
 
@@ -178,8 +232,23 @@ impl Backend {
     /// Turn on admission control. Without it the backend admits everything
     /// and queues without bound (the paper's prototype behaviour).
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Backend {
+        self.admitted.get_mut().fair = admission.fairness.clone().map(FairShedder::new);
         self.admission = Some(admission);
         self
+    }
+
+    /// The fleet policy the balancer routes under.
+    pub fn policy(&self) -> ServerPolicy {
+        self.balancer.policy()
+    }
+
+    /// The shed policy admission control implements ([`ShedPolicy::Fifo`]
+    /// when admission control is off entirely).
+    pub fn shed_policy(&self) -> ShedPolicy {
+        self.admission
+            .as_ref()
+            .map(|a| a.shed_policy())
+            .unwrap_or(ShedPolicy::Fifo)
     }
 
     /// Invocations currently admitted (holding an admission slot).
@@ -199,30 +268,16 @@ impl Backend {
     }
 
     /// Choose a server for the next function under the configured policy.
+    ///
+    /// Panics when every registered server's lease has expired — use
+    /// [`invoke`](Self::invoke), which reports that case as a failed
+    /// [`FunctionResult`] instead.
     pub fn choose(&self) -> &Arc<GpuServer> {
-        &self.servers[self.choose_idx(None)]
-    }
-
-    /// Choose a server index, steering away from `avoid` (the server a
-    /// previous attempt just failed on) when there is an alternative.
-    fn choose_idx(&self, avoid: Option<usize>) -> usize {
-        let eligible: Vec<usize> = (0..self.servers.len())
-            .filter(|&i| Some(i) != avoid || self.servers.len() == 1)
-            .collect();
-        match self.policy {
-            ServerPolicy::RoundRobin => {
-                let i = self.rr.fetch_add(1, Ordering::Relaxed) % eligible.len();
-                eligible[i]
-            }
-            ServerPolicy::LeastLoaded => eligible
-                .into_iter()
-                .min_by_key(|&i| self.servers[i].active_functions())
-                .expect("non-empty"),
-            ServerPolicy::MostLoaded => eligible
-                .into_iter()
-                .max_by_key(|&i| self.servers[i].active_functions())
-                .expect("non-empty"),
-        }
+        let idx = self
+            .balancer
+            .route(&self.servers, None)
+            .expect("every registered GPU server's lease has expired");
+        &self.servers[idx]
     }
 
     /// Invoke a workload through the backend: choose a server, run the full
@@ -243,7 +298,7 @@ impl Backend {
         let tel = p.telemetry();
         tel.counter_add("backend.invocations", 1);
         // Admission control: claim a slot or shed on the spot.
-        let _slot = match self.try_admit(w.name()) {
+        let _slot = match self.try_admit(p, w) {
             Ok(slot) => slot,
             Err(reason) => return self.shed(p, w, launched_at, &reason),
         };
@@ -251,8 +306,26 @@ impl Backend {
         let mut avoid = None;
         let mut attempt = 1;
         let last: InvokeFailure = loop {
+            // Routing: the balancer never hands out a lease-expired
+            // server. A fully expired fleet is a permanent failure, not a
+            // shed — retrying or queueing cannot help.
+            let Some(idx) = self.balancer.route(&self.servers, avoid) else {
+                tel.counter_add("backend.failures", 1);
+                return FunctionResult {
+                    name: w.name().to_string(),
+                    tenant: w.tenant().to_string(),
+                    mode: "dgsf".into(),
+                    launched_at,
+                    finished_at: p.now(),
+                    phases: PhaseRecorder::new(),
+                    api_stats: dgsf_cuda::ApiStats::default(),
+                    invocation: None,
+                    attempts: attempt - 1,
+                    failure: Some("no live GPU server: every lease expired".into()),
+                    shed: false,
+                };
+            };
             tel.counter_add("backend.attempts", 1);
-            let idx = self.choose_idx(avoid);
             match invoke_dgsf_bounded(
                 p,
                 &self.servers[idx],
@@ -317,6 +390,7 @@ impl Backend {
         };
         FunctionResult {
             name: w.name().to_string(),
+            tenant: w.tenant().to_string(),
             mode: "dgsf".into(),
             launched_at,
             finished_at: p.now(),
@@ -329,11 +403,16 @@ impl Backend {
         }
     }
 
-    /// Claim an admission slot for `name`, or say why it was refused.
-    fn try_admit(&self, name: &str) -> Result<Option<AdmissionSlot<'_>>, String> {
+    /// Claim an admission slot for `w`, or say why it was refused.
+    fn try_admit(
+        &self,
+        p: &ProcCtx,
+        w: &dyn Workload,
+    ) -> Result<Option<AdmissionSlot<'_>>, String> {
         let Some(adm) = &self.admission else {
             return Ok(None); // no admission control: everything enters
         };
+        let name = w.name();
         let mut st = self.admitted.lock();
         if st.inflight >= adm.max_inflight {
             return Err(format!(
@@ -347,11 +426,30 @@ impl Backend {
                 return Err(format!("workload cap reached ({running}/{cap})"));
             }
         }
+        // Weighted fair shedding: within the global budget, each tenant
+        // owns its weighted share and borrows beyond it only as fast as
+        // its token bucket refills — the most over-budget tenant is the
+        // one refused.
+        let max_inflight = adm.max_inflight;
+        let tenant = if let Some(fair) = st.fair.as_mut() {
+            let t = w.tenant();
+            if fair.try_admit(t, p.now(), max_inflight).is_err() {
+                return Err(format!(
+                    "tenant '{t}' over fair share ({} inflight / {} slots, bucket empty)",
+                    fair.inflight_of(t),
+                    fair.share_of(t, max_inflight),
+                ));
+            }
+            Some(t.to_string())
+        } else {
+            None
+        };
         st.inflight += 1;
         *st.per_workload.entry(name.to_string()).or_insert(0) += 1;
         Ok(Some(AdmissionSlot {
             state: &self.admitted,
             name: name.to_string(),
+            tenant,
         }))
     }
 
@@ -379,6 +477,7 @@ impl Backend {
         }
         FunctionResult {
             name: w.name().to_string(),
+            tenant: w.tenant().to_string(),
             mode: "dgsf".into(),
             launched_at,
             finished_at: p.now(),
@@ -468,6 +567,46 @@ mod tests {
         assert_eq!(r.backoff(1), Dur::from_millis(50));
         assert_eq!(r.backoff(2), Dur::from_millis(100));
         assert_eq!(r.backoff(3), Dur::from_millis(200));
+    }
+
+    #[test]
+    fn retry_backoff_is_exact_integer_millis() {
+        // Non-integral growth (×1.5) stays exact in milli arithmetic —
+        // pinned so the sequence can never drift with float rounding.
+        let r = RetryPolicy::default()
+            .with_initial_backoff_ms(100)
+            .with_multiplier_permille(1500);
+        let seq: Vec<Dur> = (1..=5).map(|a| r.backoff(a)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                Dur::from_millis(100),
+                Dur::from_millis(150),
+                Dur::from_millis(225),
+                Dur::from_millis(337), // 337.5 floors: integer millis
+                Dur::from_millis(505), // 337 * 1500 / 1000
+            ]
+        );
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing() {
+        let r = RetryPolicy::default()
+            .with_initial_backoff_ms(u64::MAX)
+            .with_multiplier_permille(u64::MAX);
+        // The longest backoff Dur's u64 nanoseconds can represent,
+        // reached monotonically — never a wrapped-around short sleep.
+        let cap = Dur::from_millis(u64::MAX / 1_000_000);
+        assert_eq!(r.backoff(1), cap);
+        assert_eq!(r.backoff(64), cap);
+        let grow = RetryPolicy::default().with_initial_backoff_ms(50);
+        let mut prev = Dur::ZERO;
+        for a in 1..=80 {
+            let b = grow.backoff(a);
+            assert!(b >= prev, "backoff shrank at attempt {a}");
+            prev = b;
+        }
+        assert_eq!(prev, cap);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The cluster-level fleet balancer (§IV's open policy space, scaled out).
+//!
+//! The paper's prototype uses a fixed round-robin choice over GPU servers
+//! and notes that "different policies can be used in a commercial
+//! deployment". This module is that commercial deployment layer: it routes
+//! each invocation across a sharded fleet of [`GpuServer`]s using the
+//! monitor's exported gauges ([`ServerGauges`]) — queue depth, active
+//! functions, live API-server capacity and memory pressure — and it
+//! **never** routes to a server whose lease has expired (a server whose
+//! whole API-server pool has been declared dead serves nothing).
+//!
+//! Selection is a pure function ([`select`]) over gauge snapshots, so the
+//! routing invariants are property-testable without running a simulation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dgsf_server::{FleetPolicy, GpuServer, ServerGauges};
+
+/// Weight of one active/queued function in the load-aware score, relative
+/// to one permille of memory pressure. Load dominates (a queued function
+/// costs as much as 100% memory pressure); memory breaks ties between
+/// equally loaded servers.
+const LOAD_WEIGHT: u64 = 1000;
+
+/// Load-aware score of one server: lower is better. Combines queue depth
+/// and active functions (normalized by live capacity, so a big server
+/// absorbs more before looking loaded) with memory pressure in permille.
+fn load_score(g: &ServerGauges) -> u64 {
+    let live = g.live_api_servers().max(1) as u64;
+    let load = g.active_functions as u64 + g.queued_functions as u64;
+    // Per-slot load in milli-functions: 1500 means 1.5 functions per live
+    // API server (queue building up).
+    let per_slot_milli = load.saturating_mul(1000) / live;
+    per_slot_milli
+        .saturating_mul(LOAD_WEIGHT)
+        .saturating_add(g.mem_used_permille())
+}
+
+/// Choose a fleet index under `policy` from gauge `snaps`.
+///
+/// * Servers with no live API server (expired lease) are never eligible.
+/// * `avoid` (the server a previous attempt just failed on) is skipped
+///   when any other live server exists.
+/// * `rr` is the round-robin cursor value for [`FleetPolicy::RoundRobin`].
+/// * Ties break toward the lowest index, so the choice is deterministic.
+///
+/// Returns `None` when every server's lease has expired.
+pub fn select(
+    policy: FleetPolicy,
+    snaps: &[ServerGauges],
+    rr: usize,
+    avoid: Option<usize>,
+) -> Option<usize> {
+    let mut eligible: Vec<usize> = (0..snaps.len())
+        .filter(|&i| snaps[i].lease_live() && Some(i) != avoid)
+        .collect();
+    if eligible.is_empty() {
+        // Nothing but the avoided server left: better a suspect server
+        // than none, as long as its lease is live.
+        eligible = (0..snaps.len())
+            .filter(|&i| snaps[i].lease_live())
+            .collect();
+    }
+    if eligible.is_empty() {
+        return None;
+    }
+    let pick = match policy {
+        FleetPolicy::RoundRobin => eligible[rr % eligible.len()],
+        FleetPolicy::LeastLoaded => eligible
+            .into_iter()
+            .min_by_key(|&i| (snaps[i].active_functions, i))
+            .expect("non-empty"),
+        FleetPolicy::MostLoaded => eligible
+            .into_iter()
+            .max_by_key(|&i| (snaps[i].active_functions, usize::MAX - i))
+            .expect("non-empty"),
+        FleetPolicy::LoadAware => eligible
+            .into_iter()
+            .min_by_key(|&i| (load_score(&snaps[i]), i))
+            .expect("non-empty"),
+    };
+    Some(pick)
+}
+
+/// The balancer: a fleet policy plus the round-robin cursor. Cheap to
+/// share; [`crate::Backend`] owns one and consults it per attempt.
+pub struct ClusterBalancer {
+    policy: FleetPolicy,
+    rr: AtomicUsize,
+}
+
+impl ClusterBalancer {
+    /// A balancer under `policy`.
+    pub fn new(policy: FleetPolicy) -> ClusterBalancer {
+        ClusterBalancer {
+            policy,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> FleetPolicy {
+        self.policy
+    }
+
+    /// Route one invocation across `fleet`, steering away from `avoid`
+    /// when possible. `None` means the whole fleet is lease-expired.
+    pub fn route(&self, fleet: &[Arc<GpuServer>], avoid: Option<usize>) -> Option<usize> {
+        let snaps: Vec<ServerGauges> = fleet.iter().map(|s| s.gauges()).collect();
+        self.route_snapshots(&snaps, avoid)
+    }
+
+    /// [`route`](Self::route) over pre-collected gauges (the testable
+    /// entry point; advances the round-robin cursor exactly like `route`).
+    pub fn route_snapshots(&self, snaps: &[ServerGauges], avoid: Option<usize>) -> Option<usize> {
+        let rr = match self.policy {
+            FleetPolicy::RoundRobin => self.rr.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        select(self.policy, snaps, rr, avoid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges(live: usize, failed: usize, active: usize, queued: usize) -> ServerGauges {
+        ServerGauges {
+            pool_size: live + failed,
+            failed_api_servers: failed,
+            active_functions: active,
+            queued_functions: queued,
+            used_mem_bytes: 0,
+            total_mem_bytes: 16 << 30,
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_dead_servers() {
+        let snaps = vec![gauges(1, 0, 0, 0), gauges(0, 2, 0, 0), gauges(1, 0, 0, 0)];
+        let b = ClusterBalancer::new(FleetPolicy::RoundRobin);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| b.route_snapshots(&snaps, None).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn load_aware_prefers_idle_then_memory() {
+        // Same load, different memory pressure: lower pressure wins.
+        let mut a = gauges(2, 0, 1, 0);
+        a.used_mem_bytes = 8 << 30;
+        let b_ = gauges(2, 0, 1, 0); // 0 bytes used
+        assert_eq!(select(FleetPolicy::LoadAware, &[a, b_], 0, None), Some(1));
+        // Queue depth dominates memory.
+        let mut busy = gauges(2, 0, 2, 3);
+        busy.used_mem_bytes = 0;
+        let mut calm = gauges(2, 0, 1, 0);
+        calm.used_mem_bytes = 12 << 30;
+        assert_eq!(
+            select(FleetPolicy::LoadAware, &[busy, calm], 0, None),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn avoid_is_respected_unless_it_is_the_last_live_server() {
+        let snaps = vec![gauges(1, 0, 0, 0), gauges(1, 0, 5, 5)];
+        assert_eq!(
+            select(FleetPolicy::LeastLoaded, &snaps, 0, Some(0)),
+            Some(1)
+        );
+        let lone = vec![gauges(1, 0, 0, 0), gauges(0, 1, 0, 0)];
+        assert_eq!(select(FleetPolicy::LeastLoaded, &lone, 0, Some(0)), Some(0));
+    }
+
+    #[test]
+    fn all_dead_routes_nowhere() {
+        let snaps = vec![gauges(0, 1, 0, 0), gauges(0, 4, 0, 0)];
+        for p in [
+            FleetPolicy::RoundRobin,
+            FleetPolicy::LeastLoaded,
+            FleetPolicy::MostLoaded,
+            FleetPolicy::LoadAware,
+        ] {
+            assert_eq!(select(p, &snaps, 0, None), None);
+        }
+    }
+}

@@ -39,6 +39,8 @@ pub enum FailureClass {
 pub struct FunctionResult {
     /// Workload name.
     pub name: String,
+    /// Tenant that deployed the workload (see [`crate::Workload::tenant`]).
+    pub tenant: String,
     /// Execution mode label ("native" / "dgsf" / "cpu").
     pub mode: String,
     /// When the (warm) function began executing.
@@ -219,6 +221,7 @@ pub fn invoke_dgsf_bounded(
     match outcome {
         Ok(()) => Ok(FunctionResult {
             name: w.name().to_string(),
+            tenant: w.tenant().to_string(),
             mode: "dgsf".into(),
             launched_at,
             finished_at: p.now(),
@@ -290,6 +293,7 @@ pub fn invoke_native(
     }
     FunctionResult {
         name: w.name().to_string(),
+        tenant: w.tenant().to_string(),
         mode: "native".into(),
         launched_at,
         finished_at: p.now(),
@@ -314,6 +318,7 @@ pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> Functio
     rec.close(p);
     FunctionResult {
         name: w.name().to_string(),
+        tenant: w.tenant().to_string(),
         mode: "cpu".into(),
         launched_at,
         finished_at: p.now(),

@@ -15,17 +15,22 @@
 
 mod arrivals;
 mod backend;
+pub mod cluster;
 mod invoke;
 mod phases;
 mod store;
+mod tenant;
 mod workload;
 
 pub use arrivals::{ArrivalPattern, Schedule};
 pub use backend::{AdmissionConfig, Backend, RetryPolicy, ServerPolicy};
+pub use cluster::ClusterBalancer;
+pub use dgsf_server::{FleetPolicy, ShedPolicy};
 pub use invoke::{
     invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded, invoke_native, FailureClass,
     FunctionResult, InvokeFailure,
 };
 pub use phases::{phase, PhaseRecorder};
 pub use store::ObjectStore;
+pub use tenant::{FairRefusal, FairShedConfig, FairShedder, Tenanted};
 pub use workload::Workload;

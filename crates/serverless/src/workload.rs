@@ -17,6 +17,14 @@ pub trait Workload: Send + Sync {
     /// Function name (as deployed).
     fn name(&self) -> &str;
 
+    /// Tenant (customer account) that deployed the function. Admission
+    /// control's weighted fair shedding budgets by this label; wrap a
+    /// workload in [`crate::Tenanted`] to set it. Defaults to a single
+    /// shared tenant.
+    fn tenant(&self) -> &str {
+        "default"
+    }
+
     /// Kernels this function ships (registered at deploy time).
     fn registry(&self) -> Arc<ModuleRegistry>;
 

@@ -1,0 +1,80 @@
+//! Fleet-sweep oracles: byte-determinism of `BENCH_fleet.json` against a
+//! committed golden, plus the two policy effects the experiment exists to
+//! demonstrate — load-aware routing beats round-robin on p99 at and past
+//! the saturation knee, and weighted fair shedding raises Jain's fairness
+//! index over FIFO once both tenants are backlogged.
+
+use dgsf_bench::fleet;
+
+fn variant<'a>(
+    f: &'a fleet::FleetOutput,
+    fleet_policy: &str,
+    shed_policy: &str,
+) -> &'a fleet::FleetVariant {
+    f.variants
+        .iter()
+        .find(|v| v.fleet_policy == fleet_policy && v.shed_policy == shed_policy)
+        .unwrap_or_else(|| panic!("missing variant {fleet_policy}/{shed_policy}"))
+}
+
+#[test]
+fn quick_fleet_json_is_byte_deterministic_and_matches_golden() {
+    let a = fleet::fleet_json(&fleet::fleet(42, true));
+    let b = fleet::fleet_json(&fleet::fleet(42, true));
+    assert_eq!(a, b, "same seed must give byte-identical BENCH_fleet.json");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/goldens/BENCH_fleet_quick.json"
+    ))
+    .expect("committed golden");
+    assert_eq!(
+        a, golden,
+        "quick fleet sweep drifted from goldens/BENCH_fleet_quick.json; \
+         if the change is intentional, regenerate it with \
+         `cargo run --release --bin dgsf-expt -- fleet --quick --out goldens` \
+         and rename the output"
+    );
+}
+
+#[test]
+fn load_aware_routing_beats_round_robin_p99_at_saturation() {
+    let f = fleet::fleet(42, true);
+    let rr = variant(&f, "round_robin", "fifo");
+    let la = variant(&f, "load_aware", "fifo");
+    // points[0] is light load where the routing choice is immaterial; the
+    // knee (points[1]) and firm overload (points[2]) are where queue-blind
+    // round-robin parks short functions behind the cold tenant's long ones.
+    for i in [1, 2] {
+        assert!(
+            la.points[i].p99_e2e_us < rr.points[i].p99_e2e_us,
+            "at {} rps load-aware p99 {}us must beat round-robin {}us",
+            rr.points[i].hot_rps_milli as f64 / 1000.0,
+            la.points[i].p99_e2e_us,
+            rr.points[i].p99_e2e_us,
+        );
+    }
+}
+
+#[test]
+fn weighted_fair_shedding_raises_jain_index_over_fifo() {
+    let f = fleet::fleet(42, true);
+    for routing in ["round_robin", "load_aware"] {
+        let fifo = variant(&f, routing, "fifo");
+        let fair = variant(&f, routing, "weighted_fair");
+        for i in [1, 2] {
+            assert!(
+                fair.points[i].jain_permille > fifo.points[i].jain_permille,
+                "{routing} at {} rps: weighted-fair Jain {} must exceed FIFO {}",
+                fifo.points[i].hot_rps_milli as f64 / 1000.0,
+                fair.points[i].jain_permille,
+                fifo.points[i].jain_permille,
+            );
+            // Fairness must never come at the cold tenant's expense: its
+            // goodput holds or improves under weighted fair shedding.
+            assert!(
+                fair.points[i].cold.goodput_rps_milli >= fifo.points[i].cold.goodput_rps_milli,
+                "{routing}: weighted fair must not lower the cold tenant's goodput"
+            );
+        }
+    }
+}

@@ -47,23 +47,21 @@ impl Workload for Spin {
 const MAX_PER_GPU: u32 = 4;
 const NUM_GPUS: u32 = 2;
 
-fn overload_config(seed: u64) -> BackendRunConfig {
-    BackendRunConfig {
-        seed,
-        server: GpuServerConfig::paper_default()
-            .gpus(NUM_GPUS)
-            .with_autoscale(
-                AutoscaleConfig::new(1, MAX_PER_GPU)
-                    .with_target_queue_delay(Dur::from_millis(250))
-                    .with_idle_ttl(Dur::from_secs(3))
-                    .with_cooldown(Dur::from_millis(400)),
-            ),
-        num_servers: 1,
-        policy: ServerPolicy::RoundRobin,
-        retry: RetryPolicy::default(),
-        admission: Some(AdmissionConfig::new(24).with_max_queue_age(Dur::from_secs(3))),
-        opts: OptConfig::full(),
-    }
+fn overload_config(seed: u64) -> PlatformConfig {
+    PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(
+            GpuServerConfig::paper_default()
+                .gpus(NUM_GPUS)
+                .with_autoscale(
+                    AutoscaleConfig::new(1, MAX_PER_GPU)
+                        .with_target_queue_delay(Dur::from_millis(250))
+                        .with_idle_ttl(Dur::from_secs(3))
+                        .with_cooldown(Dur::from_millis(400)),
+                ),
+        )
+        .with_max_inflight(24)
+        .with_max_queue_age(Dur::from_secs(3))
 }
 
 /// Poisson arrivals at 8 rps — double the 4 rps ceiling.
@@ -77,7 +75,7 @@ fn overload_run(seed: u64) -> (BackendRunOutput, Arc<dgsf::sim::Telemetry>) {
             mean: Dur::from_millis(125),
         },
     );
-    Testbed::run_backend_schedule_traced(&overload_config(seed), &suite, &schedule)
+    Testbed::run_platform_schedule_traced(&overload_config(seed), &suite, &schedule)
 }
 
 /// A per-function fingerprint capturing everything overload-relevant.
