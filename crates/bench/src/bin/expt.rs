@@ -20,8 +20,16 @@
 //! across a 4-server fleet for every routing × shedding policy
 //! combination and writes `BENCH_fleet.json` to DIR (default
 //! `target/fleet`). Deterministic: same seed ⇒ byte-identical file.
+//!
+//! `dgsf-expt attribute [--quick] [--out DIR]` runs the overloaded
+//! two-tenant mix with causal tracing on, decomposes every request's
+//! end-to-end latency into its exact critical-path segments, and writes
+//! `BENCH_attrib.json` (per-tenant/workload contribution tables +
+//! SLO burn) plus `attrib_traces.json` (slowest-k exemplar traces) to
+//! DIR (default `target/attrib`). Deterministic: same seed ⇒
+//! byte-identical files.
 
-use dgsf_bench::{fleet, mixed, single, sweep, trace};
+use dgsf_bench::{attrib, fleet, mixed, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +90,28 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("fleet export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "attribute" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/attrib")
+        } else {
+            out_dir
+        };
+        let a = attrib::attrib(seed, quick);
+        println!("== Tail-latency attribution: critical-path decomposition ==");
+        print!("{}", attrib::attrib_text(&a));
+        match attrib::write_attrib(&dir, &a) {
+            Ok((summary, traces)) => {
+                println!("wrote {}", summary.display());
+                println!("wrote {}", traces.display());
+            }
+            Err(e) => {
+                eprintln!("attribution export failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -20,6 +20,7 @@
 //! | telemetry trace | [`trace::write_trace`] | `dgsf-expt trace` |
 //! | autoscaler load sweep | [`sweep::sweep`] | `dgsf-expt sweep` |
 //! | multi-tenant fleet sweep | [`fleet::fleet`] | `dgsf-expt fleet` |
+//! | tail-latency attribution | [`attrib::attrib`] | `dgsf-expt attribute` |
 //!
 //! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
 //! records). `dgsf-expt trace` instead writes telemetry artifacts
@@ -27,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod fleet;
 pub mod mixed;
 pub mod report;

@@ -14,7 +14,7 @@ use dgsf_cuda::{
     CublasHandle, CudaContext, CudaError, CudnnHandle, DevPtr, EventHandle, GpuSession,
     LaunchConfig, MigrationReport, ModuleRegistry, StreamHandle,
 };
-use dgsf_sim::{Dur, ProcCtx};
+use dgsf_sim::{Dur, ProcCtx, TraceCtx};
 
 use crate::wire::{err_class, Request, Response, WireCfg, WireProps};
 
@@ -40,6 +40,9 @@ pub struct Dispatcher {
     pending_cfg: Option<WireCfg>,
     per_call_cpu: Dur,
     finished: bool,
+    /// Causal context of the invocation being served (threaded down from
+    /// the monitor's queue entry); stamps the recorded `server` spans.
+    trace: Option<TraceCtx>,
     /// Execution counters.
     pub stats: ServerStats,
 }
@@ -74,8 +77,19 @@ impl Dispatcher {
             pending_cfg: None,
             per_call_cpu,
             finished: true, // idle until an Init arrives
+            trace: None,
             stats: ServerStats::default(),
         }
+    }
+
+    /// Attach the causal context of the invocation this dispatcher serves.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
+    }
+
+    /// The attached trace context, if any.
+    pub fn trace(&self) -> Option<&TraceCtx> {
+        self.trace.as_ref()
     }
 
     /// The underlying session (monitor reads memory usage from here).
@@ -119,7 +133,10 @@ impl Dispatcher {
         let t0 = p.now();
         let before = self.stats.clone();
         let resp = self.execute(p, req);
-        tel.span(p.name(), class, "server", t0, p.now());
+        match &self.trace {
+            Some(t) => tel.span_args(p.name(), class, "server", t0, p.now(), &t.span_args()),
+            None => tel.span(p.name(), class, "server", t0, p.now()),
+        }
         tel.counter_add(&format!("server.requests.{class}"), repeat.max(1) as u64);
         // Deltas rather than absolutes so Batch recursion is accounted once.
         tel.counter_add("server.pool_hits", self.stats.pool_hits - before.pool_hits);

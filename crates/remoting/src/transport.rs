@@ -15,7 +15,7 @@
 //! link fault).
 
 use bytes::Bytes;
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, TraceCtx};
 use std::sync::Arc;
 
 use crate::net::{Delivery, Direction, NetLink};
@@ -58,6 +58,11 @@ pub struct RpcEnvelope {
     pub repeat: u32,
     /// Reply channel (encoded response).
     pub reply: SimSender<Bytes>,
+    /// Causal trace context, carried out-of-band: it rides the envelope so
+    /// the server can attribute its work, but is deliberately *not* part of
+    /// the encoded frame — `wire_size()` (and therefore transfer timing)
+    /// must be identical with tracing on or off.
+    pub trace: Option<TraceCtx>,
 }
 
 /// Server side of a connection: the inbox an API server drains.
@@ -111,6 +116,7 @@ pub struct RpcClient {
     link: Arc<NetLink>,
     tx: SimSender<RpcEnvelope>,
     timeout: Option<Dur>,
+    trace: Option<TraceCtx>,
 }
 
 impl RpcClient {
@@ -124,6 +130,7 @@ impl RpcClient {
                 link,
                 tx,
                 timeout: None,
+                trace: None,
             },
             RpcInbox { rx },
         )
@@ -138,6 +145,17 @@ impl RpcClient {
     /// The configured reply deadline.
     pub fn timeout(&self) -> Option<Dur> {
         self.timeout
+    }
+
+    /// Attach a causal trace context: every subsequent call stamps its
+    /// envelope (and its recorded rpc spans) with it.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
+    }
+
+    /// The attached trace context, if any.
+    pub fn trace(&self) -> Option<&TraceCtx> {
+        self.trace.as_ref()
     }
 
     /// One round trip.
@@ -169,13 +187,22 @@ impl RpcClient {
                     frame,
                     repeat,
                     reply: reply_tx,
+                    trace: self.trace.clone(),
                 },
             );
         }
-        let fail = |kind: &str| {
+        // On failure the client still records a span for the time it spent
+        // waiting: the trace decomposition needs timed-out round trips on
+        // the critical path just like successful ones.
+        let fail = |kind: &str, outcome: &str| {
             if tel.is_enabled() {
                 tel.counter_add(&format!("rpc.{kind}"), 1);
                 tel.counter_add("rpc.transport_errors", 1);
+                if let Some(t) = &self.trace {
+                    let mut args = t.span_args().to_vec();
+                    args.push(("outcome", outcome.to_string()));
+                    tel.span_args(p.name(), req.class(), "rpc", t0, p.now(), &args);
+                }
             }
         };
         // A dropped request is indistinguishable from a dead server to the
@@ -184,18 +211,18 @@ impl RpcClient {
             Some(t) => match reply_rx.recv_timeout(p, t) {
                 Ok(r) => r,
                 Err(RecvError::Timeout) => {
-                    fail("timeouts");
+                    fail("timeouts", "timeout");
                     return Err(TransportError::Timeout { waited: t });
                 }
                 Err(RecvError::Shutdown) => {
-                    fail("closed");
+                    fail("closed", "closed");
                     return Err(TransportError::Closed);
                 }
             },
             None => match reply_rx.recv(p) {
                 Some(r) => r,
                 None => {
-                    fail("closed");
+                    fail("closed", "closed");
                     return Err(TransportError::Closed);
                 }
             },
@@ -206,7 +233,10 @@ impl RpcClient {
                 if tel.is_enabled() {
                     let class = req.class();
                     let end = p.now();
-                    tel.span(p.name(), class, "rpc", t0, end);
+                    match &self.trace {
+                        Some(t) => tel.span_args(p.name(), class, "rpc", t0, end, &t.span_args()),
+                        None => tel.span(p.name(), class, "rpc", t0, end),
+                    }
                     tel.histogram_record(
                         &format!("rpc.latency_ns.{class}"),
                         end.since(t0).as_nanos(),
@@ -220,7 +250,7 @@ impl RpcClient {
                 Ok(resp)
             }
             Err(e) => {
-                fail("decode_errors");
+                fail("decode_errors", "decode");
                 Err(TransportError::Decode(e))
             }
         }

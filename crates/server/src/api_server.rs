@@ -15,7 +15,7 @@ use std::sync::Arc;
 use dgsf_cuda::{CostTable, CudaContext, GpuSession, MigrationReport, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId, ReservationId};
 use dgsf_remoting::{Dispatcher, NetLink, RpcInbox};
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::monitor::MonitorMsg;
@@ -26,6 +26,9 @@ pub(crate) struct Assignment {
     pub registry: Arc<ModuleRegistry>,
     pub mem_limit: u64,
     pub invocation: u64,
+    /// Causal trace context of the guest invocation, carried through the
+    /// monitor queue so server-side spans share the guest's trace id.
+    pub trace: Option<TraceCtx>,
 }
 
 /// What the monitor can tell an API server over its command channel.
@@ -200,6 +203,7 @@ pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
         let serve_start = p.now();
         let session = GpuSession::new(&a.h, home_ctx, Some(asg.mem_limit));
         let mut d = Dispatcher::new(session, asg.registry);
+        d.set_trace(asg.trace.clone());
         // Heartbeat the monitor while serving, so the lease check can tell
         // "slow function" from "dead server".
         let stop_hb = Arc::new(AtomicBool::new(false));
@@ -263,13 +267,18 @@ pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
         stop_hb.store(true, Ordering::Relaxed);
         let tel = p.telemetry();
         if tel.is_enabled() {
-            tel.span(
-                p.name(),
-                &format!("serve:inv{}", asg.invocation),
-                "serve",
-                serve_start,
-                p.now(),
-            );
+            let serve_name = format!("serve:inv{}", asg.invocation);
+            match &asg.trace {
+                Some(t) => tel.span_args(
+                    p.name(),
+                    &serve_name,
+                    "serve",
+                    serve_start,
+                    p.now(),
+                    &t.span_args(),
+                ),
+                None => tel.span(p.name(), &serve_name, "serve", serve_start, p.now()),
+            }
             if aborted {
                 tel.counter_add("server.aborts", 1);
             }
@@ -324,18 +333,17 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
             let tel = p.telemetry();
             if tel.is_enabled() {
                 tel.counter_add("migrations", 1);
-                tel.instant(
-                    p.name(),
-                    "migration",
-                    at,
-                    &[
-                        ("server", a.shared.id.to_string()),
-                        ("from", from.0.to_string()),
-                        ("to", target.0.to_string()),
-                        ("bytes_moved", report.bytes_moved.to_string()),
-                        ("allocs_moved", report.allocs_moved.to_string()),
-                    ],
-                );
+                let mut args = vec![
+                    ("server", a.shared.id.to_string()),
+                    ("from", from.0.to_string()),
+                    ("to", target.0.to_string()),
+                    ("bytes_moved", report.bytes_moved.to_string()),
+                    ("allocs_moved", report.allocs_moved.to_string()),
+                ];
+                if let Some(t) = d.trace() {
+                    args.push(("inv", t.id.to_string()));
+                }
+                tel.instant(p.name(), "migration", at, &args);
             }
             a.migration_log.lock().push(MigrationRecord {
                 server: a.shared.id,

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{NetLink, RpcClient};
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::api_server::{
@@ -40,6 +40,9 @@ pub(crate) struct FnRequest {
     /// Set by the requester when it gives up waiting (queue timeout); the
     /// monitor purges cancelled requests instead of assigning them.
     pub cancelled: Arc<AtomicBool>,
+    /// Causal context of the serverless request this queue entry serves;
+    /// handed on to the RPC client and the API-server assignment.
+    pub trace: Option<TraceCtx>,
 }
 
 /// Messages the monitor consumes.
@@ -81,6 +84,9 @@ pub struct InvocationRecord {
     pub server: Option<u32>,
     /// GPU the server was homed on at assignment.
     pub gpu: Option<GpuId>,
+    /// Platform-unique trace id of the serverless request this invocation
+    /// belongs to (None when the caller did not thread a trace context).
+    pub trace: Option<u64>,
 }
 
 impl InvocationRecord {
@@ -482,6 +488,7 @@ fn drain_queue(
         let req = queue.remove(pos).expect("index in bounds");
         let (mut client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
         client.set_timeout(a.cfg.rpc_timeout);
+        client.set_trace(req.trace.clone());
         let s = &mut servers[srv_idx];
         s.busy = Some(BusyInfo {
             invocation: req.invocation,
@@ -505,6 +512,7 @@ fn drain_queue(
                 registry: req.registry,
                 mem_limit: req.mem,
                 invocation: req.invocation,
+                trace: req.trace.clone(),
             }),
         );
         req.reply.send(p, client);

@@ -17,7 +17,7 @@ use std::sync::atomic::AtomicBool;
 use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{FaultStats, LinkFaults, NetLink, RpcClient};
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimSender, SimTime};
+use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimSender, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::api_server::{
@@ -258,13 +258,23 @@ impl GpuServer {
         registry: Arc<ModuleRegistry>,
         attempt: u32,
     ) -> Result<(RpcClient, u64), AcquireError> {
-        self.try_request_gpu_with_timeout(p, name, mem, registry, attempt, self.cfg.queue_timeout)
+        self.try_request_gpu_with_timeout(
+            p,
+            name,
+            mem,
+            registry,
+            attempt,
+            self.cfg.queue_timeout,
+            None,
+        )
     }
 
     /// Like [`try_request_gpu`](Self::try_request_gpu), but with an
-    /// explicit queue-wait bound overriding the configured one. The
-    /// serverless backend's admission control uses this to enforce its
-    /// queue-age limit.
+    /// explicit queue-wait bound overriding the configured one and an
+    /// optional causal [`TraceCtx`] that rides the monitor's queue entry
+    /// down to the API server. The serverless backend's admission control
+    /// uses this to enforce its queue-age limit and thread request tracing.
+    #[allow(clippy::too_many_arguments)]
     pub fn try_request_gpu_with_timeout(
         &self,
         p: &ProcCtx,
@@ -273,6 +283,7 @@ impl GpuServer {
         registry: Arc<ModuleRegistry>,
         attempt: u32,
         timeout: Option<Dur>,
+        trace: Option<TraceCtx>,
     ) -> Result<(RpcClient, u64), AcquireError> {
         let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         let now = p.now();
@@ -289,6 +300,7 @@ impl GpuServer {
                 attempts: attempt,
                 server: None,
                 gpu: None,
+                trace: trace.as_ref().map(|t| t.id),
             },
         );
         let cancelled = Arc::new(AtomicBool::new(false));
@@ -302,6 +314,7 @@ impl GpuServer {
                 invocation,
                 requested_at: now,
                 cancelled: Arc::clone(&cancelled),
+                trace,
             }),
         );
         let got = match timeout {

@@ -20,11 +20,13 @@ use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
 use dgsf_server::{GpuServer, ShedPolicy};
-use dgsf_sim::{Dur, ProcCtx};
+use dgsf_sim::{Dur, ProcCtx, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::cluster::ClusterBalancer;
-use crate::invoke::{invoke_dgsf_bounded, FailureClass, FunctionResult, InvokeFailure};
+use crate::invoke::{
+    invoke_dgsf_bounded, record_request_span, FailureClass, FunctionResult, InvokeFailure,
+};
 use crate::phases::PhaseRecorder;
 use crate::store::ObjectStore;
 use crate::tenant::{FairShedConfig, FairShedder};
@@ -297,10 +299,14 @@ impl Backend {
         let launched_at = p.now();
         let tel = p.telemetry();
         tel.counter_add("backend.invocations", 1);
+        // One causal trace per request, spanning every retry attempt; the
+        // id rides the admission slot, the monitor queue and the RPC
+        // envelopes so every layer's spans share it.
+        let trace = TraceCtx::new(tel.next_trace_id(), w.tenant());
         // Admission control: claim a slot or shed on the spot.
         let _slot = match self.try_admit(p, w) {
             Ok(slot) => slot,
-            Err(reason) => return self.shed(p, w, launched_at, &reason),
+            Err(reason) => return self.shed(p, w, &trace, launched_at, &reason),
         };
         let max_queue_age = self.admission.as_ref().and_then(|a| a.max_queue_age);
         let mut avoid = None;
@@ -311,6 +317,15 @@ impl Backend {
             // shed — retrying or queueing cannot help.
             let Some(idx) = self.balancer.route(&self.servers, avoid) else {
                 tel.counter_add("backend.failures", 1);
+                record_request_span(
+                    p,
+                    &trace,
+                    w.name(),
+                    launched_at,
+                    p.now(),
+                    "failed",
+                    attempt - 1,
+                );
                 return FunctionResult {
                     name: w.name().to_string(),
                     tenant: w.tenant().to_string(),
@@ -323,6 +338,7 @@ impl Backend {
                     attempts: attempt - 1,
                     failure: Some("no live GPU server: every lease expired".into()),
                     shed: false,
+                    trace: Some(trace.id),
                 };
             };
             tel.counter_add("backend.attempts", 1);
@@ -334,10 +350,20 @@ impl Backend {
                 opts,
                 attempt,
                 max_queue_age,
+                trace.with_attempt(attempt),
             ) {
                 Ok(mut r) => {
                     r.launched_at = launched_at;
                     r.attempts = attempt;
+                    record_request_span(
+                        p,
+                        &trace,
+                        w.name(),
+                        launched_at,
+                        r.finished_at,
+                        "completed",
+                        attempt,
+                    );
                     return r;
                 }
                 Err(f) => {
@@ -354,6 +380,7 @@ impl Backend {
                                     ("workload", w.name().to_string()),
                                     ("failed_attempt", attempt.to_string()),
                                     ("error", f.error.to_string()),
+                                    ("inv", trace.id.to_string()),
                                 ],
                             );
                         }
@@ -377,12 +404,22 @@ impl Backend {
                     &[
                         ("workload", w.name().to_string()),
                         ("reason", last.error.to_string()),
+                        ("inv", trace.id.to_string()),
                     ],
                 );
             }
         } else {
             tel.counter_add("backend.failures", 1);
         }
+        record_request_span(
+            p,
+            &trace,
+            w.name(),
+            launched_at,
+            p.now(),
+            if shed { "shed" } else { "failed" },
+            attempt,
+        );
         let failure = if shed {
             format!("overloaded: {}", last.error)
         } else {
@@ -400,6 +437,7 @@ impl Backend {
             attempts: attempt,
             failure: Some(failure),
             shed,
+            trace: Some(trace.id),
         }
     }
 
@@ -459,6 +497,7 @@ impl Backend {
         &self,
         p: &ProcCtx,
         w: &dyn Workload,
+        trace: &TraceCtx,
         launched_at: dgsf_sim::SimTime,
         reason: &str,
     ) -> FunctionResult {
@@ -472,9 +511,11 @@ impl Backend {
                 &[
                     ("workload", w.name().to_string()),
                     ("reason", reason.to_string()),
+                    ("inv", trace.id.to_string()),
                 ],
             );
         }
+        record_request_span(p, trace, w.name(), launched_at, p.now(), "shed", 0);
         FunctionResult {
             name: w.name().to_string(),
             tenant: w.tenant().to_string(),
@@ -487,6 +528,7 @@ impl Backend {
             attempts: 0,
             failure: Some(format!("overloaded: {reason}")),
             shed: true,
+            trace: Some(trace.id),
         }
     }
 }

@@ -14,7 +14,7 @@ use dgsf_cuda::{CostTable, CudaApi, CudaError, CudaResult, NativeCuda};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{OptConfig, RemoteCuda};
 use dgsf_server::GpuServer;
-use dgsf_sim::{Dur, ProcCtx, SimHandle, SimTime};
+use dgsf_sim::{Dur, ProcCtx, SimHandle, SimTime, TraceCtx};
 
 use crate::phases::{phase, PhaseRecorder};
 use crate::store::ObjectStore;
@@ -63,6 +63,9 @@ pub struct FunctionResult {
     /// under overload (the [`FailureClass::Overloaded`] path) rather than
     /// failing while executing.
     pub shed: bool,
+    /// Platform-unique causal trace id for this request, when the run was
+    /// traced end-to-end (DGSF path). `None` for native/CPU baselines.
+    pub trace: Option<u64>,
 }
 
 impl FunctionResult {
@@ -112,7 +115,58 @@ pub fn invoke_dgsf(
     w: &dyn Workload,
     opts: OptConfig,
 ) -> Result<FunctionResult, InvokeFailure> {
-    invoke_dgsf_attempt(p, server, store, w, opts, 1)
+    let trace = TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(1);
+    let out = invoke_dgsf_bounded(p, server, store, w, opts, 1, None, trace.clone());
+    match &out {
+        Ok(r) => record_request_span(
+            p,
+            &trace,
+            w.name(),
+            r.launched_at,
+            r.finished_at,
+            "completed",
+            1,
+        ),
+        Err(f) => {
+            let outcome = if f.class == FailureClass::Overloaded {
+                "shed"
+            } else {
+                "failed"
+            };
+            record_request_span(p, &trace, w.name(), f.launched_at, f.failed_at, outcome, 1);
+        }
+    }
+    out
+}
+
+/// Record the top-level `req:{workload}` span that roots a causal trace:
+/// one per request, spanning every attempt, carrying the trace id, tenant,
+/// terminal outcome and attempt count as span arguments.
+pub(crate) fn record_request_span(
+    p: &ProcCtx,
+    trace: &TraceCtx,
+    workload: &str,
+    start: SimTime,
+    end: SimTime,
+    outcome: &str,
+    attempts: u32,
+) {
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.span_args(
+            p.name(),
+            &format!("req:{workload}"),
+            "request",
+            start,
+            end,
+            &[
+                ("inv", trace.id.to_string()),
+                ("tenant", trace.tenant.to_string()),
+                ("outcome", outcome.to_string()),
+                ("attempts", attempts.to_string()),
+            ],
+        );
+    }
 }
 
 /// The INIT → run → teardown sequence against an acquired remote GPU.
@@ -141,7 +195,8 @@ pub fn invoke_dgsf_attempt(
     opts: OptConfig,
     attempt: u32,
 ) -> Result<FunctionResult, InvokeFailure> {
-    invoke_dgsf_bounded(p, server, store, w, opts, attempt, None)
+    let trace = TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(attempt);
+    invoke_dgsf_bounded(p, server, store, w, opts, attempt, None, trace)
 }
 
 /// Like [`invoke_dgsf_attempt`], with an additional bound on how long the
@@ -159,9 +214,11 @@ pub fn invoke_dgsf_bounded(
     opts: OptConfig,
     attempt: u32,
     max_queue_age: Option<Dur>,
+    trace: TraceCtx,
 ) -> Result<FunctionResult, InvokeFailure> {
     let launched_at = p.now();
     let mut rec = PhaseRecorder::new();
+    rec.set_trace(Some(trace.clone()));
 
     rec.enter(p, phase::DOWNLOAD);
     store.download(p, w.download_bytes());
@@ -181,11 +238,25 @@ pub fn invoke_dgsf_bounded(
         w.registry(),
         attempt,
         timeout,
+        Some(trace.clone()),
     );
     let (client, invocation) = match acquired {
         Ok(x) => x,
         Err(e) => {
             rec.close(p);
+            let tel = p.telemetry();
+            if tel.is_enabled() {
+                let mut args = trace.span_args().to_vec();
+                args.push(("outcome", "acquire_error".to_string()));
+                tel.span_args(
+                    p.name(),
+                    &format!("invoke:{}:a{attempt}", w.name()),
+                    "invocation",
+                    launched_at,
+                    p.now(),
+                    &args,
+                );
+            }
             let error = CudaError::Transport(e.to_string());
             let timed_out = matches!(e, dgsf_server::AcquireError::Timeout { .. });
             let class = if timed_out && age_binds {
@@ -210,12 +281,13 @@ pub fn invoke_dgsf_bounded(
     rec.close(p);
     let tel = p.telemetry();
     if tel.is_enabled() {
-        tel.span(
+        tel.span_args(
             p.name(),
             &format!("invoke:{}:a{attempt}", w.name()),
             "invocation",
             launched_at,
             p.now(),
+            &trace.span_args(),
         );
     }
     match outcome {
@@ -231,6 +303,7 @@ pub fn invoke_dgsf_bounded(
             attempts: attempt,
             failure: None,
             shed: false,
+            trace: Some(trace.id),
         }),
         Err(error) => {
             server.mark_invocation_failed(p.now(), invocation);
@@ -303,6 +376,7 @@ pub fn invoke_native(
         attempts: 1,
         failure: None,
         shed: false,
+        trace: None,
     }
 }
 
@@ -328,5 +402,6 @@ pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> Functio
         attempts: 1,
         failure: None,
         shed: false,
+        trace: None,
     }
 }

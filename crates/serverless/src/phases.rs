@@ -5,7 +5,7 @@
 //! and invokers record phases into a [`PhaseRecorder`]; the experiment
 //! harness reads them back by name.
 
-use dgsf_sim::{Dur, ProcCtx, SimTime};
+use dgsf_sim::{Dur, ProcCtx, SimTime, TraceCtx};
 
 /// Canonical phase names used across workloads and harnesses.
 pub mod phase {
@@ -26,12 +26,20 @@ pub mod phase {
 pub struct PhaseRecorder {
     phases: Vec<(String, Dur)>,
     open: Option<(String, SimTime)>,
+    trace: Option<TraceCtx>,
 }
 
 impl PhaseRecorder {
     /// Fresh recorder.
     pub fn new() -> PhaseRecorder {
         PhaseRecorder::default()
+    }
+
+    /// Attach a causal trace context: phase spans closed from now on carry
+    /// the invocation id and attempt, so trace assembly can tie them to
+    /// their parent invocation.
+    pub fn set_trace(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
     }
 
     /// Begin a phase (closing any open one).
@@ -49,7 +57,12 @@ impl PhaseRecorder {
             let d = p.now().since(start);
             let tel = p.telemetry();
             if tel.is_enabled() {
-                tel.span(p.name(), &name, "phase", start, p.now());
+                match &self.trace {
+                    Some(t) => {
+                        tel.span_args(p.name(), &name, "phase", start, p.now(), &t.span_args())
+                    }
+                    None => tel.span(p.name(), &name, "phase", start, p.now()),
+                }
             }
             self.add(&name, d);
         }

@@ -46,10 +46,12 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 mod time;
+pub mod trace;
 
 pub use channel::{RecvError, SimReceiver, SimSender};
 pub use kernel::{ProcCtx, ProcId, ShutdownSignal, Sim, SimHandle};
 pub use resource::{FifoResource, GpsResource, Timeline};
 pub use stats::{moving_average, percentile_sorted, Summary};
-pub use telemetry::{EventRecord, Histogram, SpanRecord, Telemetry, TelemetryExport};
+pub use telemetry::{EventRecord, Histogram, SpanRecord, Telemetry, TelemetryExport, TraceCtx};
 pub use time::{Dur, SimTime};
+pub use trace::{GroupAttribution, Segment, SloBurn, SloPolicy, TraceOutcome, TraceTree};

@@ -121,6 +121,36 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_on_empty_input_are_zero() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_sorted(&[], q), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_on_single_sample_return_it_for_every_q() {
+        // Nearest rank clamps to rank 1, including at the q=0 boundary and
+        // out-of-range q values.
+        for q in [-0.5, 0.0, 0.001, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(percentile_sorted(&[7.5], q), 7.5);
+        }
+        let s = Summary::from(&[7.5]);
+        assert_eq!((s.n, s.min, s.max), (1, 7.5, 7.5));
+        assert_eq!((s.p50, s.p95, s.p99), (7.5, 7.5, 7.5));
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn q_boundaries_clamp_to_first_and_last_rank() {
+        let sorted = [10.0, 20.0, 30.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 30.0);
+        // Values outside [0,1] clamp rather than indexing out of bounds.
+        assert_eq!(percentile_sorted(&sorted, -1.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 42.0), 30.0);
+    }
+
+    #[test]
     fn moving_average_window() {
         let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
         let ma = moving_average(&xs, 2);

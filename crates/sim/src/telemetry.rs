@@ -33,11 +33,59 @@
 //! Perfetto.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::time::{Dur, SimTime};
+
+/// Request-scoped causal context, threaded from the serverless front door
+/// down through admission, routing, the RPC wire and the GPU server so
+/// every span/instant a single invocation produces can be joined back into
+/// one tree ([`crate::trace`]).
+///
+/// `id` is platform-unique (allocated by [`Telemetry::next_trace_id`], not
+/// per-server), `attempt` is the 1-based retry attempt the context belongs
+/// to (0 = whole-request scope, before any attempt starts), and `tenant` is
+/// the owning tenant for per-tenant attribution and SLO accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Platform-unique trace (invocation) id.
+    pub id: u64,
+    /// 1-based attempt number; 0 for whole-request scope.
+    pub attempt: u32,
+    /// Owning tenant (cheap to clone).
+    pub tenant: Arc<str>,
+}
+
+impl TraceCtx {
+    /// A whole-request context (attempt 0) for trace `id` owned by `tenant`.
+    pub fn new(id: u64, tenant: &str) -> TraceCtx {
+        TraceCtx {
+            id,
+            attempt: 0,
+            tenant: Arc::from(tenant),
+        }
+    }
+
+    /// The same trace scoped to one retry `attempt` (1-based).
+    pub fn with_attempt(&self, attempt: u32) -> TraceCtx {
+        TraceCtx {
+            id: self.id,
+            attempt,
+            tenant: Arc::clone(&self.tenant),
+        }
+    }
+
+    /// The standard `inv`/`attempt` span argument pair for this context.
+    pub fn span_args(&self) -> [(&'static str, String); 2] {
+        [
+            ("inv", self.id.to_string()),
+            ("attempt", self.attempt.to_string()),
+        ]
+    }
+}
 
 /// Number of log₂ histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1`
 /// holds values with bit length `b` (i.e. `2^(b-1) ..= 2^b - 1`).
@@ -117,6 +165,8 @@ pub struct SpanRecord {
     pub start: SimTime,
     /// Virtual end time.
     pub end: SimTime,
+    /// Key/value arguments, in recording order (empty for plain spans).
+    pub args: Vec<(String, String)>,
 }
 
 impl SpanRecord {
@@ -155,6 +205,7 @@ enum TraceItem {
         cat: &'static str,
         start: SimTime,
         end: SimTime,
+        args: Vec<(String, String)>,
     },
     Instant {
         track: u32,
@@ -191,6 +242,7 @@ impl TelState {
 pub struct Telemetry {
     enabled: AtomicBool,
     state: Mutex<TelState>,
+    next_trace: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -205,7 +257,17 @@ impl Telemetry {
         Telemetry {
             enabled: AtomicBool::new(false),
             state: Mutex::new(TelState::default()),
+            next_trace: AtomicU64::new(1),
         }
+    }
+
+    /// Allocate the next platform-unique trace id. Unlike recording, this
+    /// is *not* gated on [`Telemetry::is_enabled`]: the id sequence must be
+    /// identical between traced and untraced runs of the same seed, and a
+    /// relaxed fetch-add cannot perturb the simulation (exactly one process
+    /// runs at a time, so allocation order is the kernel's schedule).
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Turn recording on. Everything recorded before this call was dropped.
@@ -256,6 +318,20 @@ impl Telemetry {
 
     /// Record a closed span of virtual time on `track`.
     pub fn span(&self, track: &str, name: &str, cat: &'static str, start: SimTime, end: SimTime) {
+        self.span_args(track, name, cat, start, end, &[]);
+    }
+
+    /// Record a closed span with key/value `args` (e.g. the `inv`/`attempt`
+    /// pair of a [`TraceCtx`], or a terminal `outcome`).
+    pub fn span_args(
+        &self,
+        track: &str,
+        name: &str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&str, String)],
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -267,6 +343,10 @@ impl Telemetry {
             cat,
             start,
             end,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
         });
     }
 
@@ -325,6 +405,50 @@ impl Telemetry {
             .and_then(|samples| samples.iter().map(|&(_, v)| v).max())
     }
 
+    /// Lowest value ever recorded on gauge `name` (`None` if never
+    /// touched). Counterpart of [`Telemetry::gauge_peak`].
+    pub fn gauge_min(&self, name: &str) -> Option<i64> {
+        self.state
+            .lock()
+            .gauges
+            .get(name)
+            .and_then(|samples| samples.iter().map(|&(_, v)| v).min())
+    }
+
+    /// Time-weighted mean of gauge `name` over `[first sample, until)`,
+    /// treating the timeline as a step function (each sample holds until
+    /// the next one; the last holds until `until`). Integer-only (i128
+    /// accumulation, truncating division toward zero). Returns the last
+    /// value when the window is empty (`until` at or before the first
+    /// sample), `None` when the gauge was never touched.
+    pub fn gauge_time_weighted_mean(&self, name: &str, until: SimTime) -> Option<i64> {
+        let st = self.state.lock();
+        let samples = st.gauges.get(name)?;
+        let (&(t0, v0), rest) = samples.split_first()?;
+        if until <= t0 {
+            return Some(samples.last().map(|&(_, v)| v).unwrap_or(v0));
+        }
+        let mut weighted: i128 = 0;
+        let mut cur_t = t0;
+        let mut cur_v = v0;
+        for &(t, v) in rest {
+            let end = t.min(until);
+            if end > cur_t {
+                weighted += i128::from(cur_v) * i128::from(end.since(cur_t).as_nanos());
+            }
+            cur_t = t;
+            cur_v = v;
+            if cur_t >= until {
+                break;
+            }
+        }
+        if until > cur_t {
+            weighted += i128::from(cur_v) * i128::from(until.since(cur_t).as_nanos());
+        }
+        let total = i128::from(until.since(t0).as_nanos());
+        Some((weighted / total) as i64)
+    }
+
     /// Snapshot of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.state.lock().histograms.get(name).cloned()
@@ -342,12 +466,14 @@ impl Telemetry {
                     cat,
                     start,
                     end,
+                    args,
                 } => Some(SpanRecord {
                     track: st.tracks[*track as usize].clone(),
                     name: name.clone(),
                     cat: (*cat).to_string(),
                     start: *start,
                     end: *end,
+                    args: args.clone(),
                 }),
                 TraceItem::Instant { .. } => None,
             })
@@ -473,14 +599,30 @@ impl Telemetry {
                     cat,
                     start,
                     end,
+                    args,
                 } => {
                     out.push_str("{\"name\": ");
                     json_str(&mut out, name);
+                    out.push_str(", \"cat\": ");
+                    json_str(&mut out, cat);
                     out.push_str(&format!(
-                        ", \"cat\": \"{cat}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {track}, \"ts\": {}, \"dur\": {}}}",
+                        ", \"ph\": \"X\", \"pid\": 1, \"tid\": {track}, \"ts\": {}, \"dur\": {}",
                         micros(start.as_nanos()),
                         micros(end.since(*start).as_nanos()),
                     ));
+                    if !args.is_empty() {
+                        out.push_str(", \"args\": {");
+                        for (j, (k, v)) in args.iter().enumerate() {
+                            if j > 0 {
+                                out.push_str(", ");
+                            }
+                            json_str(&mut out, k);
+                            out.push_str(": ");
+                            json_str(&mut out, v);
+                        }
+                        out.push('}');
+                    }
+                    out.push('}');
                 }
                 TraceItem::Instant {
                     track,
@@ -620,5 +762,144 @@ mod tests {
         assert!(a.chrome_trace_json.contains("\"ts\": 0.000"));
         assert!(a.chrome_trace_json.contains("\"dur\": 2.500"));
         assert!(a.chrome_trace_json.contains("trk\\\"x"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names_cats_and_args() {
+        // Regression: span names, categories and argument values with
+        // quotes/backslashes/control chars must come out as valid JSON
+        // string literals, not raw bytes.
+        let t = Telemetry::new();
+        t.enable();
+        t.span(
+            "trk",
+            "na\"me\\with\nctrl\u{1}",
+            "ca\"t\\x",
+            SimTime(0),
+            SimTime(10),
+        );
+        t.span_args(
+            "trk",
+            "s",
+            "request",
+            SimTime(0),
+            SimTime(5),
+            &[("out\"come", "o\\k\n".into())],
+        );
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"na\\\"me\\\\with\\nctrl\\u0001\""));
+        assert!(json.contains("\"cat\": \"ca\\\"t\\\\x\""));
+        assert!(json.contains("\"out\\\"come\": \"o\\\\k\\n\""));
+        // No raw control characters or unescaped interior quotes survive.
+        assert!(json.chars().all(|c| c as u32 >= 0x20 || c == '\n'));
+        // A plain-cat span still renders the pinned shape.
+        t.span("trk", "p", "phase", SimTime(0), SimTime(1));
+        assert!(t.chrome_trace_json().contains("\"cat\": \"phase\""));
+    }
+
+    #[test]
+    fn span_args_round_trip_and_argless_spans_stay_byte_identical() {
+        let t = Telemetry::new();
+        t.enable();
+        t.span("trk", "plain", "rpc", SimTime(0), SimTime(1_000));
+        let before = t.chrome_trace_json();
+        assert!(
+            before.contains("\"dur\": 1.000}"),
+            "arg-less spans must close right after dur — no args object"
+        );
+        t.span_args(
+            "trk",
+            "req:spin",
+            "request",
+            SimTime(0),
+            SimTime(2_000),
+            &[("inv", "7".into()), ("tenant", "hot".into())],
+        );
+        let spans = t.spans();
+        assert_eq!(spans[0].args, Vec::<(String, String)>::new());
+        assert_eq!(
+            spans[1].args,
+            vec![
+                ("inv".to_string(), "7".to_string()),
+                ("tenant".to_string(), "hot".to_string())
+            ]
+        );
+        assert!(t
+            .chrome_trace_json()
+            .contains("\"args\": {\"inv\": \"7\", \"tenant\": \"hot\"}"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_allocated_even_when_disabled() {
+        let t = Telemetry::new();
+        assert!(!t.is_enabled());
+        let a = t.next_trace_id();
+        let b = t.next_trace_id();
+        t.enable();
+        let c = t.next_trace_id();
+        assert_eq!((a, b, c), (1, 2, 3));
+        let ctx = TraceCtx::new(b, "tenant-x");
+        assert_eq!(ctx.attempt, 0);
+        let a2 = ctx.with_attempt(2);
+        assert_eq!((a2.id, a2.attempt, &*a2.tenant), (2, 2, "tenant-x"));
+        assert_eq!(
+            a2.span_args(),
+            [("inv", "2".to_string()), ("attempt", "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn gauge_min_mirrors_gauge_peak() {
+        let t = Telemetry::new();
+        t.enable();
+        t.gauge_set("q", SimTime(0), 5);
+        t.gauge_set("q", SimTime(10), -2);
+        t.gauge_set("q", SimTime(20), 9);
+        assert_eq!(t.gauge_min("q"), Some(-2));
+        assert_eq!(t.gauge_peak("q"), Some(9));
+        assert_eq!(t.gauge_min("missing"), None);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean_is_a_step_function_integral() {
+        let t = Telemetry::new();
+        t.enable();
+        // 4 for 10 ns, 8 for 10 ns, 0 for 20 ns → (40 + 80 + 0) / 40 = 3.
+        t.gauge_set("q", SimTime(0), 4);
+        t.gauge_set("q", SimTime(10), 8);
+        t.gauge_set("q", SimTime(20), 0);
+        assert_eq!(t.gauge_time_weighted_mean("q", SimTime(40)), Some(3));
+        // Window ending mid-timeline ignores later samples: 4 for 10 ns,
+        // 8 for 5 ns → 80/15 = 5 (truncating).
+        assert_eq!(t.gauge_time_weighted_mean("q", SimTime(15)), Some(5));
+        // Degenerate window falls back to the last recorded value.
+        assert_eq!(t.gauge_time_weighted_mean("q", SimTime(0)), Some(0));
+        // Single sample holds for the whole window.
+        t.gauge_set("one", SimTime(5), 7);
+        assert_eq!(t.gauge_time_weighted_mean("one", SimTime(105)), Some(7));
+        assert_eq!(t.gauge_time_weighted_mean("missing", SimTime(10)), None);
+    }
+
+    #[test]
+    fn histogram_quantile_bounds_at_q0_and_q1000() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 7, 1000] {
+            h.record(v);
+        }
+        // q=0 clamps to rank 1: the bucket holding the minimum (zero lives
+        // in bucket 0, whose upper bound is exactly 0).
+        assert_eq!(h.quantile_upper_bound(0), 0);
+        // q=1000 is the max's bucket upper bound, and always covers max.
+        let p1000 = h.quantile_upper_bound(1000);
+        assert!(p1000 >= h.max);
+        assert_eq!(p1000, 1023, "1000 has bit length 10 → bound 2^10 - 1");
+        // Without a zero sample, q=0 returns the min's bucket bound ≥ min.
+        let mut h2 = Histogram::default();
+        for v in [5u64, 9, 1000] {
+            h2.record(v);
+        }
+        assert!(h2.quantile_upper_bound(0) >= h2.min);
+        // 5 has bit length 3, so rank 1 lands in bucket 3: bound 2^3 - 1.
+        assert_eq!(h2.quantile_upper_bound(0), 7);
     }
 }
