@@ -67,6 +67,53 @@ impl Workload for Spin {
     }
 }
 
+/// A chunked spin: `chunks` kernels with a sync after each, so the
+/// function crosses many API-call boundaries — each one a point where the
+/// monitor can land a live migration.
+struct ChunkedSpin {
+    name: &'static str,
+    chunks: usize,
+    chunk_secs: f64,
+    mem: u64,
+}
+
+impl Workload for ChunkedSpin {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        self.mem
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        for _ in 0..self.chunks {
+            api.launch_kernel(
+                p,
+                "k",
+                LaunchConfig::linear(1, 32),
+                KernelArgs::timed(self.chunk_secs, 0),
+            )?;
+            api.device_synchronize(p)?;
+        }
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        30.0
+    }
+}
+
 /// GPU seconds per hot-tenant invocation.
 const HOT_SECS: f64 = 0.3;
 /// GPU seconds per cold-tenant invocation — 4× heavier per job, so blind
@@ -124,6 +171,25 @@ pub struct FleetPoint {
     pub jain_permille: u64,
 }
 
+/// One arm of the migration on/off comparison. All integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationArm {
+    /// `"on"` or `"off"`.
+    pub migration: &'static str,
+    /// Functions completed.
+    pub completed: u64,
+    /// Committed live migrations across the fleet.
+    pub migrations: u64,
+    /// p50 end-to-end latency over all completions (microseconds).
+    pub p50_e2e_us: u64,
+    /// p99 end-to-end latency over all completions (microseconds).
+    pub p99_e2e_us: u64,
+    /// p99 of the batch tenant's completions (microseconds).
+    pub batch_p99_e2e_us: u64,
+    /// p99 of the interactive tenant's completions (microseconds).
+    pub interactive_p99_e2e_us: u64,
+}
+
 /// One (routing, shedding) policy combination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetVariant {
@@ -148,6 +214,9 @@ pub struct FleetOutput {
     pub cold_rps_milli: u64,
     /// One entry per policy combination.
     pub variants: Vec<FleetVariant>,
+    /// Migration off/on under the skewed batch-vs-interactive mix, at
+    /// equal hardware.
+    pub migration: Vec<MigrationArm>,
 }
 
 /// The fleet under test: 4 single-GPU servers behind the cluster
@@ -305,6 +374,114 @@ fn run_point(
     }
 }
 
+/// Chunks per batch function in the migration comparison (each 250 ms of
+/// GPU time, each followed by a sync — a migration-eligible boundary).
+const BATCH_CHUNKS: usize = 24;
+/// Interactive tenant's offered rate in the migration comparison
+/// (milli-requests/second). Light enough that the monitor regularly sees
+/// the second GPU idle (the migration-target condition), yet steady
+/// enough to prove migration does not evict interactive traffic.
+const INTERACTIVE_RPS_MILLI: u64 = 1_000;
+
+/// The migration comparison's fleet: 2 servers × 2 GPUs with 2-way
+/// sharing and best-fit placement — the §VIII-E packing that strands an
+/// idle GPU next to a contended one — with only the monitor's migration
+/// policy toggled between arms.
+fn migration_config(seed: u64, migration: bool) -> PlatformConfig {
+    PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(
+            GpuServerConfig::paper_default()
+                .gpus(2)
+                .sharing(2)
+                .with_policy(PlacementPolicy::BestFit)
+                .with_migration(migration),
+        )
+        .with_num_servers(2)
+        .with_fleet_policy(FleetPolicy::RoundRobin)
+}
+
+/// Run one arm of the migration comparison. Both arms replay the same
+/// skewed two-tenant schedule: four long chunked batch functions land
+/// almost at once (best-fit packs two per server onto one GPU), while a
+/// Poisson stream of short interactive functions keeps the other GPU
+/// warm. With migration on, the monitor spreads each server's batch pair
+/// across both GPUs mid-function; off, the pair time-shares one GPU to
+/// the end.
+fn migration_arm(base_seed: u64, window_secs: u64, on: bool) -> MigrationArm {
+    let seed = base_seed.wrapping_add(0xD15A_66E6);
+    let suite: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(Tenanted::new(
+            "batch",
+            ChunkedSpin {
+                name: "batch-chunked",
+                chunks: BATCH_CHUNKS,
+                chunk_secs: 0.25,
+                mem: 2 * GB,
+            },
+        )),
+        Arc::new(Tenanted::new(
+            "interactive",
+            ChunkedSpin {
+                name: "interactive-chunked",
+                chunks: 2,
+                chunk_secs: 0.15,
+                mem: GB,
+            },
+        )),
+    ];
+    let n_interactive = (INTERACTIVE_RPS_MILLI * window_secs / 1000) as usize;
+    let mut schedule = Schedule::merged(
+        seed,
+        &[(
+            1,
+            n_interactive,
+            ArrivalPattern::Exponential {
+                mean: Dur(1_000_000_000_000 / INTERACTIVE_RPS_MILLI),
+            },
+        )],
+    );
+    // The batch pairs launch once the fleet is provisioned and routable
+    // (at t=0 a member may not have registered a live API server yet,
+    // skewing the round-robin split), milliseconds apart so best-fit
+    // packs each pair onto one GPU per server.
+    for i in 0..4u64 {
+        schedule
+            .entries
+            .push((SimTime::ZERO + Dur::from_millis(200 + i), 0));
+    }
+    schedule.entries.sort_by_key(|&(at, w)| (at, w));
+    let out = Testbed::run_platform_schedule(&migration_config(seed, on), &suite, &schedule);
+    // Fault-free arms must satisfy the exactly-once oracle outright.
+    dgsf::check_backend_run(&out).assert_ok();
+    let p99_of = |tenant: &str| {
+        let mut us: Vec<u64> = out
+            .results
+            .iter()
+            .filter(|r| r.tenant == tenant && r.succeeded())
+            .map(|r| r.e2e().as_nanos() / 1_000)
+            .collect();
+        us.sort_unstable();
+        percentile_sorted(&us, 990)
+    };
+    let mut all_e2e_us: Vec<u64> = out
+        .results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.e2e().as_nanos() / 1_000)
+        .collect();
+    all_e2e_us.sort_unstable();
+    MigrationArm {
+        migration: if on { "on" } else { "off" },
+        completed: out.completed() as u64,
+        migrations: out.migrations.iter().map(|m| m.len() as u64).sum(),
+        p50_e2e_us: percentile_sorted(&all_e2e_us, 500),
+        p99_e2e_us: percentile_sorted(&all_e2e_us, 990),
+        batch_p99_e2e_us: p99_of("batch"),
+        interactive_p99_e2e_us: p99_of("interactive"),
+    }
+}
+
 /// The four policy combinations of the sweep.
 const VARIANTS: &[(FleetPolicy, bool)] = &[
     (FleetPolicy::RoundRobin, false),
@@ -329,12 +506,17 @@ pub fn fleet(seed: u64, quick: bool) -> FleetOutput {
                 .collect(),
         })
         .collect();
+    let mig_window = if quick { 6 } else { 12 };
     FleetOutput {
         seed,
         num_servers: 4,
         window_secs,
         cold_rps_milli: COLD_RPS_MILLI,
         variants,
+        migration: vec![
+            migration_arm(seed, mig_window, false),
+            migration_arm(seed, mig_window, true),
+        ],
     }
 }
 
@@ -378,6 +560,22 @@ pub fn fleet_json(f: &FleetOutput) -> String {
         }
         out.push_str("\n    ]}");
     }
+    out.push_str("\n  ],\n  \"migration\": [");
+    for (i, m) in f.migration.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"migration\": \"{}\", \"completed\": {}, \"migrations\": {}, \"p50_e2e_us\": {}, \"p99_e2e_us\": {}, \"batch_p99_e2e_us\": {}, \"interactive_p99_e2e_us\": {}}}",
+            m.migration,
+            m.completed,
+            m.migrations,
+            m.p50_e2e_us,
+            m.p99_e2e_us,
+            m.batch_p99_e2e_us,
+            m.interactive_p99_e2e_us,
+        ));
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -418,7 +616,27 @@ pub fn fleet_text(f: &FleetOutput) -> String {
             ]);
         }
     }
-    t.render()
+    let mut m = TextTable::new(vec![
+        "migration",
+        "completed",
+        "moves",
+        "p50 e2e",
+        "p99 e2e",
+        "batch p99",
+        "interactive p99",
+    ]);
+    for a in &f.migration {
+        m.row(vec![
+            a.migration.to_string(),
+            a.completed.to_string(),
+            a.migrations.to_string(),
+            format!("{:.2}s", a.p50_e2e_us as f64 / 1e6),
+            format!("{:.2}s", a.p99_e2e_us as f64 / 1e6),
+            format!("{:.2}s", a.batch_p99_e2e_us as f64 / 1e6),
+            format!("{:.2}s", a.interactive_p99_e2e_us as f64 / 1e6),
+        ]);
+    }
+    format!("{}\n{}", t.render(), m.render())
 }
 
 #[cfg(test)]
@@ -437,6 +655,27 @@ mod tests {
         assert_eq!(jain_permille(&[0, 0]), 1000);
         let j = jain_permille(&[900, 300]);
         assert!(j > 500 && j < 1000, "skew lands between: {j}");
+    }
+
+    #[test]
+    fn migration_halves_the_stranded_batch_pair_tail() {
+        let off = migration_arm(42, 6, false);
+        let on = migration_arm(42, 6, true);
+        assert_eq!(off.migrations, 0, "off arm must not move anything");
+        assert!(on.migrations >= 1, "monitor must migrate under the skew");
+        assert_eq!(on.completed, off.completed, "same demand served");
+        assert!(
+            on.batch_p99_e2e_us < off.batch_p99_e2e_us,
+            "batch p99 must improve: on {}us vs off {}us",
+            on.batch_p99_e2e_us,
+            off.batch_p99_e2e_us
+        );
+        assert!(
+            on.p99_e2e_us < off.p99_e2e_us,
+            "overall p99 must improve: on {}us vs off {}us",
+            on.p99_e2e_us,
+            off.p99_e2e_us
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Platform-level bindings for the [`dgsf_sim::invariants`] oracle.
+//!
+//! The sim crate's checker works over neutral fact types; this module
+//! converts what an actual run produces — [`InvocationRecord`]s,
+//! [`FunctionResult`]s, [`MigrationRecord`]s and a live [`GpuServer`] —
+//! into those facts and runs the exactly-once / migration-state-machine /
+//! memory-balance rules over them. The chaos-soak harness calls
+//! [`check_backend_run`] after every seed.
+
+use dgsf_server::{GpuServer, InvocationRecord, MigrationRecord};
+use dgsf_serverless::FunctionResult;
+use dgsf_sim::invariants::{
+    check, InvariantReport, InvocationFacts, MigrationFacts, RequestFacts, RequestOutcome,
+};
+
+use crate::testbed::BackendRunOutput;
+
+/// Convert server-side invocation records into oracle facts.
+pub fn invocation_facts(records: &[InvocationRecord]) -> Vec<InvocationFacts> {
+    records
+        .iter()
+        .map(|r| InvocationFacts {
+            invocation: r.invocation,
+            requested_at: r.requested_at,
+            assigned_at: r.assigned_at,
+            done_at: r.done_at,
+            failed_at: r.failed_at,
+            trace: r.trace,
+        })
+        .collect()
+}
+
+/// Convert caller-visible function results into oracle facts. Results
+/// without a trace id (native/CPU baselines) carry no cross-layer promise
+/// and are skipped.
+pub fn request_facts(results: &[FunctionResult]) -> Vec<RequestFacts> {
+    results
+        .iter()
+        .filter_map(|r| {
+            let outcome = if r.shed {
+                RequestOutcome::Shed
+            } else if r.succeeded() {
+                RequestOutcome::Completed
+            } else {
+                RequestOutcome::Failed
+            };
+            r.trace.map(|trace| RequestFacts { trace, outcome })
+        })
+        .collect()
+}
+
+/// Convert a migration log into oracle facts.
+pub fn migration_facts(migrations: &[MigrationRecord]) -> Vec<MigrationFacts> {
+    migrations
+        .iter()
+        .map(|m| MigrationFacts {
+            server: m.server,
+            from: m.from.0,
+            to: m.to.0,
+            begun_at: m.begun_at,
+            completed_at: m.at,
+        })
+        .collect()
+}
+
+/// Run the full exactly-once oracle over one backend run: every admitted
+/// invocation reached exactly one terminal state, no caller-visible
+/// success is double-run and no caller-visible failure hides completed
+/// work, and every fleet member's migration log is a valid state-machine
+/// history.
+pub fn check_backend_run(out: &BackendRunOutput) -> InvariantReport {
+    let invs: Vec<InvocationFacts> = out
+        .records
+        .iter()
+        .flat_map(|r| invocation_facts(r))
+        .collect();
+    let reqs = request_facts(&out.results);
+    let mut report = check(&invs, &reqs, &[]);
+    // Migration histories are per-server-fleet-member: server ids repeat
+    // across members, so each member's log is checked on its own.
+    for migs in &out.migrations {
+        report.merge(check(&[], &[], &migration_facts(migs)));
+    }
+    report
+}
+
+/// Check that GPU memory accounting balances on a quiescent server: what
+/// each GPU holds equals the idle footprint implied by the live registry
+/// (home workers plus migrated-in contexts).
+///
+/// `strict` demands exact equality and is only sound for fault-free runs:
+/// a server killed or a function aborted mid-flight leaks its session
+/// memory by design (the guest never reaches `EndFunction`, and the model
+/// has no async reclamation), so chaos runs pass `strict = false`, which
+/// still catches under-accounting (`used < expected` — memory lost track
+/// of) while tolerating leaked session state.
+pub fn check_memory_balance(server: &GpuServer, strict: bool) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    for gpu in &server.gpus {
+        let used = gpu.used_mem();
+        let expected = server.expected_idle_mem(gpu.id);
+        let broken = if strict {
+            used != expected
+        } else {
+            used < expected
+        };
+        if broken {
+            report.violations.push(dgsf_sim::invariants::Violation {
+                rule: "memory-balances",
+                detail: format!(
+                    "GPU {} holds {used} bytes but the registry implies {expected} \
+                     (strict = {strict})",
+                    gpu.id.0
+                ),
+            });
+        }
+    }
+    report
+}

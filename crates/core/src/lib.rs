@@ -43,9 +43,11 @@
 
 #![warn(missing_docs)]
 
+pub mod invariants;
 mod platform;
 mod testbed;
 
+pub use invariants::{check_backend_run, check_memory_balance};
 pub use platform::PlatformConfig;
 pub use testbed::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
 

@@ -152,6 +152,8 @@ pub struct BackendRunOutput {
     pub results: Vec<FunctionResult>,
     /// Server-side invocation records, one `Vec` per fleet member.
     pub records: Vec<Vec<InvocationRecord>>,
+    /// Committed migrations, one `Vec` per fleet member.
+    pub migrations: Vec<Vec<MigrationRecord>>,
     /// Final API-server pool size per fleet member (autoscaled fleets may
     /// differ from the provisioned count).
     pub pool_sizes: Vec<usize>,
@@ -352,7 +354,11 @@ impl Testbed {
             telemetry.enable();
         }
         let h = sim.handle();
-        type FleetSnapshot = (Vec<Vec<InvocationRecord>>, Vec<usize>);
+        type FleetSnapshot = (
+            Vec<Vec<InvocationRecord>>,
+            Vec<Vec<MigrationRecord>>,
+            Vec<usize>,
+        );
         let results = Arc::new(Mutex::new(Vec::new()));
         let out: Arc<Mutex<Option<FleetSnapshot>>> = Arc::new(Mutex::new(None));
         let store = Arc::new(ObjectStore::new(cfg.server.net.s3_bw));
@@ -396,8 +402,10 @@ impl Testbed {
                 }
                 let records: Vec<Vec<InvocationRecord>> =
                     fleet.iter().map(|s| s.records()).collect();
+                let migrations: Vec<Vec<MigrationRecord>> =
+                    fleet.iter().map(|s| s.migrations()).collect();
                 let pools: Vec<usize> = fleet.iter().map(|s| s.pool_size()).collect();
-                *out3.lock() = Some((records, pools));
+                *out3.lock() = Some((records, migrations, pools));
             });
         });
         sim.run();
@@ -405,7 +413,8 @@ impl Testbed {
             .map(|m| m.into_inner())
             .unwrap_or_else(|a| a.lock().clone());
         results.sort_by_key(|r| r.finished_at);
-        let (records, pool_sizes) = out.lock().take().expect("collector observed completion");
+        let (records, migrations, pool_sizes) =
+            out.lock().take().expect("collector observed completion");
         let first_launch = results
             .iter()
             .map(|r| r.launched_at)
@@ -420,6 +429,7 @@ impl Testbed {
             BackendRunOutput {
                 results,
                 records,
+                migrations,
                 pool_sizes,
                 first_launch,
                 all_done,

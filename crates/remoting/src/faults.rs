@@ -30,6 +30,11 @@ pub struct FaultPlan {
     delay_probability: f64,
     delay_max: Dur,
     blackholes: Vec<(SimTime, SimTime)>,
+    migration_drops: Vec<u64>,
+    migration_drop_probability: f64,
+    migration_delay_probability: f64,
+    migration_delay_max: Dur,
+    migration_kills: Vec<(u32, u64)>,
 }
 
 impl FaultPlan {
@@ -43,6 +48,11 @@ impl FaultPlan {
             delay_probability: 0.0,
             delay_max: Dur::ZERO,
             blackholes: Vec::new(),
+            migration_drops: Vec::new(),
+            migration_drop_probability: 0.0,
+            migration_delay_probability: 0.0,
+            migration_delay_max: Dur::ZERO,
+            migration_kills: Vec::new(),
         }
     }
 
@@ -84,6 +94,39 @@ impl FaultPlan {
         self
     }
 
+    /// Drop the `index`-th migration state-transfer (0-based, counting every
+    /// migration transfer crossing the link, in virtual-time order). The
+    /// migration aborts and the API server stays on its source GPU.
+    pub fn drop_migration(mut self, index: u64) -> Self {
+        self.migration_drops.push(index);
+        self
+    }
+
+    /// Drop each migration state-transfer independently with probability `p`
+    /// (clamped to `[0, 1]`), drawn from a dedicated migration RNG stream so
+    /// enabling it never perturbs ordinary link-fault decisions.
+    pub fn migration_drop_probability(mut self, p: f64) -> Self {
+        self.migration_drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delay each migration state-transfer with probability `p` by a uniform
+    /// extra latency in `[0, max)`.
+    pub fn migration_delay_probability(mut self, p: f64, max: Dur) -> Self {
+        self.migration_delay_probability = p.clamp(0.0, 1.0);
+        self.migration_delay_max = max;
+        self
+    }
+
+    /// Kill API server `server` in the middle of its `nth` migration
+    /// (0-based): the state transfer completes on the wire but the server
+    /// dies before re-binding, so the migration never commits and the
+    /// monitor's lease machinery must clean up.
+    pub fn kill_on_migration(mut self, server: u32, nth: u64) -> Self {
+        self.migration_kills.push((server, nth));
+        self
+    }
+
     /// The scheduled API-server kills.
     pub fn kills(&self) -> &[(u32, SimTime)] {
         &self.kills
@@ -97,6 +140,16 @@ impl FaultPlan {
             || self.drop_probability > 0.0
             || self.delay_probability > 0.0
             || !self.blackholes.is_empty()
+    }
+
+    /// True if the plan targets migration state-transfers (drop/delay/kill
+    /// mid-migration). These draw from a separate RNG stream and counter, so
+    /// they never disturb [`FaultPlan::has_link_faults`] decisions.
+    pub fn has_migration_faults(&self) -> bool {
+        !self.migration_drops.is_empty()
+            || self.migration_drop_probability > 0.0
+            || self.migration_delay_probability > 0.0
+            || !self.migration_kills.is_empty()
     }
 }
 
@@ -121,11 +174,19 @@ pub struct FaultStats {
     pub dropped: u64,
     /// Transfers delayed.
     pub delayed: u64,
+    /// Migration state-transfers observed.
+    pub migration_transfers: u64,
+    /// Migration state-transfers dropped (each aborts one migration).
+    pub migration_dropped: u64,
+    /// Migration state-transfers delayed.
+    pub migration_delayed: u64,
 }
 
 struct FaultRt {
     rng: StdRng,
     msg_index: u64,
+    mig_rng: StdRng,
+    mig_index: u64,
     stats: FaultStats,
 }
 
@@ -142,6 +203,11 @@ impl LinkFaults {
             rt: Mutex::new(FaultRt {
                 rng: StdRng::seed_from_u64(plan.seed ^ 0x9e37_79b9_7f4a_7c15),
                 msg_index: 0,
+                // A distinct stream: migration-fate draws must not advance
+                // the ordinary link-fault RNG, or adding migration chaos to
+                // an existing plan would reshuffle every message fate.
+                mig_rng: StdRng::seed_from_u64(plan.seed ^ 0x2545_f491_4f6c_dd1d),
+                mig_index: 0,
                 stats: FaultStats::default(),
             }),
             plan: plan.clone(),
@@ -196,6 +262,55 @@ impl LinkFaults {
             rt.stats.delayed += 1;
         }
         MsgFate::Deliver { extra_delay: extra }
+    }
+
+    /// Decide the fate of the next migration state-transfer, sent at virtual
+    /// time `now`. Draws come from the dedicated migration stream and advance
+    /// a dedicated counter, so interleaving migrations with RPC traffic
+    /// leaves the ordinary [`LinkFaults::fate`] sequence untouched.
+    pub fn migration_fate(&self, now: SimTime) -> MsgFate {
+        let mut rt = self.rt.lock();
+        let index = rt.mig_index;
+        rt.mig_index += 1;
+        rt.stats.migration_transfers += 1;
+        if self
+            .plan
+            .blackholes
+            .iter()
+            .any(|(a, b)| now >= *a && now < *b)
+        {
+            rt.stats.migration_dropped += 1;
+            return MsgFate::Drop;
+        }
+        if self.plan.migration_drops.contains(&index) {
+            rt.stats.migration_dropped += 1;
+            return MsgFate::Drop;
+        }
+        if self.plan.migration_drop_probability > 0.0
+            && rt.mig_rng.gen::<f64>() < self.plan.migration_drop_probability
+        {
+            rt.stats.migration_dropped += 1;
+            return MsgFate::Drop;
+        }
+        let mut extra = Dur::ZERO;
+        if self.plan.migration_delay_probability > 0.0
+            && self.plan.migration_delay_max > Dur::ZERO
+            && rt.mig_rng.gen::<f64>() < self.plan.migration_delay_probability
+        {
+            let nanos = rt
+                .mig_rng
+                .gen_range(0..self.plan.migration_delay_max.as_nanos().max(1));
+            extra = Dur(nanos);
+            rt.stats.migration_delayed += 1;
+        }
+        MsgFate::Deliver { extra_delay: extra }
+    }
+
+    /// True if the plan kills `server` during its `nth` migration. Plain
+    /// data, no RNG: the caller consults it after the state transfer and
+    /// before re-binding the session.
+    pub fn migration_kill_due(&self, server: u32, nth: u64) -> bool {
+        self.plan.migration_kills.contains(&(server, nth))
     }
 
     /// Snapshot of the fault counters.
@@ -284,6 +399,83 @@ mod tests {
         assert_eq!(lf.fate(t(2), 1), MsgFate::Drop);
         assert_eq!(lf.fate(t(3), 1), MsgFate::Drop);
         assert!(matches!(lf.fate(t(4), 1), MsgFate::Deliver { .. }));
+    }
+
+    #[test]
+    fn migration_faults_are_a_separate_stream() {
+        // Same link traffic, with and without migration chaos interleaved:
+        // the ordinary fate sequence must be identical either way.
+        let base = FaultPlan::new(42)
+            .drop_probability(0.3)
+            .delay_probability(0.5, Dur::from_millis(10));
+        let chaotic = base
+            .clone()
+            .migration_drop_probability(0.5)
+            .migration_delay_probability(0.5, Dur::from_millis(5));
+        assert!(!base.has_migration_faults());
+        assert!(chaotic.has_migration_faults());
+
+        let plain = LinkFaults::new(&base);
+        let mixed = LinkFaults::new(&chaotic);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..200u64 {
+            let t = SimTime::ZERO + Dur::from_millis(i);
+            a.push(plain.fate(t, 1));
+            b.push(mixed.fate(t, 1));
+            if i % 3 == 0 {
+                mixed.migration_fate(t); // interleaved migration traffic
+            }
+        }
+        assert_eq!(a, b, "migration draws must not perturb link fates");
+        let stats = mixed.stats();
+        assert_eq!(stats.migration_transfers, 67);
+        assert!(stats.migration_dropped > 0);
+    }
+
+    #[test]
+    fn migration_fates_are_deterministic() {
+        let plan = FaultPlan::new(9)
+            .migration_drop_probability(0.4)
+            .migration_delay_probability(0.4, Dur::from_millis(8));
+        let run = || {
+            let lf = LinkFaults::new(&plan);
+            (0..100u64)
+                .map(|i| lf.migration_fate(SimTime::ZERO + Dur::from_millis(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn indexed_migration_drop_hits_exactly_that_transfer() {
+        let lf = LinkFaults::new(&FaultPlan::new(0).drop_migration(2));
+        for i in 0..5u64 {
+            let fate = lf.migration_fate(SimTime::ZERO + Dur::from_millis(i));
+            if i == 2 {
+                assert_eq!(fate, MsgFate::Drop);
+            } else {
+                assert_eq!(
+                    fate,
+                    MsgFate::Deliver {
+                        extra_delay: Dur::ZERO
+                    }
+                );
+            }
+        }
+        assert_eq!(lf.stats().migration_dropped, 1);
+        assert_eq!(lf.stats().messages, 0, "no link traffic was counted");
+    }
+
+    #[test]
+    fn migration_kill_is_plain_data() {
+        let plan = FaultPlan::new(0).kill_on_migration(3, 1);
+        assert!(plan.has_migration_faults());
+        assert!(!plan.has_link_faults());
+        let lf = LinkFaults::new(&plan);
+        assert!(!lf.migration_kill_due(3, 0));
+        assert!(lf.migration_kill_due(3, 1));
+        assert!(!lf.migration_kill_due(2, 1));
     }
 
     #[test]

@@ -174,6 +174,44 @@ impl NetLink {
             MsgFate::Drop => Delivery::Dropped,
         }
     }
+
+    /// Move one migration state-transfer of `bytes` (context + handle-pool
+    /// descriptors) across the server NIC. Unlike [`NetLink::transfer`] this
+    /// asks the fault layer for a *migration* fate — a dedicated RNG stream
+    /// and counter — and never draws simulation-RNG jitter, so adding
+    /// migrations to a run perturbs neither ordinary message fates nor
+    /// arrival processes. The sender pays latency and bandwidth even when
+    /// the transfer is dropped mid-flight.
+    pub fn transfer_state(&self, p: &ProcCtx, bytes: u64) -> Delivery {
+        let fate = match &self.faults {
+            Some(f) => f.migration_fate(p.now()),
+            None => MsgFate::Deliver {
+                extra_delay: Dur::ZERO,
+            },
+        };
+        let tel = p.telemetry();
+        if tel.is_enabled() {
+            tel.counter_add("net.migration_messages", 1);
+            tel.histogram_record("net.bytes.migration", bytes);
+            match fate {
+                MsgFate::Drop => tel.counter_add("net.migration_dropped", 1),
+                MsgFate::Deliver { extra_delay } if extra_delay > Dur::ZERO => {
+                    tel.counter_add("net.migration_delayed", 1)
+                }
+                MsgFate::Deliver { .. } => {}
+            }
+        }
+        let mut lat = self.profile.rpc_latency;
+        if let MsgFate::Deliver { extra_delay } = fate {
+            lat = lat.saturating_add(extra_delay);
+        }
+        p.sleep(lat);
+        self.up.acquire(p, bytes as f64);
+        match fate {
+            MsgFate::Deliver { .. } => Delivery::Delivered,
+            MsgFate::Drop => Delivery::Dropped,
+        }
+    }
 }
 
 #[cfg(test)]

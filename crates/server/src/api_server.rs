@@ -9,12 +9,12 @@
 //! finishes the server reverts to its home GPU.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dgsf_cuda::{CostTable, CudaContext, GpuSession, MigrationReport, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId, ReservationId};
-use dgsf_remoting::{Dispatcher, NetLink, RpcInbox};
+use dgsf_remoting::{Delivery, Dispatcher, NetLink, RpcInbox};
 use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
@@ -52,6 +52,8 @@ pub struct MigrationRecord {
     pub to: GpuId,
     /// Detailed timing.
     pub report: MigrationReport,
+    /// When the migration began (state transfer start).
+    pub begun_at: SimTime,
     /// When the migration completed.
     pub at: SimTime,
 }
@@ -75,6 +77,11 @@ pub struct ApiServerShared {
     /// Set by the fault injector: a killed server stops responding,
     /// heartbeating and serving — permanently.
     killed: AtomicBool,
+    /// True while a migration is mid-flight (state transfer + re-bind).
+    migrating: AtomicBool,
+    /// Migrations this server has *begun* (whether or not they committed);
+    /// indexes the fault plan's kill-on-migration schedule.
+    migrations_begun: AtomicU64,
     /// The pre-created cuDNN/cuBLAS handle-pool reservation (452 MB) on the
     /// home GPU, released when the autoscaler retires this server.
     pool_reservation: Mutex<Option<ReservationId>>,
@@ -98,6 +105,8 @@ impl ApiServerShared {
                 migration_request: None,
             }),
             killed: AtomicBool::new(false),
+            migrating: AtomicBool::new(false),
+            migrations_begun: AtomicU64::new(0),
             pool_reservation: Mutex::new(pool_reservation),
         }
     }
@@ -126,6 +135,19 @@ impl ApiServerShared {
     /// True if a migration request is pending (not yet executed).
     pub fn migration_pending(&self) -> bool {
         self.state.lock().migration_request.is_some()
+    }
+
+    /// True while the server is mid-migration (state transfer started, not
+    /// yet committed or aborted).
+    pub fn migration_in_flight(&self) -> bool {
+        self.migrating.load(Ordering::Relaxed)
+    }
+
+    /// GPUs this server holds a CUDA context on (home + lazily created
+    /// migration contexts). Used by the invariant checker to balance the
+    /// fleet's memory books after migrations.
+    pub fn context_gpus(&self) -> Vec<GpuId> {
+        self.state.lock().contexts.keys().copied().collect()
     }
 
     fn take_migration_request(&self) -> Option<GpuId> {
@@ -174,6 +196,9 @@ pub(crate) struct ApiServerArgs {
     pub migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     pub heartbeat_period: Dur,
     pub idle_timeout: Option<Dur>,
+    /// Control-plane bytes (context + handle-pool descriptors) moved over
+    /// the NIC per migration.
+    pub migration_state_bytes: u64,
 }
 
 /// Body of the API server process. Returns when the simulation shuts
@@ -249,6 +274,9 @@ pub(crate) fn run_api_server(p: &ProcCtx, a: ApiServerArgs) {
             }
             // Migration happens at API-call boundaries (§V-A).
             maybe_migrate(p, &a, &mut d);
+            if a.shared.is_killed() {
+                return; // killed mid-migration: the request dies with us
+            }
             let resp = match RpcInbox::decode(&env) {
                 Ok(req) => d.handle(p, req, env.repeat),
                 Err(e) => dgsf_remoting::wire::Response::Err {
@@ -306,7 +334,23 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
     let Some(target) = a.shared.take_migration_request() else {
         return;
     };
+    let skip = |reason: &str| {
+        let tel = p.telemetry();
+        if tel.is_enabled() {
+            tel.instant(
+                p.name(),
+                "migration-skipped",
+                p.now(),
+                &[
+                    ("server", a.shared.id.to_string()),
+                    ("to", target.0.to_string()),
+                    ("reason", reason.to_string()),
+                ],
+            );
+        }
+    };
     if target == a.shared.current_gpu() {
+        skip("same-target");
         return;
     }
     // Lazily create this server's context on the target GPU. The creation
@@ -321,25 +365,71 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
                     a.shared.insert_context(target, Arc::clone(&c));
                     c
                 }
-                Err(_) => return, // target can't even fit a context; skip
+                Err(_) => {
+                    skip("no-context"); // target can't even fit a context
+                    return;
+                }
             }
         }
     };
     let from = a.shared.current_gpu();
+
+    // ---- begin: the migration state machine is now mid-flight ----
+    let nth = a.shared.migrations_begun.fetch_add(1, Ordering::Relaxed);
+    a.shared.migrating.store(true, Ordering::Relaxed);
+    let begun_at = p.now();
+    let tel = p.telemetry();
+    let id_args = |extra: &[(&'static str, String)]| {
+        let mut args = vec![
+            ("server", a.shared.id.to_string()),
+            ("from", from.0.to_string()),
+            ("to", target.0.to_string()),
+        ];
+        args.extend(extra.iter().cloned());
+        args
+    };
+    if tel.is_enabled() {
+        tel.counter_add("migration.begins", 1);
+        tel.instant(p.name(), "migration-begin", begun_at, &id_args(&[]));
+    }
+
+    // Ship the control-plane state (context descriptor + handle-pool table)
+    // over the NIC; the bulk allocations move device-to-device inside
+    // `d.migrate`. The transfer is where chaos bites: it can be dropped or
+    // delayed, and the fault plan may kill this very server mid-flight.
+    let delivery = a.link.transfer_state(p, a.migration_state_bytes);
+    if a.link
+        .faults()
+        .is_some_and(|f| f.migration_kill_due(a.shared.id, nth))
+    {
+        a.shared.kill();
+    }
+    if a.shared.is_killed() {
+        // Died mid-migration: no commit, no abort event — the crash is
+        // silent and the monitor's lease check must discover it.
+        a.shared.migrating.store(false, Ordering::Relaxed);
+        return;
+    }
+    if delivery == Delivery::Dropped {
+        abort_migration(
+            p,
+            a,
+            &id_args(&[("reason", "state-transfer-dropped".to_string())]),
+        );
+        return;
+    }
+
     match d.migrate(p, &ctx) {
         Ok(report) => {
             a.shared.set_current(target);
+            a.shared.migrating.store(false, Ordering::Relaxed);
             let at = p.now();
-            let tel = p.telemetry();
             if tel.is_enabled() {
                 tel.counter_add("migrations", 1);
-                let mut args = vec![
-                    ("server", a.shared.id.to_string()),
-                    ("from", from.0.to_string()),
-                    ("to", target.0.to_string()),
+                let mut args = id_args(&[
                     ("bytes_moved", report.bytes_moved.to_string()),
                     ("allocs_moved", report.allocs_moved.to_string()),
-                ];
+                ]);
                 if let Some(t) = d.trace() {
                     args.push(("inv", t.id.to_string()));
                 }
@@ -350,6 +440,7 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
                 from,
                 to: target,
                 report,
+                begun_at,
                 at,
             });
             a.monitor_tx.send(
@@ -364,6 +455,16 @@ fn maybe_migrate(p: &ProcCtx, a: &ApiServerArgs, d: &mut Dispatcher) {
         Err(_) => {
             // Target ran out of memory between decision and execution; the
             // session stays where it was.
+            abort_migration(p, a, &id_args(&[("reason", "target-capacity".to_string())]));
         }
+    }
+}
+
+fn abort_migration(p: &ProcCtx, a: &ApiServerArgs, args: &[(&'static str, String)]) {
+    a.shared.migrating.store(false, Ordering::Relaxed);
+    let tel = p.telemetry();
+    if tel.is_enabled() {
+        tel.counter_add("migration.aborts", 1);
+        tel.instant(p.name(), "migration-aborted", p.now(), args);
     }
 }

@@ -31,6 +31,26 @@ pub struct GpuServerConfig {
     pub costs: CostTable,
     /// Minimum utilization imbalance window before migrating.
     pub migration_min_busy: Dur,
+    /// Cooldown between monitor-initiated migration requests, in monitor
+    /// ticks: damping so a borderline imbalance cannot thrash servers back
+    /// and forth between GPUs.
+    pub migration_cooldown_ticks: u32,
+    /// Upper bound on migrations in flight (requested or mid-transfer) at
+    /// once. The paper migrates one server at a time; raising this trades
+    /// rebalancing speed for transfer contention on the NIC.
+    pub max_concurrent_migrations: u32,
+    /// Attribution gate: only migrate off a GPU whose tail is
+    /// *execution*-caused. The monitor compares busy-execution time against
+    /// queue-wait time (per-mille of their sum, from the invocation records
+    /// and live queue) and skips migration below this share — a
+    /// queue-dominated tail means the fleet is saturated, and moving servers
+    /// around would churn without relieving anything.
+    pub migration_min_exec_share_permille: u64,
+    /// Control-plane bytes moved over the NIC per migration: the serialized
+    /// context descriptor plus handle-pool table. The bulk GPU allocations
+    /// move device-to-device inside the box (charged by the session's
+    /// migration report); only this metadata crosses the network.
+    pub migration_state_bytes: u64,
     /// Guest-side RPC timeout. `None` (the default) blocks forever, which
     /// is safe on a fault-free link; provisioning with faults fills in a
     /// default so chaos runs always terminate.
@@ -70,6 +90,10 @@ impl GpuServerConfig {
             net: NetProfile::datacenter(),
             costs: CostTable::default(),
             migration_min_busy: Dur::from_millis(600),
+            migration_cooldown_ticks: 15,
+            max_concurrent_migrations: 1,
+            migration_min_exec_share_permille: 500,
+            migration_state_bytes: 8 * 1024 * 1024,
             rpc_timeout: None,
             queue_timeout: None,
             idle_timeout: None,
@@ -107,6 +131,30 @@ impl GpuServerConfig {
     /// Builder-style: enable migration.
     pub fn with_migration(mut self, on: bool) -> Self {
         self.migration = on;
+        self
+    }
+
+    /// Builder-style: set the migration cooldown in monitor ticks.
+    pub fn with_migration_cooldown_ticks(mut self, ticks: u32) -> Self {
+        self.migration_cooldown_ticks = ticks;
+        self
+    }
+
+    /// Builder-style: bound concurrent migrations.
+    pub fn with_max_concurrent_migrations(mut self, n: u32) -> Self {
+        self.max_concurrent_migrations = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the exec-share attribution gate (per mille).
+    pub fn with_migration_exec_share(mut self, permille: u64) -> Self {
+        self.migration_min_exec_share_permille = permille.min(1000);
+        self
+    }
+
+    /// Builder-style: set the control-plane state-transfer size.
+    pub fn with_migration_state_bytes(mut self, bytes: u64) -> Self {
+        self.migration_state_bytes = bytes;
         self
     }
 

@@ -32,7 +32,7 @@ pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use config::GpuServerConfig;
 pub use monitor::InvocationRecord;
 pub use policy::{FleetPolicy, PlacementPolicy, QueuePolicy, ShedPolicy};
-pub use server::{AcquireError, GpuServer, ServerGauges};
+pub use server::{AcquireError, GpuServer, InvocationOutcome, ServerGauges};
 
 #[cfg(test)]
 mod tests {

@@ -220,10 +220,14 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     let mut next_server_id = servers.len() as u32;
     let mut scaler = a.cfg.autoscale.clone().map(Autoscaler::new);
     let mut queue: VecDeque<FnRequest> = VecDeque::new();
-    // Migration damping: never overlap migrations, and let the system
-    // settle before judging imbalance again.
-    let mut last_migration_request = SimTime::ZERO;
-    let migration_cooldown = Dur(a.cfg.monitor_period.as_nanos() * 15);
+    // Migration damping: bound concurrent migrations, and let the system
+    // settle before judging imbalance again. `None` = never requested.
+    let mut last_migration_request: Option<SimTime> = None;
+    let migration_cooldown = Dur(a
+        .cfg
+        .monitor_period
+        .as_nanos()
+        .saturating_mul(a.cfg.migration_cooldown_ticks as u64));
 
     let mut next_tick = p.now() + a.cfg.monitor_period;
     // Telemetry bookkeeping: only emit the queue-depth gauge on change, and
@@ -341,15 +345,17 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
                 // request must not strand placeable requests behind it
                 // until the next message arrives.
                 drain_queue(p, &a, &mut servers, &overhead, &mut queue);
-                let any_pending = servers.iter().any(|s| s.shared.migration_pending());
-                let cooled = p.now().since(last_migration_request) >= migration_cooldown
-                    || last_migration_request == SimTime::ZERO;
+                let in_flight = servers
+                    .iter()
+                    .filter(|s| s.shared.migration_pending() || s.shared.migration_in_flight())
+                    .count();
+                let cooled = migration_cooled(p.now(), last_migration_request, migration_cooldown);
                 if a.cfg.migration
-                    && !any_pending
+                    && in_flight < a.cfg.max_concurrent_migrations as usize
                     && cooled
-                    && migration_tick(p, &a, &servers, &overhead)
+                    && migration_tick(p, &a, &servers, &overhead, &queue)
                 {
-                    last_migration_request = p.now();
+                    last_migration_request = Some(p.now());
                 }
             }
             Err(RecvError::Shutdown) => return,
@@ -683,6 +689,7 @@ fn spawn_server(
         migration_log: Arc::clone(&a.migration_log),
         heartbeat_period: a.cfg.heartbeat_period,
         idle_timeout: a.cfg.idle_timeout,
+        migration_state_bytes: a.cfg.migration_state_bytes,
     };
     a.h.spawn(&format!("api-server-{id}"), move |pp| {
         run_api_server(pp, args)
@@ -759,14 +766,65 @@ fn retire_server(
     }
 }
 
+/// True when enough time has passed since the last migration request.
+///
+/// `None` means "never requested", which always counts as cooled. The old
+/// `SimTime::ZERO` sentinel conflated that with a genuine request at t=0,
+/// silently disabling the cooldown for the earliest possible migration —
+/// `Option` makes the two states unconfusable.
+fn migration_cooled(now: SimTime, last: Option<SimTime>, cooldown: Dur) -> bool {
+    match last {
+        None => true,
+        Some(t) => now.since(t) >= cooldown,
+    }
+}
+
+/// Execution share of the load signal on `gpu`, in integer per mille:
+/// accumulated busy-execution time of the functions currently running
+/// there versus accumulated queue-wait of everything still in the
+/// monitor's queue. This is the critical-path attribution split at tick
+/// granularity — a high share means the tail is *exec*-caused (co-located
+/// functions slowing each other down), which migration can fix; a low
+/// share means the fleet is queue-saturated and moving servers around
+/// would only churn. An empty system scores 1000 (nothing contradicts
+/// migrating).
+fn exec_share_permille(
+    now: SimTime,
+    a: &MonCtx,
+    servers: &[SrvBook],
+    queue: &VecDeque<FnRequest>,
+    gpu: GpuId,
+) -> u64 {
+    let recs = a.records.lock();
+    let exec_ns: u64 = servers
+        .iter()
+        .filter(|s| s.shared.current_gpu() == gpu)
+        .filter_map(|s| s.busy.as_ref())
+        .filter_map(|b| recs.get(&b.invocation))
+        .filter_map(|r| r.assigned_at)
+        .map(|at| now.since(at).as_nanos())
+        .sum();
+    let queue_ns: u64 = queue
+        .iter()
+        .filter(|r| !r.cancelled.load(Ordering::Relaxed))
+        .map(|r| now.since(r.requested_at).as_nanos())
+        .sum();
+    let total = exec_ns as u128 + queue_ns as u128;
+    if total == 0 {
+        return 1000;
+    }
+    ((exec_ns as u128 * 1000) / total) as u64
+}
+
 /// Detect load imbalance and request a migration: a GPU running ≥2 busy API
 /// servers at high utilization while another GPU is idle (the §VIII-E
-/// scenario).
+/// scenario), provided the tail there is execution-attributed.
 fn migration_tick(
     p: &ProcCtx,
     a: &MonCtx,
     servers: &[SrvBook],
     overhead: &HashMap<GpuId, u64>,
+    queue: &VecDeque<FnRequest>,
 ) -> bool {
     let now = p.now();
     let window = Dur(a.cfg.monitor_period.as_nanos() * 3);
@@ -792,6 +850,11 @@ fn migration_tick(
         let util = busy / window.as_secs_f64().max(1e-9);
         if util < 0.8 {
             continue; // contended in count but not in compute
+        }
+        if exec_share_permille(now, a, servers, queue, GpuId(g as u32))
+            < a.cfg.migration_min_exec_share_permille
+        {
+            continue; // tail is queue-caused; migration would not relieve it
         }
         // Move the smallest-footprint migratable function.
         let target = GpuId(idle_gpu as u32);
@@ -819,4 +882,27 @@ fn migration_tick(
         }
     }
     false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooldown_distinguishes_never_from_a_request_at_t0() {
+        let t = |ms: u64| SimTime::ZERO + Dur::from_millis(ms);
+        let cooldown = Dur::from_secs(3);
+        // Never requested: always cooled, even at t=0.
+        assert!(migration_cooled(SimTime::ZERO, None, cooldown));
+        assert!(migration_cooled(t(1), None, cooldown));
+        // A genuine request at t=0 must hold the cooldown. The old
+        // `SimTime::ZERO` sentinel returned true here, letting a second
+        // migration fire immediately after one at the epoch.
+        assert!(!migration_cooled(t(100), Some(SimTime::ZERO), cooldown));
+        assert!(!migration_cooled(t(2999), Some(SimTime::ZERO), cooldown));
+        assert!(migration_cooled(t(3000), Some(SimTime::ZERO), cooldown));
+        // And the ordinary case away from the epoch.
+        assert!(!migration_cooled(t(5000), Some(t(4000)), cooldown));
+        assert!(migration_cooled(t(7000), Some(t(4000)), cooldown));
+    }
 }

@@ -51,6 +51,18 @@ impl std::fmt::Display for AcquireError {
 
 impl std::error::Error for AcquireError {}
 
+/// Server-side terminal state of one invocation, for the retry layer's
+/// exactly-once probe (see [`GpuServer::invocation_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationOutcome {
+    /// Neither completed nor failed yet.
+    InFlight,
+    /// The server recorded `FunctionDone` — the work happened exactly once.
+    Completed,
+    /// The server recorded a failure (queue timeout, lease expiry, abort).
+    Failed,
+}
+
 /// One gauge snapshot of a GPU server, exported by the monitor's
 /// bookkeeping for the cluster balancer (and any other external observer).
 /// All counts are the monitor's view — a killed-but-undetected API server
@@ -71,6 +83,10 @@ pub struct ServerGauges {
     pub used_mem_bytes: u64,
     /// Total GPU memory across all GPUs.
     pub total_mem_bytes: u64,
+    /// API servers mid-migration (requested or state transfer in flight).
+    /// A migrating server is briefly stalled, so the balancer steers new
+    /// work away from the box until the move commits.
+    pub migrations_in_flight: usize,
 }
 
 impl ServerGauges {
@@ -138,7 +154,7 @@ impl GpuServer {
         let faults = cfg
             .faults
             .as_ref()
-            .filter(|plan| plan.has_link_faults())
+            .filter(|plan| plan.has_link_faults() || plan.has_migration_faults())
             .map(LinkFaults::new);
         let link = NetLink::with_faults(h, cfg.net.clone(), faults.clone());
         let (monitor_tx, monitor_rx) = h.channel::<MonitorMsg>();
@@ -172,6 +188,7 @@ impl GpuServer {
                 migration_log: Arc::clone(&migration_log),
                 heartbeat_period: cfg.heartbeat_period,
                 idle_timeout: cfg.idle_timeout,
+                migration_state_bytes: cfg.migration_state_bytes,
             };
             h.spawn(&format!("api-server-{id}"), move |pp| {
                 run_api_server(pp, args)
@@ -349,6 +366,23 @@ impl GpuServer {
         }
     }
 
+    /// Terminal state of an invocation as the *server* recorded it. The
+    /// retry layer probes this before re-running a function whose reply
+    /// never arrived: [`InvocationOutcome::Completed`] means the work was
+    /// done and only the response was lost — re-running it would execute
+    /// the function twice.
+    pub fn invocation_outcome(&self, invocation: u64) -> Option<InvocationOutcome> {
+        self.records.lock().get(&invocation).map(|r| {
+            if r.done_at.is_some() {
+                InvocationOutcome::Completed
+            } else if r.failed_at.is_some() {
+                InvocationOutcome::Failed
+            } else {
+                InvocationOutcome::InFlight
+            }
+        })
+    }
+
     /// Fault counters of the link's chaos layer, if one is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.faults.as_ref().map(|f| f.stats())
@@ -433,7 +467,39 @@ impl GpuServer {
             queued_functions: self.queued_functions(),
             used_mem_bytes: used,
             total_mem_bytes: total,
+            migrations_in_flight: self.migrations_in_flight(),
         }
+    }
+
+    /// API servers with a migration requested or mid-transfer.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.servers
+            .lock()
+            .iter()
+            .filter(|s| s.migration_pending() || s.migration_in_flight())
+            .count()
+    }
+
+    /// Expected quiescent memory footprint on `gpu`: every home server's
+    /// idle footprint (context + handle pools) plus one context per lazily
+    /// created migration context parked there. The invariant checker
+    /// compares this against the GPU's real reservations after a run
+    /// settles — any difference means a migration leaked or double-charged
+    /// memory.
+    pub fn expected_idle_mem(&self, gpu: GpuId) -> u64 {
+        let servers = self.servers.lock();
+        let mut total = 0u64;
+        for s in servers.iter() {
+            if s.home_gpu == gpu {
+                total += self.costs.idle_worker_mem();
+            }
+            for g in s.context_gpus() {
+                if g == gpu && g != s.home_gpu {
+                    total += self.costs.cuda_ctx_mem;
+                }
+            }
+        }
+        total
     }
 
     /// Snapshot of all invocation records.

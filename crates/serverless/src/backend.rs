@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
-use dgsf_server::{GpuServer, ShedPolicy};
+use dgsf_server::{GpuServer, InvocationOutcome, ShedPolicy};
 use dgsf_sim::{Dur, ProcCtx, TraceCtx};
 use parking_lot::Mutex;
 
@@ -367,6 +367,58 @@ impl Backend {
                     return r;
                 }
                 Err(f) => {
+                    // Exactly-once fence: from here a lost *reply* is
+                    // indistinguishable from a lost request. If the server's
+                    // own record says the invocation completed, the work
+                    // happened and only the response died on the wire —
+                    // re-running it would execute the function twice, so
+                    // recover the completion instead of retrying.
+                    if f.class == FailureClass::Transient {
+                        if let Some(inv) = f.invocation {
+                            if self.servers[idx].invocation_outcome(inv)
+                                == Some(InvocationOutcome::Completed)
+                            {
+                                tel.counter_add("backend.recovered_replies", 1);
+                                if tel.is_enabled() {
+                                    tel.instant(
+                                        p.name(),
+                                        "reply-recovered",
+                                        p.now(),
+                                        &[
+                                            ("workload", w.name().to_string()),
+                                            ("invocation", inv.to_string()),
+                                            ("inv", trace.id.to_string()),
+                                        ],
+                                    );
+                                }
+                                record_request_span(
+                                    p,
+                                    &trace,
+                                    w.name(),
+                                    launched_at,
+                                    p.now(),
+                                    "completed",
+                                    attempt,
+                                );
+                                return FunctionResult {
+                                    name: w.name().to_string(),
+                                    tenant: w.tenant().to_string(),
+                                    mode: "dgsf".into(),
+                                    launched_at,
+                                    finished_at: p.now(),
+                                    phases: *f.phases,
+                                    // The reply carried the stats; they died
+                                    // with it.
+                                    api_stats: dgsf_cuda::ApiStats::default(),
+                                    invocation: Some(inv),
+                                    attempts: attempt,
+                                    failure: None,
+                                    shed: false,
+                                    trace: Some(trace.id),
+                                };
+                            }
+                        }
+                    }
                     // Overloaded is deliberately not retried: piling
                     // retries onto a saturated platform makes it worse.
                     if f.class == FailureClass::Transient && attempt < self.retry.max_attempts {

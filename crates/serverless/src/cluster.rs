@@ -23,9 +23,16 @@ use dgsf_server::{FleetPolicy, GpuServer, ServerGauges};
 /// equally loaded servers.
 const LOAD_WEIGHT: u64 = 1000;
 
+/// Penalty per in-flight migration in the load-aware score: a migrating
+/// server is briefly stalled at an API-call boundary (quiesce + state
+/// transfer), so new work placed there eats that stall. Half a per-slot
+/// function's weight steers traffic away without blacklisting the box.
+const MIGRATION_WEIGHT: u64 = 500 * LOAD_WEIGHT;
+
 /// Load-aware score of one server: lower is better. Combines queue depth
 /// and active functions (normalized by live capacity, so a big server
-/// absorbs more before looking loaded) with memory pressure in permille.
+/// absorbs more before looking loaded) with memory pressure in permille,
+/// plus a transient penalty while migrations are in flight.
 fn load_score(g: &ServerGauges) -> u64 {
     let live = g.live_api_servers().max(1) as u64;
     let load = g.active_functions as u64 + g.queued_functions as u64;
@@ -35,6 +42,7 @@ fn load_score(g: &ServerGauges) -> u64 {
     per_slot_milli
         .saturating_mul(LOAD_WEIGHT)
         .saturating_add(g.mem_used_permille())
+        .saturating_add((g.migrations_in_flight as u64).saturating_mul(MIGRATION_WEIGHT))
 }
 
 /// Choose a fleet index under `policy` from gauge `snaps`.
@@ -134,6 +142,7 @@ mod tests {
             queued_functions: queued,
             used_mem_bytes: 0,
             total_mem_bytes: 16 << 30,
+            migrations_in_flight: 0,
         }
     }
 
@@ -174,6 +183,28 @@ mod tests {
         );
         let lone = vec![gauges(1, 0, 0, 0), gauges(0, 1, 0, 0)];
         assert_eq!(select(FleetPolicy::LeastLoaded, &lone, 0, Some(0)), Some(0));
+    }
+
+    #[test]
+    fn load_aware_steers_around_in_flight_migrations() {
+        // Equal load and memory, but server 0 is mid-migration: the
+        // balancer routes to server 1 until the move commits.
+        let mut migrating = gauges(2, 0, 1, 0);
+        migrating.migrations_in_flight = 1;
+        let calm = gauges(2, 0, 1, 0);
+        assert_eq!(
+            select(FleetPolicy::LoadAware, &[migrating, calm], 0, None),
+            Some(1)
+        );
+        // The penalty is transient and bounded: a migrating-but-idle server
+        // still beats a heavily queued one.
+        let mut migrating_idle = gauges(2, 0, 0, 0);
+        migrating_idle.migrations_in_flight = 1;
+        let queued = gauges(2, 0, 2, 2);
+        assert_eq!(
+            select(FleetPolicy::LoadAware, &[migrating_idle, queued], 0, None),
+            Some(0)
+        );
     }
 
     #[test]

@@ -18,16 +18,25 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 fn gauges_strategy() -> impl Strategy<Value = ServerGauges> {
-    (0usize..5, 0usize..5, 0usize..12, 0usize..12, 0u64..32).prop_map(
-        |(live, failed, active, queued, mem_gb)| ServerGauges {
-            pool_size: live + failed,
-            failed_api_servers: failed,
-            active_functions: active,
-            queued_functions: queued,
-            used_mem_bytes: mem_gb * GB,
-            total_mem_bytes: 16 * GB,
-        },
+    (
+        0usize..5,
+        0usize..5,
+        0usize..12,
+        0usize..12,
+        0u64..32,
+        0usize..3,
     )
+        .prop_map(
+            |(live, failed, active, queued, mem_gb, migrations)| ServerGauges {
+                pool_size: live + failed,
+                failed_api_servers: failed,
+                active_functions: active,
+                queued_functions: queued,
+                used_mem_bytes: mem_gb * GB,
+                total_mem_bytes: 16 * GB,
+                migrations_in_flight: migrations,
+            },
+        )
 }
 
 fn policy_strategy() -> impl Strategy<Value = FleetPolicy> {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod invariants;
 mod kernel;
 mod resource;
 pub mod rng;
@@ -49,6 +50,9 @@ mod time;
 pub mod trace;
 
 pub use channel::{RecvError, SimReceiver, SimSender};
+pub use invariants::{
+    InvariantReport, InvocationFacts, MigrationFacts, RequestFacts, RequestOutcome, Violation,
+};
 pub use kernel::{ProcCtx, ProcId, ShutdownSignal, Sim, SimHandle};
 pub use resource::{FifoResource, GpsResource, Timeline};
 pub use stats::{moving_average, percentile_sorted, Summary};

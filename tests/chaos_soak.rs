@@ -1,0 +1,297 @@
+//! Chaos soak for fleet-wide live migration: many seeds, every fault
+//! class at once — server kills, lossy RPC links, dropped/delayed
+//! migration state transfers, and a kill wired to land mid-transfer —
+//! with the exactly-once oracle run over every seed's full history.
+//!
+//! The promises under soak:
+//! * every admitted invocation is executed exactly once or failed/shed
+//!   exactly once — never lost, never double-run;
+//! * the migration log and the telemetry stream agree instant-for-instant;
+//! * the same seed replays the whole chaotic timeline byte-for-byte.
+
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaApi, CudaResult, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
+use dgsf::gpu::GpuId;
+use dgsf::invariants::migration_facts;
+use dgsf::prelude::*;
+use dgsf::remoting::FaultPlan;
+use dgsf::server::{GpuServer, MigrationRecord};
+use dgsf::serverless::{Backend, ObjectStore, ServerPolicy};
+use dgsf::sim::invariants::check_migration_telemetry;
+use parking_lot::Mutex;
+
+const GB: u64 = 1 << 30;
+
+/// A function of many short kernels with a sync after each — every sync is
+/// an API boundary where a migration request can land.
+struct Chunked {
+    chunks: usize,
+}
+
+impl Workload for Chunked {
+    fn name(&self) -> &str {
+        "chunked"
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        2 * GB
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        for _ in 0..self.chunks {
+            api.launch_kernel(
+                p,
+                "k",
+                LaunchConfig::linear(1, 32),
+                KernelArgs::timed(0.25, 0),
+            )?;
+            api.device_synchronize(p)?;
+        }
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        30.0
+    }
+}
+
+fn t_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + Dur::from_millis(ms)
+}
+
+/// The full chaos menu for one seed: a timed API-server kill, a lossy
+/// link, migration transfers that drop or stall, and the second server's
+/// first migration killed on the wire.
+fn soak_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .kill_server(0, t_ms(2_500))
+        .drop_probability(0.02)
+        .delay_probability(0.05, Dur::from_millis(5))
+        .migration_drop_probability(0.35)
+        .migration_delay_probability(0.2, Dur::from_millis(20))
+        .kill_on_migration(1, 0)
+}
+
+/// Migration-enabled fleet under chaos: 2 members × 2 shared GPUs with
+/// best-fit packing (the imbalance the monitor exists to fix), both
+/// members running the same fault plan.
+fn soak_cfg(seed: u64, faults: Option<FaultPlan>) -> BackendRunConfig {
+    let mut server = GpuServerConfig::paper_default()
+        .gpus(2)
+        .sharing(2)
+        .with_policy(PlacementPolicy::BestFit)
+        .with_migration(true)
+        .with_migration_cooldown_ticks(4)
+        .with_rpc_timeout(Dur::from_secs(2))
+        .with_queue_timeout(Dur::from_secs(10))
+        .with_idle_timeout(Dur::from_secs(5));
+    if let Some(plan) = faults {
+        server = server.with_faults(plan);
+    }
+    BackendRunConfig {
+        seed,
+        server,
+        num_servers: 2,
+        policy: ServerPolicy::RoundRobin,
+        retry: RetryPolicy::default(),
+        admission: None,
+        opts: OptConfig::full(),
+    }
+}
+
+/// Two near-simultaneous pairs (best-fit strands each pair on one GPU)
+/// plus a staggered tail that keeps the fleet busy while kills and
+/// retries play out.
+fn soak_schedule() -> Schedule {
+    let mut entries: Vec<(SimTime, usize)> = (0..4).map(|i| (t_ms(200 + i), 0)).collect();
+    entries.extend((0..4).map(|i| (t_ms(1_500 + 1_100 * i), 0)));
+    entries.sort();
+    Schedule { entries }
+}
+
+fn run_soak(seed: u64, faults: Option<FaultPlan>) -> (BackendRunOutput, Arc<dgsf::sim::Telemetry>) {
+    let suite: Vec<Arc<dyn Workload>> = vec![Arc::new(Chunked { chunks: 10 })];
+    Testbed::run_backend_schedule_traced(&soak_cfg(seed, faults), &suite, &soak_schedule())
+}
+
+/// Comparable digest of everything a soak run produced.
+fn digest(out: &BackendRunOutput) -> Vec<u64> {
+    let mut d = Vec::new();
+    for r in &out.results {
+        d.push(r.launched_at.as_nanos());
+        d.push(r.finished_at.as_nanos());
+        d.push(u64::from(r.attempts));
+        d.push(u64::from(r.failure.is_some()));
+        d.push(r.invocation.unwrap_or(u64::MAX));
+    }
+    for recs in &out.records {
+        for r in recs {
+            d.push(r.invocation);
+            d.push(r.requested_at.as_nanos());
+            d.push(r.assigned_at.map(|x| x.as_nanos()).unwrap_or(u64::MAX));
+            d.push(r.done_at.map(|x| x.as_nanos()).unwrap_or(u64::MAX));
+            d.push(r.failed_at.map(|x| x.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    for migs in &out.migrations {
+        for m in migs {
+            d.push(u64::from(m.server));
+            d.push(u64::from(m.from.0));
+            d.push(u64::from(m.to.0));
+            d.push(m.begun_at.as_nanos());
+            d.push(m.at.as_nanos());
+        }
+    }
+    d
+}
+
+#[test]
+fn chaos_soak_holds_exactly_once_across_twenty_seeds() {
+    let mut total_migrations = 0usize;
+    let mut total_begins = 0u64;
+    let mut total_aborts = 0u64;
+    let mut seeds_with_failures = 0usize;
+    for seed in 0..20u64 {
+        let (out, tel) = run_soak(seed, Some(soak_plan(seed)));
+        assert_eq!(
+            out.results.len(),
+            soak_schedule().entries.len(),
+            "seed {seed}: every launch must produce an outcome"
+        );
+        // The exactly-once oracle over the complete run history.
+        let report = dgsf::check_backend_run(&out);
+        assert!(report.ok(), "seed {seed}: {:#?}", report.violations);
+        // The migration log and the telemetry stream must agree. Begins
+        // without a completion or an abort are only allowed for servers
+        // the plan killed mid-flight (2 timed kills + 2 wired to the
+        // transfer, across the two fleet members).
+        let facts: Vec<_> = out
+            .migrations
+            .iter()
+            .flat_map(|m| migration_facts(m))
+            .collect();
+        check_migration_telemetry(&facts, &tel.instants(), 4).assert_ok();
+        total_migrations += facts.len();
+        total_begins += tel.counter("migration.begins");
+        total_aborts += tel.counter("migration.aborts");
+        if out.results.iter().any(|r| r.failure.is_some()) {
+            seeds_with_failures += 1;
+        }
+    }
+    // The soak must actually exercise the machinery it certifies.
+    assert!(
+        total_migrations >= 5,
+        "migrations must commit under chaos (got {total_migrations})"
+    );
+    assert!(
+        total_aborts >= 1,
+        "a 35% transfer-drop rate must abort some migrations"
+    );
+    assert!(
+        total_begins >= total_migrations as u64 + total_aborts,
+        "begins ({total_begins}) must account for commits ({total_migrations}) and aborts ({total_aborts})"
+    );
+    assert!(
+        seeds_with_failures >= 1,
+        "the kills must surface caller-visible failures somewhere in the soak"
+    );
+}
+
+#[test]
+fn chaos_soak_replays_byte_identically() {
+    let (a, tel_a) = run_soak(7, Some(soak_plan(7)));
+    let (b, tel_b) = run_soak(7, Some(soak_plan(7)));
+    assert_eq!(digest(&a), digest(&b), "same seed must replay exactly");
+    assert_eq!(
+        tel_a.export(),
+        tel_b.export(),
+        "telemetry must replay byte-for-byte under chaos"
+    );
+}
+
+/// Fault-free counterpart: with migration on and no chaos, the log and
+/// telemetry match with zero slack, every migration's timing is an exact
+/// integer span, and GPU memory accounting balances exactly once the
+/// fleet is quiescent.
+#[test]
+fn migration_log_matches_telemetry_exactly_on_the_happy_path() {
+    let mut sim = Sim::new(5);
+    let tel = sim.telemetry();
+    tel.enable();
+    let h = sim.handle();
+    type Snapshot = (Vec<MigrationRecord>, dgsf::sim::InvariantReport);
+    let out: Arc<Mutex<Option<Snapshot>>> = Arc::new(Mutex::new(None));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let cfg = GpuServerConfig::paper_default()
+            .gpus(2)
+            .sharing(2)
+            .with_policy(PlacementPolicy::BestFit)
+            .with_migration(true);
+        let server = GpuServer::provision(p, &h2, cfg);
+        let backend = Arc::new(Backend::new(
+            vec![Arc::clone(&server)],
+            ServerPolicy::RoundRobin,
+        ));
+        let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+        let done = Arc::new(Mutex::new(0usize));
+        // A best-fit-stranded pair: both land on GPU 0, the monitor moves
+        // one to the idle GPU 1.
+        for i in 0..2 {
+            let backend = Arc::clone(&backend);
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            h2.spawn_at(&format!("fn-{i}"), t_ms(i), move |p| {
+                let r = backend.invoke(p, &store, &Chunked { chunks: 12 }, OptConfig::full());
+                assert!(r.succeeded(), "happy path must complete: {:?}", r.failure);
+                *done.lock() += 1;
+            });
+        }
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            while *done.lock() < 2 {
+                p.sleep(Dur::from_millis(500));
+            }
+            // Quiescent: sessions released, monitor idle. Memory must
+            // balance exactly (strict) — nothing leaks on the happy path.
+            let mem = dgsf::check_memory_balance(&server, true);
+            *o3.lock() = Some((server.migrations(), mem));
+        });
+    });
+    sim.run();
+    let (migrations, mem_report) = out.lock().take().expect("collector ran");
+    mem_report.assert_ok();
+    assert!(
+        !migrations.is_empty(),
+        "the stranded pair must trigger at least one migration"
+    );
+    let facts = migration_facts(&migrations);
+    // Zero slack: every begin has its commit, instants match the log to
+    // the nanosecond.
+    check_migration_telemetry(&facts, &tel.instants(), 0).assert_ok();
+    for m in &migrations {
+        let span = m.at.since(m.begun_at);
+        // The state transfer alone costs 60 µs of RPC latency plus
+        // 8 MiB over a 1.25 GB/s NIC ≈ 6.7 ms; the device-side move adds
+        // more. An exact integer span below that floor means the record
+        // and the clock disagree.
+        assert!(
+            span >= Dur::from_micros(6_400),
+            "migration span {span:?} is below the state-transfer floor"
+        );
+        assert_eq!(m.from, GpuId(0), "the pair was packed on GPU 0");
+        assert_eq!(m.to, GpuId(1), "the idle GPU is the only target");
+    }
+}

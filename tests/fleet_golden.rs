@@ -56,6 +56,31 @@ fn load_aware_routing_beats_round_robin_p99_at_saturation() {
 }
 
 #[test]
+fn migration_on_beats_migration_off_on_p99_at_equal_hardware() {
+    let f = fleet::fleet(42, true);
+    let off = f.migration.iter().find(|m| m.migration == "off").unwrap();
+    let on = f.migration.iter().find(|m| m.migration == "on").unwrap();
+    assert_eq!(off.migrations, 0, "the off arm must not move anything");
+    assert!(
+        on.migrations >= 1,
+        "the monitor must migrate under the skewed mix"
+    );
+    assert_eq!(on.completed, off.completed, "same demand, equal hardware");
+    assert!(
+        on.batch_p99_e2e_us < off.batch_p99_e2e_us,
+        "batch p99 must improve with migration: on {}us vs off {}us",
+        on.batch_p99_e2e_us,
+        off.batch_p99_e2e_us,
+    );
+    assert!(
+        on.p99_e2e_us < off.p99_e2e_us,
+        "overall p99 must improve with migration: on {}us vs off {}us",
+        on.p99_e2e_us,
+        off.p99_e2e_us,
+    );
+}
+
+#[test]
 fn weighted_fair_shedding_raises_jain_index_over_fifo() {
     let f = fleet::fleet(42, true);
     for routing in ["round_robin", "load_aware"] {
