@@ -9,6 +9,12 @@
 //! alone. Per point it records per-tenant goodput, completion ratios and
 //! Jain's fairness index over the tenants' weight-normalized goodput.
 //!
+//! Two fixed-hardware comparisons ride along: migration off/on under a
+//! stranded batch-pair mix, and the MQFQ-Sticky queueing arms — FCFS vs
+//! per-tenant virtual-time fair queueing (with and without bounded sticky
+//! placement) on a skewed two-tenant backlog, scored by Jain's index over
+//! served-by-horizon occupancy and the light tenant's queue-delay tail.
+//!
 //! Everything in `BENCH_fleet.json` is an integer derived from virtual
 //! time, so the file is **byte-identical per seed** across runs and
 //! machines — CI diffs it against a committed golden.
@@ -190,6 +196,43 @@ pub struct MigrationArm {
     pub interactive_p99_e2e_us: u64,
 }
 
+/// Per-tenant slice of one queueing arm. All integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueTenant {
+    /// Functions completed over the whole run.
+    pub completed: u64,
+    /// Milliseconds of API-server occupancy served to this tenant by the
+    /// horizon (first launch + arrival window). With both tenants
+    /// backlogged past their fair share, this is the quantity the queue
+    /// discipline divides.
+    pub served_by_horizon_ms: u64,
+    /// Median monitor-queue delay (microseconds, nearest-rank).
+    pub p50_queue_delay_us: u64,
+    /// 99th-percentile monitor-queue delay (microseconds).
+    pub p99_queue_delay_us: u64,
+    /// Fleet members that ran at least one of this tenant's invocations —
+    /// the tenant's placement spread (sticky placement shrinks it).
+    pub servers_touched: u64,
+}
+
+/// One arm of the MQFQ-vs-FCFS queueing comparison. All integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueArm {
+    /// `"fcfs"`, `"mqfq"` or `"mqfq_sticky"`.
+    pub arm: &'static str,
+    /// Functions completed across both tenants (equal demand is served in
+    /// every arm — the disciplines reorder service, they do not shed).
+    pub completed: u64,
+    /// Jain's index over the two tenants' served-by-horizon occupancy, in
+    /// permille. FCFS serves in proportion to offered load; MQFQ splits
+    /// the backlogged horizon by weight.
+    pub jain_served_permille: u64,
+    /// The heavy tenant's slice (few long functions, most of the demand).
+    pub heavy: QueueTenant,
+    /// The light tenant's slice (many short functions).
+    pub light: QueueTenant,
+}
+
 /// One (routing, shedding) policy combination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetVariant {
@@ -217,6 +260,9 @@ pub struct FleetOutput {
     /// Migration off/on under the skewed batch-vs-interactive mix, at
     /// equal hardware.
     pub migration: Vec<MigrationArm>,
+    /// FCFS vs MQFQ vs MQFQ-Sticky on the skewed two-tenant queueing mix,
+    /// at equal hardware and equal demand.
+    pub queueing: Vec<QueueArm>,
 }
 
 /// The fleet under test: 4 single-GPU servers behind the cluster
@@ -251,21 +297,9 @@ fn percentile_sorted(sorted: &[u64], q_permille: u64) -> u64 {
     sorted[(rank - 1) as usize]
 }
 
-/// Jain's fairness index over `xs`, in permille: `(Σx)² / (n·Σx²)`.
-/// 1000 means every tenant gets the same value; 1000/n means one tenant
-/// gets everything. All-zero input is vacuously fair.
-pub fn jain_permille(xs: &[u64]) -> u64 {
-    let n = xs.len() as u128;
-    if n == 0 {
-        return 1000;
-    }
-    let s: u128 = xs.iter().map(|&x| x as u128).sum();
-    let s2: u128 = xs.iter().map(|&x| (x as u128) * (x as u128)).sum();
-    if s2 == 0 {
-        return 1000;
-    }
-    ((s * s * 1000) / (n * s2)) as u64
-}
+// Jain's index moved to the sim crate's stats module (the telemetry layer
+// wants it too); re-exported here so `fleet::jain_permille` keeps working.
+pub use dgsf::sim::stats::jain_permille;
 
 /// Tenant slice of a run's results.
 fn tenant_point(results: &[&dgsf::serverless::FunctionResult], window_ns: u64) -> TenantPoint {
@@ -482,6 +516,145 @@ fn migration_arm(base_seed: u64, window_secs: u64, on: bool) -> MigrationArm {
     }
 }
 
+/// GPU seconds per heavy-tenant invocation in the queueing comparison.
+const HEAVY_SECS: f64 = 0.8;
+/// GPU seconds per light-tenant invocation — 4× shorter, so under FCFS
+/// each one queues behind a convoy of heavy functions.
+const LIGHT_SECS: f64 = 0.2;
+/// Heavy tenant's offered rate (milli-requests/second): 8 GPU-seconds of
+/// work per second against a 2-GPU fleet — far past its half share.
+const HEAVY_RPS_MILLI: u64 = 10_000;
+/// Light tenant's offered rate (milli-requests/second): 3 GPU-seconds of
+/// work per second — also past its half share, so *both* tenants stay
+/// backlogged over the horizon and the queue discipline alone decides the
+/// split.
+const LIGHT_RPS_MILLI: u64 = 15_000;
+
+/// The queueing comparison's fleet: 2 single-GPU servers with 2-way
+/// sharing and no admission cap, so nothing is shed and every arm serves
+/// the identical demand — only the order differs.
+fn queueing_config(seed: u64, policy: FleetPolicy, mqfq: bool, sticky: bool) -> PlatformConfig {
+    let mut cfg = PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(GpuServerConfig::paper_default().gpus(1).sharing(2))
+        .with_num_servers(2)
+        .with_fleet_policy(policy);
+    if mqfq {
+        cfg = cfg.with_mqfq(
+            MqfqConfig::new()
+                .with_weight("heavy", 1)
+                .with_weight("light", 1),
+        );
+    }
+    if sticky {
+        cfg = cfg.with_sticky(StickyConfig::new().with_max_share(500));
+    }
+    cfg
+}
+
+/// Run one arm of the queueing comparison. Every arm at the same seed
+/// replays the identical two-tenant Poisson schedule.
+fn queueing_arm(
+    base_seed: u64,
+    window_secs: u64,
+    arm: &'static str,
+    policy: FleetPolicy,
+    mqfq: bool,
+    sticky: bool,
+) -> QueueArm {
+    let seed = base_seed.wrapping_add(0x0FA1_2C55);
+    let suite: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(Tenanted::new(
+            "heavy",
+            Spin {
+                name: "heavy-spin",
+                secs: HEAVY_SECS,
+                mem: 2 * GB,
+            },
+        )),
+        Arc::new(Tenanted::new(
+            "light",
+            Spin {
+                name: "light-spin",
+                secs: LIGHT_SECS,
+                mem: GB,
+            },
+        )),
+    ];
+    let schedule = dgsf::serverless::Schedule::merged(
+        seed,
+        &[
+            (
+                0,
+                (HEAVY_RPS_MILLI * window_secs / 1000) as usize,
+                ArrivalPattern::Exponential {
+                    mean: Dur(1_000_000_000_000 / HEAVY_RPS_MILLI),
+                },
+            ),
+            (
+                1,
+                (LIGHT_RPS_MILLI * window_secs / 1000) as usize,
+                ArrivalPattern::Exponential {
+                    mean: Dur(1_000_000_000_000 / LIGHT_RPS_MILLI),
+                },
+            ),
+        ],
+    );
+    let cfg = queueing_config(seed, policy, mqfq, sticky);
+    let out = Testbed::run_platform_schedule(&cfg, &suite, &schedule);
+    dgsf::check_backend_run(&out).assert_ok();
+    // The fairness horizon: the arrival window after the first launch.
+    // Past it the backlog drains tenant by tenant, which would launder an
+    // unfair discipline's split back toward the demand ratio.
+    let horizon = out.first_launch + Dur::from_secs(window_secs);
+    let slice_of = |tenant: &str| -> QueueTenant {
+        let mut delays_us: Vec<u64> = Vec::new();
+        let mut served_ns: u64 = 0;
+        let mut servers_touched: u64 = 0;
+        for server_records in &out.records {
+            let mut touched = false;
+            for r in server_records.iter().filter(|r| r.tenant == tenant) {
+                touched = true;
+                if let Some(d) = r.queue_delay() {
+                    delays_us.push(d.as_nanos() / 1_000);
+                }
+                if let (Some(assigned), Some(done)) = (r.assigned_at, r.done_at) {
+                    if done <= horizon {
+                        served_ns += done.since(assigned).as_nanos();
+                    }
+                }
+            }
+            if touched {
+                servers_touched += 1;
+            }
+        }
+        delays_us.sort_unstable();
+        QueueTenant {
+            completed: out
+                .results
+                .iter()
+                .filter(|r| r.tenant == tenant && r.succeeded())
+                .count() as u64,
+            served_by_horizon_ms: served_ns / 1_000_000,
+            p50_queue_delay_us: percentile_sorted(&delays_us, 500),
+            p99_queue_delay_us: percentile_sorted(&delays_us, 990),
+            servers_touched,
+        }
+    };
+    let heavy = slice_of("heavy");
+    let light = slice_of("light");
+    QueueArm {
+        arm,
+        completed: heavy.completed + light.completed,
+        jain_served_permille: jain_permille(&[
+            heavy.served_by_horizon_ms,
+            light.served_by_horizon_ms,
+        ]),
+        heavy,
+        light,
+    }
+}
+
 /// The four policy combinations of the sweep.
 const VARIANTS: &[(FleetPolicy, bool)] = &[
     (FleetPolicy::RoundRobin, false),
@@ -517,6 +690,28 @@ pub fn fleet(seed: u64, quick: bool) -> FleetOutput {
             migration_arm(seed, mig_window, false),
             migration_arm(seed, mig_window, true),
         ],
+        queueing: {
+            let q_window = if quick { 4 } else { 8 };
+            vec![
+                queueing_arm(
+                    seed,
+                    q_window,
+                    "fcfs",
+                    FleetPolicy::RoundRobin,
+                    false,
+                    false,
+                ),
+                queueing_arm(seed, q_window, "mqfq", FleetPolicy::RoundRobin, true, false),
+                queueing_arm(
+                    seed,
+                    q_window,
+                    "mqfq_sticky",
+                    FleetPolicy::LoadAware,
+                    true,
+                    true,
+                ),
+            ]
+        },
     }
 }
 
@@ -576,8 +771,33 @@ pub fn fleet_json(f: &FleetOutput) -> String {
             m.interactive_p99_e2e_us,
         ));
     }
+    out.push_str("\n  ],\n  \"queueing\": [");
+    for (i, q) in f.queueing.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"arm\": \"{}\", \"completed\": {}, \"jain_served_permille\": {}, \"heavy\": {}, \"light\": {}}}",
+            q.arm,
+            q.completed,
+            q.jain_served_permille,
+            queue_tenant_json(&q.heavy),
+            queue_tenant_json(&q.light),
+        ));
+    }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+fn queue_tenant_json(t: &QueueTenant) -> String {
+    format!(
+        "{{\"completed\": {}, \"served_by_horizon_ms\": {}, \"p50_queue_delay_us\": {}, \"p99_queue_delay_us\": {}, \"servers_touched\": {}}}",
+        t.completed,
+        t.served_by_horizon_ms,
+        t.p50_queue_delay_us,
+        t.p99_queue_delay_us,
+        t.servers_touched,
+    )
 }
 
 /// Write `BENCH_fleet.json` into `out_dir`; returns the path.
@@ -636,7 +856,31 @@ pub fn fleet_text(f: &FleetOutput) -> String {
             format!("{:.2}s", a.interactive_p99_e2e_us as f64 / 1e6),
         ]);
     }
-    format!("{}\n{}", t.render(), m.render())
+    let mut q = TextTable::new(vec![
+        "queueing",
+        "completed",
+        "jain(served)",
+        "heavy served",
+        "light served",
+        "light p50 qdelay",
+        "light p99 qdelay",
+        "heavy servers",
+        "light servers",
+    ]);
+    for a in &f.queueing {
+        q.row(vec![
+            a.arm.to_string(),
+            a.completed.to_string(),
+            format!("{:.3}", a.jain_served_permille as f64 / 1000.0),
+            format!("{:.2}s", a.heavy.served_by_horizon_ms as f64 / 1e3),
+            format!("{:.2}s", a.light.served_by_horizon_ms as f64 / 1e3),
+            format!("{:.1}ms", a.light.p50_queue_delay_us as f64 / 1e3),
+            format!("{:.1}ms", a.light.p99_queue_delay_us as f64 / 1e3),
+            a.heavy.servers_touched.to_string(),
+            a.light.servers_touched.to_string(),
+        ]);
+    }
+    format!("{}\n{}\n{}", t.render(), m.render(), q.render())
 }
 
 #[cfg(test)]

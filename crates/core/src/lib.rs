@@ -48,7 +48,7 @@ mod platform;
 mod testbed;
 
 pub use invariants::{check_backend_run, check_memory_balance};
-pub use platform::PlatformConfig;
+pub use platform::{ConfigError, PlatformConfig};
 pub use testbed::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
 
 /// Discrete-event simulation substrate.
@@ -75,16 +75,18 @@ pub use dgsf_workloads as workloads;
 /// Convenient top-level re-exports of the most used types.
 pub mod prelude {
     pub use crate::{
-        BackendRunConfig, BackendRunOutput, PlatformConfig, RunOutput, Testbed, TestbedConfig,
+        BackendRunConfig, BackendRunOutput, ConfigError, PlatformConfig, RunOutput, Testbed,
+        TestbedConfig,
     };
     pub use dgsf_cuda::{CostTable, CudaApi, HostBuf, KernelArgs, LaunchConfig, ModuleRegistry};
     pub use dgsf_remoting::{NetProfile, OptConfig};
     pub use dgsf_server::{
-        AutoscaleConfig, FleetPolicy, GpuServerConfig, PlacementPolicy, QueuePolicy, ShedPolicy,
+        AutoscaleConfig, FleetPolicy, GpuServerConfig, MqfqConfig, PlacementPolicy, QueuePolicy,
+        ShedPolicy,
     };
     pub use dgsf_serverless::{
         AdmissionConfig, ArrivalPattern, ClusterBalancer, FailureClass, FairShedConfig,
-        PhaseRecorder, RetryPolicy, Schedule, ServerPolicy, Tenanted, Workload,
+        PhaseRecorder, RetryPolicy, Schedule, ServerPolicy, StickyConfig, Tenanted, Workload,
     };
     pub use dgsf_sim::{Dur, Sim, SimTime};
 }

@@ -24,10 +24,64 @@
 //! ```
 
 use dgsf_remoting::OptConfig;
-use dgsf_server::{FleetPolicy, GpuServerConfig, ShedPolicy};
-use dgsf_serverless::{AdmissionConfig, FairShedConfig, RetryPolicy};
+use dgsf_server::{FleetPolicy, GpuServerConfig, MqfqConfig, QueuePolicy, ShedPolicy};
+use dgsf_serverless::{AdmissionConfig, FairShedConfig, RetryPolicy, StickyConfig};
 
 use crate::testbed::{BackendRunConfig, TestbedConfig};
+
+/// A rejected [`PlatformConfig`]: the build was internally inconsistent
+/// in a way that would silently distort a run (e.g. a zero fairness
+/// weight, which would starve that tenant forever).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A fair-shedding or MQFQ weight map names a tenant with weight 0.
+    ZeroWeight {
+        /// Which policy the weight belongs to (`"fair_shed"` / `"mqfq"`).
+        policy: &'static str,
+        /// The offending tenant.
+        tenant: String,
+    },
+    /// The default weight of a weight map is 0, so every unnamed tenant
+    /// would weigh nothing.
+    ZeroDefaultWeight {
+        /// Which policy the default belongs to (`"fair_shed"` / `"mqfq"`).
+        policy: &'static str,
+    },
+    /// The MQFQ provisional service charge is 0, which would collapse the
+    /// in-flight rotation.
+    ZeroAssumedService,
+    /// The sticky max-share bound is outside 1..=1000 per mille.
+    BadStickyShare(u64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWeight { policy, tenant } => write!(
+                f,
+                "{policy} weight for tenant {tenant:?} is 0: a zero-weight tenant \
+                 would be starved forever; give every tenant a weight >= 1"
+            ),
+            ConfigError::ZeroDefaultWeight { policy } => write!(
+                f,
+                "{policy} default weight is 0: tenants without an explicit weight \
+                 would be starved forever; use a default weight >= 1"
+            ),
+            ConfigError::ZeroAssumedService => write!(
+                f,
+                "MQFQ assumed_service_ns is 0: the provisional in-flight charge \
+                 must be at least 1 ns"
+            ),
+            ConfigError::BadStickyShare(p) => write!(
+                f,
+                "sticky max_share_permille is {p}: must be within 1..=1000 \
+                 (per mille of the fleet one tenant may hold)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// One consolidated configuration for a whole platform run: the RNG seed,
 /// the shape of every GPU server, the fleet in front of them, and the
@@ -46,6 +100,9 @@ pub struct PlatformConfig {
     pub retry: RetryPolicy,
     /// Optional admission control (overload shedding).
     pub admission: Option<AdmissionConfig>,
+    /// Optional bounded sticky tenant→server placement (MQFQ-Sticky's
+    /// locality half).
+    pub sticky: Option<StickyConfig>,
     /// Guest-library optimization level.
     pub opts: OptConfig,
 }
@@ -61,6 +118,7 @@ impl PlatformConfig {
             policy: FleetPolicy::RoundRobin,
             retry: RetryPolicy::default(),
             admission: None,
+            sticky: None,
             opts: OptConfig::full(),
         }
     }
@@ -139,10 +197,47 @@ impl PlatformConfig {
         self
     }
 
+    /// Builder-style: switch every GPU server's queue to per-tenant MQFQ
+    /// fair queueing under `weights`.
+    pub fn with_mqfq(mut self, weights: MqfqConfig) -> Self {
+        self.server = self.server.with_fair_queue(weights);
+        self
+    }
+
+    /// Builder-style: enable bounded sticky tenant→server placement.
+    pub fn with_sticky(mut self, sticky: StickyConfig) -> Self {
+        self.sticky = Some(sticky);
+        self
+    }
+
     /// Builder-style: set the guest-library optimization level.
     pub fn with_opts(mut self, opts: OptConfig) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Check the configuration for inconsistencies that would silently
+    /// distort a run: zero (or zero-total) fairness weights, a zero MQFQ
+    /// provisional charge, an out-of-range sticky share. The platform
+    /// runners call this before provisioning anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(fair) = self.admission.as_ref().and_then(|a| a.fairness.as_ref()) {
+            check_weights("fair_shed", &fair.weights, fair.default_weight)?;
+        }
+        if self.server.queue == QueuePolicy::Mqfq {
+            let default = MqfqConfig::default();
+            let mqfq = self.server.fair_queue.as_ref().unwrap_or(&default);
+            check_weights("mqfq", &mqfq.weights, mqfq.default_weight)?;
+            if mqfq.assumed_service_ns == 0 {
+                return Err(ConfigError::ZeroAssumedService);
+            }
+        }
+        if let Some(sticky) = &self.sticky {
+            if !(1..=1000).contains(&sticky.max_share_permille) {
+                return Err(ConfigError::BadStickyShare(sticky.max_share_permille));
+            }
+        }
+        Ok(())
     }
 
     /// The shed policy this platform implements.
@@ -171,9 +266,30 @@ impl PlatformConfig {
             policy: self.policy,
             retry: self.retry,
             admission: self.admission.clone(),
+            sticky: self.sticky.clone(),
             opts: self.opts,
         }
     }
+}
+
+/// Reject zero weights in a tenant→weight map: the builders clamp to 1,
+/// but both config types expose public fields, and a literal 0 would
+/// starve the tenant (fair shed) or stall its virtual clock (MQFQ).
+fn check_weights(
+    policy: &'static str,
+    weights: &std::collections::BTreeMap<String, u64>,
+    default_weight: u64,
+) -> Result<(), ConfigError> {
+    if let Some((tenant, _)) = weights.iter().find(|(_, &w)| w == 0) {
+        return Err(ConfigError::ZeroWeight {
+            policy,
+            tenant: tenant.clone(),
+        });
+    }
+    if default_weight == 0 {
+        return Err(ConfigError::ZeroDefaultWeight { policy });
+    }
+    Ok(())
 }
 
 impl From<PlatformConfig> for TestbedConfig {
@@ -206,6 +322,7 @@ impl From<BackendRunConfig> for PlatformConfig {
             policy: b.policy,
             retry: b.retry,
             admission: b.admission,
+            sticky: b.sticky,
             opts: b.opts,
         }
     }
@@ -250,5 +367,102 @@ mod tests {
         assert_eq!(fifo.shed_policy(), ShedPolicy::Fifo);
         let fair = fifo.with_weighted_fair(FairShedConfig::new());
         assert_eq!(fair.shed_policy(), ShedPolicy::WeightedFair);
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_well_formed_fairness() {
+        assert_eq!(PlatformConfig::paper_default().validate(), Ok(()));
+        let cfg = PlatformConfig::paper_default()
+            .with_max_inflight(8)
+            .with_weighted_fair(FairShedConfig::new().with_weight("hot", 3))
+            .with_mqfq(MqfqConfig::new().with_weight("hot", 3))
+            .with_sticky(StickyConfig::new());
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_fair_shed_weights() {
+        // The builders clamp to 1; a literal 0 needs the public fields.
+        let mut fair = FairShedConfig::new();
+        fair.weights.insert("ghost".into(), 0);
+        let cfg = PlatformConfig::paper_default()
+            .with_max_inflight(8)
+            .with_weighted_fair(fair);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroWeight {
+                policy: "fair_shed",
+                tenant: "ghost".into(),
+            })
+        );
+        let mut fair2 = FairShedConfig::new();
+        fair2.default_weight = 0;
+        let cfg2 = PlatformConfig::paper_default()
+            .with_max_inflight(8)
+            .with_weighted_fair(fair2);
+        assert_eq!(
+            cfg2.validate(),
+            Err(ConfigError::ZeroDefaultWeight {
+                policy: "fair_shed"
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_mqfq_weights_and_charge() {
+        let mut mqfq = MqfqConfig::new();
+        mqfq.weights.insert("ghost".into(), 0);
+        let cfg = PlatformConfig::paper_default().with_mqfq(mqfq);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroWeight {
+                policy: "mqfq",
+                tenant: "ghost".into(),
+            })
+        );
+        let mut mqfq2 = MqfqConfig::new();
+        mqfq2.default_weight = 0;
+        assert_eq!(
+            PlatformConfig::paper_default().with_mqfq(mqfq2).validate(),
+            Err(ConfigError::ZeroDefaultWeight { policy: "mqfq" })
+        );
+        let mqfq3 = MqfqConfig::new().with_assumed_service(0);
+        assert_eq!(
+            PlatformConfig::paper_default().with_mqfq(mqfq3).validate(),
+            Err(ConfigError::ZeroAssumedService)
+        );
+        // The same weights are fine when MQFQ is not the queue policy:
+        // validation judges what the run will actually use.
+        let mut unused = PlatformConfig::paper_default();
+        unused.server.fair_queue = Some(MqfqConfig::new().with_assumed_service(0));
+        assert_eq!(unused.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_sticky_share() {
+        let mut sticky = StickyConfig::new();
+        sticky.max_share_permille = 0;
+        let cfg = PlatformConfig::paper_default().with_sticky(sticky);
+        assert_eq!(cfg.validate(), Err(ConfigError::BadStickyShare(0)));
+        let mut sticky2 = StickyConfig::new();
+        sticky2.max_share_permille = 1500;
+        let cfg2 = PlatformConfig::paper_default().with_sticky(sticky2);
+        assert_eq!(cfg2.validate(), Err(ConfigError::BadStickyShare(1500)));
+        // Error messages are actionable.
+        let msg = cfg2.validate().unwrap_err().to_string();
+        assert!(msg.contains("1500") && msg.contains("1..=1000"), "{msg}");
+    }
+
+    #[test]
+    fn sticky_round_trips_through_backend_config() {
+        let cfg = PlatformConfig::paper_default()
+            .with_sticky(StickyConfig::new().with_max_share(250))
+            .with_mqfq(MqfqConfig::new().with_weight("hot", 2));
+        let b = cfg.backend();
+        assert_eq!(b.sticky.as_ref().map(|s| s.max_share_permille), Some(250));
+        let back: PlatformConfig = b.into();
+        assert_eq!(back.sticky.map(|s| s.max_share_permille), Some(250));
+        assert_eq!(back.server.queue, QueuePolicy::Mqfq);
+        assert_eq!(back.server.fair_queue.map(|m| m.weight_of("hot")), Some(2));
     }
 }

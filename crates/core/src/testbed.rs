@@ -14,7 +14,7 @@ use dgsf_remoting::OptConfig;
 use dgsf_server::{GpuServer, GpuServerConfig, InvocationRecord, MigrationRecord};
 use dgsf_serverless::{
     invoke_cpu, invoke_dgsf, invoke_native, AdmissionConfig, Backend, FunctionResult, ObjectStore,
-    RetryPolicy, Schedule, ServerPolicy, Workload,
+    RetryPolicy, Schedule, ServerPolicy, StickyConfig, Workload,
 };
 use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
@@ -124,6 +124,8 @@ pub struct BackendRunConfig {
     pub retry: RetryPolicy,
     /// Optional admission control (overload shedding).
     pub admission: Option<AdmissionConfig>,
+    /// Optional bounded sticky tenant→server placement.
+    pub sticky: Option<StickyConfig>,
     /// Guest-library optimization level.
     pub opts: OptConfig,
 }
@@ -139,6 +141,7 @@ impl BackendRunConfig {
             policy: ServerPolicy::RoundRobin,
             retry: RetryPolicy::default(),
             admission: None,
+            sticky: None,
             opts: OptConfig::full(),
         }
     }
@@ -305,6 +308,9 @@ impl Testbed {
         suite: &[Arc<dyn Workload>],
         schedule: &Schedule,
     ) -> BackendRunOutput {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid PlatformConfig: {e}");
+        }
         Self::run_backend_schedule(&cfg.backend(), suite, schedule)
     }
 
@@ -315,6 +321,9 @@ impl Testbed {
         suite: &[Arc<dyn Workload>],
         schedule: &Schedule,
     ) -> (BackendRunOutput, Arc<Telemetry>) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid PlatformConfig: {e}");
+        }
         Self::run_backend_schedule_traced(&cfg.backend(), suite, schedule)
     }
 
@@ -376,6 +385,9 @@ impl Testbed {
             let mut backend = Backend::new(fleet.clone(), cfg2.policy).with_retry(cfg2.retry);
             if let Some(adm) = cfg2.admission.clone() {
                 backend = backend.with_admission(adm);
+            }
+            if let Some(sticky) = cfg2.sticky.clone() {
+                backend = backend.with_sticky(sticky);
             }
             let backend = Arc::new(backend);
             let done_count = Arc::new(Mutex::new(0usize));

@@ -5,6 +5,7 @@ use dgsf_remoting::{FaultPlan, NetProfile};
 use dgsf_sim::Dur;
 
 use crate::autoscale::AutoscaleConfig;
+use crate::fairqueue::MqfqConfig;
 // The policy enums historically lived here; they moved to the unified
 // `policy` module and are re-exported for compatibility.
 pub use crate::policy::{PlacementPolicy, QueuePolicy};
@@ -75,6 +76,9 @@ pub struct GpuServerConfig {
     /// Optional warm-pool autoscaling policy. `None` keeps the paper's
     /// fixed fleet of `api_servers_per_gpu` servers per GPU.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Per-tenant fair-queueing weights, used when `queue` is
+    /// [`QueuePolicy::Mqfq`]. `None` with MQFQ enabled means equal weights.
+    pub fair_queue: Option<MqfqConfig>,
 }
 
 impl GpuServerConfig {
@@ -101,6 +105,7 @@ impl GpuServerConfig {
             lease_timeout: Dur::from_secs(1),
             faults: None,
             autoscale: None,
+            fair_queue: None,
         }
     }
 
@@ -201,6 +206,14 @@ impl GpuServerConfig {
     /// normally match it.
     pub fn with_autoscale(mut self, policy: AutoscaleConfig) -> Self {
         self.autoscale = Some(policy);
+        self
+    }
+
+    /// Builder-style: switch the queue discipline to per-tenant fair
+    /// queueing under `weights` (implies [`QueuePolicy::Mqfq`]).
+    pub fn with_fair_queue(mut self, weights: MqfqConfig) -> Self {
+        self.queue = QueuePolicy::Mqfq;
+        self.fair_queue = Some(weights);
         self
     }
 

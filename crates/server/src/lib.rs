@@ -23,6 +23,7 @@
 mod api_server;
 mod autoscale;
 mod config;
+pub mod fairqueue;
 mod monitor;
 pub mod policy;
 mod server;
@@ -30,6 +31,7 @@ mod server;
 pub use api_server::{ApiServerShared, MigrationRecord};
 pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use config::GpuServerConfig;
+pub use fairqueue::{MqfqConfig, MqfqQueues};
 pub use monitor::InvocationRecord;
 pub use policy::{FleetPolicy, PlacementPolicy, QueuePolicy, ShedPolicy};
 pub use server::{AcquireError, GpuServer, InvocationOutcome, ServerGauges};

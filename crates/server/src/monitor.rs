@@ -3,7 +3,9 @@
 //! The monitor tracks per-GPU memory commitments and utilization, assigns
 //! incoming function requests to idle API servers under a best-fit or
 //! worst-fit policy with a strict FCFS queue (head-of-line blocking is the
-//! paper's stated behaviour), and — when migration is enabled — moves an API
+//! paper's stated behaviour) or per-tenant virtual-time fair queues
+//! ([`QueuePolicy::Mqfq`], the MQFQ-Sticky design — see
+//! [`crate::fairqueue`]), and — when migration is enabled — moves an API
 //! server off an overloaded GPU onto an idle one.
 //!
 //! It is also the failure detector: busy API servers heartbeat the monitor,
@@ -27,6 +29,7 @@ use crate::api_server::{
 };
 use crate::autoscale::Autoscaler;
 use crate::config::{GpuServerConfig, PlacementPolicy, QueuePolicy};
+use crate::fairqueue::MqfqQueues;
 
 /// A function's request for a virtual GPU.
 pub(crate) struct FnRequest {
@@ -43,6 +46,10 @@ pub(crate) struct FnRequest {
     /// Causal context of the serverless request this queue entry serves;
     /// handed on to the RPC client and the API-server assignment.
     pub trace: Option<TraceCtx>,
+    /// Tenant this request belongs to (from the trace context; empty when
+    /// the caller threaded no trace). Keys the MQFQ flow and the
+    /// per-tenant queue-delay gauges.
+    pub tenant: String,
 }
 
 /// Messages the monitor consumes.
@@ -87,6 +94,9 @@ pub struct InvocationRecord {
     /// Platform-unique trace id of the serverless request this invocation
     /// belongs to (None when the caller did not thread a trace context).
     pub trace: Option<u64>,
+    /// Tenant the invocation belongs to (empty when no trace context was
+    /// threaded). Drives per-tenant fairness accounting in the harness.
+    pub tenant: String,
 }
 
 impl InvocationRecord {
@@ -125,6 +135,74 @@ struct SrvBook {
 struct BusyInfo {
     invocation: u64,
     mem: u64,
+    /// Tenant of the running function, for the fair queue's service charge.
+    tenant: String,
+    /// When the function was assigned; the charge is `done - assigned`.
+    assigned_at: SimTime,
+}
+
+/// The monitor's queue: one flat FIFO under FCFS/SmallestFirst, or
+/// per-tenant virtual-time flows under MQFQ.
+enum MonQueue {
+    Flat(VecDeque<FnRequest>),
+    Fair(MqfqQueues<FnRequest>),
+}
+
+impl MonQueue {
+    fn for_cfg(cfg: &GpuServerConfig) -> MonQueue {
+        match cfg.queue {
+            QueuePolicy::Mqfq => {
+                MonQueue::Fair(MqfqQueues::new(cfg.fair_queue.clone().unwrap_or_default()))
+            }
+            _ => MonQueue::Flat(VecDeque::new()),
+        }
+    }
+
+    fn push(&mut self, req: FnRequest) {
+        match self {
+            MonQueue::Flat(q) => q.push_back(req),
+            MonQueue::Fair(fq) => {
+                let tenant = req.tenant.clone();
+                fq.push(&tenant, req);
+            }
+        }
+    }
+
+    /// Drop requests whose senders gave up (queue timeout).
+    fn purge_cancelled(&mut self) {
+        let keep = |r: &FnRequest| !r.cancelled.load(Ordering::Relaxed);
+        match self {
+            MonQueue::Flat(q) => q.retain(keep),
+            MonQueue::Fair(fq) => fq.retain(keep),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MonQueue::Flat(q) => q.len(),
+            MonQueue::Fair(fq) => fq.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All queued requests, in a deterministic (not dispatch) order.
+    fn iter(&self) -> Box<dyn Iterator<Item = &FnRequest> + '_> {
+        match self {
+            MonQueue::Flat(q) => Box::new(q.iter()),
+            MonQueue::Fair(fq) => Box::new(fq.iter()),
+        }
+    }
+
+    /// Credit a completed function's exact service time to its tenant's
+    /// flow (no-op for the flat queue).
+    fn charge(&mut self, tenant: &str, service_ns: u64) {
+        if let MonQueue::Fair(fq) = self {
+            fq.charge(tenant, service_ns);
+        }
+    }
 }
 
 pub(crate) struct MonitorArgs {
@@ -219,7 +297,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     // fleet; the scaler is pure policy (hysteresis/TTL/cooldown).
     let mut next_server_id = servers.len() as u32;
     let mut scaler = a.cfg.autoscale.clone().map(Autoscaler::new);
-    let mut queue: VecDeque<FnRequest> = VecDeque::new();
+    let mut queue = MonQueue::for_cfg(&a.cfg);
     // Migration damping: bound concurrent migrations, and let the system
     // settle before judging imbalance again. `None` = never requested.
     let mut last_migration_request: Option<SimTime> = None;
@@ -239,7 +317,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     loop {
         // Drop requests whose senders gave up (queue timeout) before they
         // can occupy a server.
-        queue.retain(|r| !r.cancelled.load(Ordering::Relaxed));
+        queue.purge_cancelled();
         if p.telemetry().is_enabled() && queue.len() != last_depth {
             last_depth = queue.len();
             p.telemetry()
@@ -286,12 +364,16 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         };
         match msg {
             Ok(MonitorMsg::Request(req)) => {
-                queue.push_back(req);
+                queue.push(req);
                 drain_queue(p, &a, &mut servers, &overhead, &mut queue);
             }
             Ok(MonitorMsg::FunctionDone { server, invocation }) => {
                 if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
-                    s.busy = None;
+                    if let Some(b) = s.busy.take() {
+                        // Credit the exact service time to the tenant's
+                        // fair-queue flow, releasing its provisional hold.
+                        queue.charge(&b.tenant, p.now().since(b.assigned_at).as_nanos());
+                    }
                     s.idle_since = p.now();
                 }
                 if let Some(rec) = a.records.lock().get_mut(&invocation) {
@@ -312,7 +394,9 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
                 // The server itself aborted (guest vanished); it stays in
                 // the placement pool — only the invocation failed.
                 if let Some(s) = servers.iter_mut().find(|s| s.shared.id == server) {
-                    s.busy = None;
+                    if let Some(b) = s.busy.take() {
+                        queue.charge(&b.tenant, p.now().since(b.assigned_at).as_nanos());
+                    }
                     s.idle_since = p.now();
                 }
                 mark_failed(p.now(), &a, invocation);
@@ -327,7 +411,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
             Err(RecvError::Timeout) => {
                 next_tick = p.now() + a.cfg.monitor_period;
                 sample_gpus(p, &a, &mut last_gpu_sample);
-                check_leases(p, &a, &mut servers);
+                check_leases(p, &a, &mut servers, &mut queue);
                 if let Some(sc) = scaler.as_mut() {
                     autoscale_tick(
                         p,
@@ -406,7 +490,10 @@ fn mark_failed(at: SimTime, a: &MonCtx, invocation: u64) {
 /// true if any server was declared dead (freed capacity may unblock the
 /// queue — not for the failed server, which is excluded from placement,
 /// but its GPU's committed memory is released for servers homed there).
-fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook]) -> bool {
+/// The dead server's service-so-far is charged to its tenant's fair-queue
+/// flow, so a tenant whose functions keep dying still pays for the GPU
+/// time they held.
+fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook], queue: &mut MonQueue) -> bool {
     let now = p.now();
     let mut any = false;
     for s in servers.iter_mut() {
@@ -417,6 +504,7 @@ fn check_leases(p: &ProcCtx, a: &MonCtx, servers: &mut [SrvBook]) -> bool {
             s.failed = true;
             a.failed_servers.lock().insert(s.shared.id);
             let b = s.busy.take().expect("checked busy");
+            queue.charge(&b.tenant, now.since(b.assigned_at).as_nanos());
             let tel = p.telemetry();
             if tel.is_enabled() {
                 tel.counter_add("monitor.lease_expirations", 1);
@@ -456,73 +544,109 @@ fn avail(
 
 /// Drain the queue under the configured discipline: strict FCFS assigns
 /// from the head only (head-of-line blocking, the paper's policy);
-/// smallest-first scans for the smallest placeable request.
+/// smallest-first scans for the smallest placeable request; MQFQ serves
+/// the backlogged tenant with the lowest virtual time, falling back to
+/// any backlogged tenant whose head fits (work conservation).
 fn drain_queue(
     p: &ProcCtx,
     a: &MonCtx,
     servers: &mut [SrvBook],
     overhead: &HashMap<GpuId, u64>,
-    queue: &mut VecDeque<FnRequest>,
+    queue: &mut MonQueue,
 ) {
     loop {
         // Purge cancelled requests *before* placement. Checking only after
         // a successful `pick_server` left a cancelled head-of-line request
         // that fits no GPU blocking the FCFS queue (and the SmallestFirst
         // early-return) forever.
-        queue.retain(|r| !r.cancelled.load(Ordering::Relaxed));
-        let pos = match a.cfg.queue {
-            QueuePolicy::Fcfs => {
-                if queue.is_empty() {
-                    return;
-                }
-                0
-            }
-            QueuePolicy::SmallestFirst => {
-                let Some(pos) = (0..queue.len()).min_by_key(|&i| queue[i].mem) else {
+        queue.purge_cancelled();
+        let (req, srv_idx) = match queue {
+            MonQueue::Flat(q) => {
+                let pos = match a.cfg.queue {
+                    QueuePolicy::SmallestFirst => {
+                        let Some(pos) = (0..q.len()).min_by_key(|&i| q[i].mem) else {
+                            return;
+                        };
+                        pos
+                    }
+                    // FCFS: head only; an unplaceable head blocks the line
+                    // (the paper's policy).
+                    _ => {
+                        if q.is_empty() {
+                            return;
+                        }
+                        0
+                    }
+                };
+                let Some(srv_idx) = pick_server(a, servers, overhead, q[pos].mem) else {
                     return;
                 };
-                pos
+                (q.remove(pos).expect("index in bounds"), srv_idx)
+            }
+            MonQueue::Fair(fq) => {
+                let Some(picked) = fq.pop_next(|r| pick_server(a, servers, overhead, r.mem)) else {
+                    return; // no backlogged tenant's head fits anywhere
+                };
+                picked
             }
         };
-        let Some(srv_idx) = pick_server(a, servers, overhead, queue[pos].mem) else {
-            if a.cfg.queue == QueuePolicy::SmallestFirst {
-                // Even the smallest queued function cannot be placed.
-                return;
-            }
-            return; // head-of-line blocks (the paper's FCFS policy)
-        };
-        let req = queue.remove(pos).expect("index in bounds");
-        let (mut client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
-        client.set_timeout(a.cfg.rpc_timeout);
-        client.set_trace(req.trace.clone());
-        let s = &mut servers[srv_idx];
-        s.busy = Some(BusyInfo {
-            invocation: req.invocation,
-            mem: req.mem,
-        });
-        // An assignment counts as liveness: the lease clock starts now.
-        s.last_heartbeat = p.now();
-        {
-            let mut recs = a.records.lock();
-            if let Some(rec) = recs.get_mut(&req.invocation) {
-                rec.assigned_at = Some(p.now());
-                rec.server = Some(s.shared.id);
-                rec.gpu = Some(s.shared.home_gpu);
-            }
-        }
-        p.telemetry().counter_add("monitor.assignments", 1);
-        s.assign_tx.send(
-            p,
-            ServerCmd::Assign(Assignment {
-                inbox,
-                registry: req.registry,
-                mem_limit: req.mem,
-                invocation: req.invocation,
-                trace: req.trace.clone(),
-            }),
-        );
-        req.reply.send(p, client);
+        assign_request(p, a, servers, srv_idx, req);
     }
+}
+
+/// Hand `req` to the idle server at `srv_idx`: connect the RPC client, set
+/// the busy book-keeping, update the invocation record, emit telemetry
+/// (including the per-tenant queue-delay gauge), and send the assignment.
+fn assign_request(
+    p: &ProcCtx,
+    a: &MonCtx,
+    servers: &mut [SrvBook],
+    srv_idx: usize,
+    req: FnRequest,
+) {
+    let now = p.now();
+    let (mut client, inbox) = RpcClient::connect(&a.h, Arc::clone(&a.link));
+    client.set_timeout(a.cfg.rpc_timeout);
+    client.set_trace(req.trace.clone());
+    let s = &mut servers[srv_idx];
+    s.busy = Some(BusyInfo {
+        invocation: req.invocation,
+        mem: req.mem,
+        tenant: req.tenant.clone(),
+        assigned_at: now,
+    });
+    // An assignment counts as liveness: the lease clock starts now.
+    s.last_heartbeat = now;
+    {
+        let mut recs = a.records.lock();
+        if let Some(rec) = recs.get_mut(&req.invocation) {
+            rec.assigned_at = Some(now);
+            rec.server = Some(s.shared.id);
+            rec.gpu = Some(s.shared.home_gpu);
+        }
+    }
+    let tel = p.telemetry();
+    tel.counter_add("monitor.assignments", 1);
+    if tel.is_enabled() && !req.tenant.is_empty() {
+        tel.counter_add(&format!("monitor.tenant.{}.dispatches", req.tenant), 1);
+        let delay_us = now.since(req.requested_at).as_nanos() / 1_000;
+        tel.gauge_set(
+            &format!("monitor.tenant.{}.queue_delay_us", req.tenant),
+            now,
+            delay_us as i64,
+        );
+    }
+    s.assign_tx.send(
+        p,
+        ServerCmd::Assign(Assignment {
+            inbox,
+            registry: req.registry,
+            mem_limit: req.mem,
+            invocation: req.invocation,
+            trace: req.trace.clone(),
+        }),
+    );
+    req.reply.send(p, client);
 }
 
 /// Choose an idle API server whose home GPU fits `mem`, by policy.
@@ -565,7 +689,7 @@ fn autoscale_tick(
     overhead: &mut HashMap<GpuId, u64>,
     known_ctxs: &mut HashSet<(u32, GpuId)>,
     next_server_id: &mut u32,
-    queue: &VecDeque<FnRequest>,
+    queue: &MonQueue,
 ) {
     let now = p.now();
     let oldest_wait = queue
@@ -792,7 +916,7 @@ fn exec_share_permille(
     now: SimTime,
     a: &MonCtx,
     servers: &[SrvBook],
-    queue: &VecDeque<FnRequest>,
+    queue: &MonQueue,
     gpu: GpuId,
 ) -> u64 {
     let recs = a.records.lock();
@@ -824,7 +948,7 @@ fn migration_tick(
     a: &MonCtx,
     servers: &[SrvBook],
     overhead: &HashMap<GpuId, u64>,
-    queue: &VecDeque<FnRequest>,
+    queue: &MonQueue,
 ) -> bool {
     let now = p.now();
     let window = Dur(a.cfg.monitor_period.as_nanos() * 3);

@@ -39,6 +39,12 @@ pub enum QueuePolicy {
     /// footprints correlate with short runs in the paper's suite). Improves
     /// throughput; large functions can be bypassed repeatedly.
     SmallestFirst,
+    /// Multi-queue fair queueing (MQFQ-Sticky): one FIFO flow per tenant,
+    /// dispatch by lowest integer-ns virtual time with configurable
+    /// weights, work-conserving fallback to any backlogged tenant when the
+    /// lowest-vtime head cannot be placed. Weights come from
+    /// [`crate::MqfqConfig`] via `GpuServerConfig::with_fair_queue`.
+    Mqfq,
 }
 
 /// How the serverless backend picks a GPU server from the fleet for a

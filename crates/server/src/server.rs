@@ -304,6 +304,10 @@ impl GpuServer {
     ) -> Result<(RpcClient, u64), AcquireError> {
         let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         let now = p.now();
+        let tenant = trace
+            .as_ref()
+            .map(|t| t.tenant.to_string())
+            .unwrap_or_default();
         self.records.lock().insert(
             invocation,
             InvocationRecord {
@@ -318,6 +322,7 @@ impl GpuServer {
                 server: None,
                 gpu: None,
                 trace: trace.as_ref().map(|t| t.id),
+                tenant: tenant.clone(),
             },
         );
         let cancelled = Arc::new(AtomicBool::new(false));
@@ -332,6 +337,7 @@ impl GpuServer {
                 requested_at: now,
                 cancelled: Arc::clone(&cancelled),
                 trace,
+                tenant,
             }),
         );
         let got = match timeout {

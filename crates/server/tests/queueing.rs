@@ -1,5 +1,8 @@
 //! Monitor queue-discipline tests: strict FCFS vs SmallestFirst ordering,
-//! tie-breaking, and queue-timeout abandonment.
+//! tie-breaking, queue-timeout abandonment, and the MQFQ fairness
+//! battery — proptests over the pure per-tenant virtual-time queue
+//! (no starvation, work conservation, bounded normalized-service lag)
+//! plus the externally observable MQFQ serving order.
 //!
 //! These run through the public `GpuServer` surface (a real provisioned
 //! server, real API servers) rather than poking the monitor directly, so
@@ -10,9 +13,11 @@ use std::sync::Arc;
 use dgsf_cuda::{CudaApi, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
 use dgsf_gpu::GB;
 use dgsf_remoting::{OptConfig, RemoteCuda};
-use dgsf_server::{AcquireError, GpuServer, GpuServerConfig, QueuePolicy};
-use dgsf_sim::{Dur, ProcCtx, Sim, SimTime};
+use dgsf_server::fairqueue::VTIME_SCALE;
+use dgsf_server::{AcquireError, GpuServer, GpuServerConfig, MqfqConfig, MqfqQueues, QueuePolicy};
+use dgsf_sim::{Dur, ProcCtx, Sim, SimTime, TraceCtx};
 use parking_lot::Mutex;
+use proptest::prelude::*;
 
 fn registry() -> Arc<ModuleRegistry> {
     Arc::new(ModuleRegistry::new().with(KernelDef::timed("work")))
@@ -294,4 +299,238 @@ fn abandoned_request_never_occupies_a_server() {
     );
     let starved = by_name("starved");
     assert!(starved.failed_at.is_some() && starved.assigned_at.is_none());
+}
+
+// ---------------------------------------------------------------------------
+// MQFQ fairness battery — proptests over the pure virtual-time queue.
+//
+// The model mirrors the monitor's serial dispatch loop on a single slot:
+// pop the lowest-virtual-time backlogged tenant, run it, charge its actual
+// service. Items carry their tenant index so the tests can attribute every
+// dispatch.
+// ---------------------------------------------------------------------------
+
+/// Build an equal-arity queue: `weights[i]` is tenant `t{i}`'s weight, and
+/// every tenant starts backlogged with `depth` items (each item = its
+/// tenant's index).
+fn backlogged_queues(weights: &[u64], depth: usize) -> MqfqQueues<usize> {
+    let mut cfg = MqfqConfig::new();
+    for (i, &w) in weights.iter().enumerate() {
+        cfg = cfg.with_weight(&format!("t{i}"), w);
+    }
+    let mut q = MqfqQueues::new(cfg);
+    for i in 0..weights.len() {
+        for _ in 0..depth {
+            q.push(&format!("t{i}"), i);
+        }
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No starvation: with every tenant backlogged, each one is dispatched
+    /// at least once well before the round count exceeds the tenant count,
+    /// whatever the weights and per-dispatch costs.
+    #[test]
+    fn mqfq_never_starves_a_backlogged_tenant(
+        weights in proptest::collection::vec(1u64..9, 2..6),
+        costs in proptest::collection::vec(1u64..10_000_001, 64),
+    ) {
+        let mut q = backlogged_queues(&weights, costs.len());
+        let mut served = vec![0u64; weights.len()];
+        for &c in &costs {
+            let (tenant, _) = q.pop_next(|&i| Some(i)).expect("backlogged");
+            served[tenant] += 1;
+            q.charge(&format!("t{tenant}"), c);
+        }
+        for (i, &n) in served.iter().enumerate() {
+            prop_assert!(n >= 1, "tenant t{i} starved over {} dispatches", costs.len());
+        }
+    }
+
+    /// Work conservation: as long as *anything* is queued, a dispatch that
+    /// fits everything must produce an item — the fair queue never idles a
+    /// free slot to preserve inter-tenant order.
+    #[test]
+    fn mqfq_dispatch_is_work_conserving(
+        ops in proptest::collection::vec((0usize..5, any::<bool>()), 1..200),
+    ) {
+        let mut q = MqfqQueues::new(MqfqConfig::new());
+        for (tenant, is_push) in ops {
+            if is_push {
+                let before = q.len();
+                q.push(&format!("t{tenant}"), tenant);
+                prop_assert_eq!(q.len(), before + 1);
+            } else {
+                let backlogged = !q.is_empty();
+                let popped = q.pop_next(|&i| Some(i));
+                prop_assert_eq!(
+                    popped.is_some(),
+                    backlogged,
+                    "pop must succeed exactly when the queue is non-empty"
+                );
+                if let Some((t, _)) = popped {
+                    q.charge(&format!("t{t}"), 1);
+                }
+            }
+        }
+    }
+
+    /// Bounded lag: under serial dispatch+charge with every tenant
+    /// backlogged, each tenant's weight-normalized service stays within
+    /// `2 · VTIME_SCALE · max_cost / min_weight` of every other's — the
+    /// start-time-fair-queueing guarantee that nobody drifts arbitrarily
+    /// far from its ideal weighted share.
+    #[test]
+    fn mqfq_normalized_service_lag_is_bounded(
+        weights in proptest::collection::vec(1u64..9, 2..6),
+        costs in proptest::collection::vec(1u64..10_000_001, 32..129),
+    ) {
+        let mut q = backlogged_queues(&weights, costs.len());
+        for &c in &costs {
+            let (tenant, _) = q.pop_next(|&i| Some(i)).expect("backlogged");
+            q.charge(&format!("t{tenant}"), c);
+        }
+        let normalized: Vec<u128> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| q.service_of(&format!("t{i}")) as u128 * VTIME_SCALE / w as u128)
+            .collect();
+        let max = *normalized.iter().max().unwrap();
+        let min = *normalized.iter().min().unwrap();
+        let max_cost = *costs.iter().max().unwrap() as u128;
+        let min_weight = *weights.iter().min().unwrap() as u128;
+        let bound = 2 * VTIME_SCALE * max_cost / min_weight;
+        prop_assert!(
+            max - min <= bound,
+            "normalized service spread {} exceeds the SFQ bound {}",
+            max - min,
+            bound
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MQFQ end-to-end: the externally observable serving order through a real
+// provisioned server, with tenants riding the causal trace context.
+// ---------------------------------------------------------------------------
+
+/// Acquire a GPU as `tenant`, hold it for `secs` of kernel time, release.
+fn hold_gpu_as(p: &ProcCtx, srv: &GpuServer, tenant: &str, id: u64, name: &str, secs: f64) {
+    let (client, _inv) = srv
+        .try_request_gpu_with_timeout(
+            p,
+            name,
+            GB,
+            registry(),
+            1,
+            None,
+            Some(TraceCtx::new(id, tenant)),
+        )
+        .expect("monitor alive for the run's duration");
+    let mut api = RemoteCuda::new(client, OptConfig::full());
+    api.runtime_init(p).unwrap();
+    api.register_module(p, registry()).unwrap();
+    api.launch_kernel(
+        p,
+        "work",
+        LaunchConfig::linear(1 << 20, 256),
+        KernelArgs::timed(secs, 0),
+    )
+    .unwrap();
+    api.device_synchronize(p).unwrap();
+    api.finish(p).unwrap();
+}
+
+/// One holder plus three queued requests from each of two tenants; returns
+/// the names in monitor-assignment order.
+fn tenant_serve_order(fair: bool) -> Vec<String> {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let mut cfg = GpuServerConfig::paper_default().gpus(1);
+        if fair {
+            cfg = cfg.with_fair_queue(MqfqConfig::new());
+        }
+        let srv = GpuServer::provision(p, &h2, cfg);
+        let s0 = Arc::clone(&srv);
+        h2.spawn("hold", move |p| hold_gpu(p, &s0, "hold", GB, 1.0));
+        // All of alpha's requests land before any of beta's, so FCFS
+        // drains alpha completely first while MQFQ alternates.
+        let arrivals: [(&str, &str); 6] = [
+            ("alpha", "a1"),
+            ("alpha", "a2"),
+            ("alpha", "a3"),
+            ("beta", "b1"),
+            ("beta", "b2"),
+            ("beta", "b3"),
+        ];
+        for (i, (tenant, name)) in arrivals.into_iter().enumerate() {
+            let srv = Arc::clone(&srv);
+            h2.spawn_at(
+                name,
+                SimTime::ZERO + Dur::from_millis(100 + 10 * i as u64),
+                move |p| hold_gpu_as(p, &srv, tenant, i as u64 + 1, name, 0.2),
+            );
+        }
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(20));
+            let mut recs = srv.records();
+            recs.sort_by_key(|r| r.assigned_at.expect("all seven got served"));
+            *o3.lock() = recs.into_iter().map(|r| r.name).collect();
+        });
+    });
+    sim.run();
+    let v = out.lock().clone();
+    v
+}
+
+#[test]
+fn mqfq_alternates_equal_weight_tenants_where_fcfs_drains_in_arrival_order() {
+    assert_eq!(
+        tenant_serve_order(false),
+        ["hold", "a1", "a2", "a3", "b1", "b2", "b3"],
+        "FCFS serves strictly by arrival"
+    );
+    assert_eq!(
+        tenant_serve_order(true),
+        ["hold", "a1", "b1", "a2", "b2", "a3", "b3"],
+        "equal-weight MQFQ alternates tenants regardless of arrival order"
+    );
+}
+
+#[test]
+fn mqfq_records_tenants_on_invocation_records() {
+    let mut sim = Sim::new(5);
+    let h = sim.handle();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = Arc::clone(&out);
+    let h2 = h.clone();
+    sim.spawn("root", move |p| {
+        let srv = GpuServer::provision(
+            p,
+            &h2,
+            GpuServerConfig::paper_default()
+                .gpus(1)
+                .with_fair_queue(MqfqConfig::new().with_weight("alpha", 2)),
+        );
+        let s2 = Arc::clone(&srv);
+        h2.spawn("a", move |p| hold_gpu_as(p, &s2, "alpha", 1, "a", 0.1));
+        let o3 = Arc::clone(&o2);
+        h2.spawn("collector", move |p| {
+            p.sleep(Dur::from_secs(10));
+            *o3.lock() = srv.records();
+        });
+    });
+    sim.run();
+    let recs = out.lock().clone();
+    let a = recs.iter().find(|r| r.name == "a").expect("record exists");
+    assert_eq!(a.tenant, "alpha", "the trace tenant lands on the record");
+    assert!(a.done_at.is_some());
 }

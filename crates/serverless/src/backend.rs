@@ -239,6 +239,19 @@ impl Backend {
         self
     }
 
+    /// Turn on bounded sticky tenant placement: the balancer steers each
+    /// tenant back to its warm servers, capped at the configured fleet
+    /// share (the MQFQ-Sticky locality half).
+    pub fn with_sticky(mut self, sticky: crate::cluster::StickyConfig) -> Backend {
+        self.balancer = ClusterBalancer::new(self.balancer.policy()).with_sticky(sticky);
+        self
+    }
+
+    /// The cluster balancer (for inspecting warm sets and cold placements).
+    pub fn balancer(&self) -> &ClusterBalancer {
+        &self.balancer
+    }
+
     /// The fleet policy the balancer routes under.
     pub fn policy(&self) -> ServerPolicy {
         self.balancer.policy()
@@ -315,7 +328,7 @@ impl Backend {
             // Routing: the balancer never hands out a lease-expired
             // server. A fully expired fleet is a permanent failure, not a
             // shed — retrying or queueing cannot help.
-            let Some(idx) = self.balancer.route(&self.servers, avoid) else {
+            let Some(idx) = self.balancer.route_for(w.tenant(), &self.servers, avoid) else {
                 tel.counter_add("backend.failures", 1);
                 record_request_span(
                     p,

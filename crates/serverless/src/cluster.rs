@@ -11,11 +11,27 @@
 //!
 //! Selection is a pure function ([`select`]) over gauge snapshots, so the
 //! routing invariants are property-testable without running a simulation.
+//!
+//! ## Sticky tenant placement (MQFQ-Sticky)
+//!
+//! With a [`StickyConfig`] installed, the balancer remembers which fleet
+//! members each tenant has landed on (its *warm set* — servers already
+//! holding the tenant's warm contexts and cached modules) and steers
+//! repeat traffic back there: warm servers get a score bonus under
+//! [`FleetPolicy::LoadAware`], and once a tenant's warm set reaches the
+//! **max-share bound** (`max_share_permille` of the fleet), routing is
+//! confined to the warm set entirely — a heavy tenant concentrates on its
+//! slice of the fleet instead of spraying cold starts everywhere, and it
+//! can never capture servers beyond its share and defeat the per-tenant
+//! fair queues inside each monitor. Warm entries for lease-expired servers
+//! are pruned, so a dead server's slot returns to the pool.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dgsf_server::{FleetPolicy, GpuServer, ServerGauges};
+use parking_lot::Mutex;
 
 /// Weight of one active/queued function in the load-aware score, relative
 /// to one permille of memory pressure. Load dominates (a queued function
@@ -45,6 +61,62 @@ fn load_score(g: &ServerGauges) -> u64 {
         .saturating_add((g.migrations_in_flight as u64).saturating_mul(MIGRATION_WEIGHT))
 }
 
+/// Bounded sticky tenant→server placement (the "Sticky" half of
+/// MQFQ-Sticky).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StickyConfig {
+    /// Largest fraction of the fleet (per mille) one tenant's warm set may
+    /// span; once reached, the tenant's traffic is confined to its warm
+    /// servers. At least one server is always allowed.
+    pub max_share_permille: u64,
+    /// Load-score bonus a warm server gets under
+    /// [`FleetPolicy::LoadAware`] before the cap bites: large enough to
+    /// win most ties against cold servers, small enough that a genuinely
+    /// overloaded warm server still loses (1 000 000 = one whole function
+    /// per slot of load).
+    pub sticky_bonus: u64,
+}
+
+impl Default for StickyConfig {
+    fn default() -> Self {
+        StickyConfig {
+            max_share_permille: 500,
+            sticky_bonus: 1_500_000,
+        }
+    }
+}
+
+impl StickyConfig {
+    /// Default stickiness: half the fleet per tenant, a 1.5-function bonus.
+    pub fn new() -> StickyConfig {
+        StickyConfig::default()
+    }
+
+    /// Set the max-share bound (per mille, clamped to 1..=1000).
+    pub fn with_max_share(mut self, permille: u64) -> Self {
+        self.max_share_permille = permille.clamp(1, 1000);
+        self
+    }
+
+    /// Set the warm-server load-score bonus.
+    pub fn with_bonus(mut self, bonus: u64) -> Self {
+        self.sticky_bonus = bonus;
+        self
+    }
+}
+
+/// One tenant's placement affinity, resolved against the live fleet.
+#[derive(Debug, Clone)]
+pub struct TenantAffinity {
+    /// Fleet indices already warm for the tenant (lease-live only).
+    pub warm: BTreeSet<usize>,
+    /// True when the warm set has reached the max-share bound: routing is
+    /// confined to warm servers (unless none is live).
+    pub capped: bool,
+    /// Load-score bonus for warm servers under load-aware selection.
+    pub bonus: u64,
+}
+
 /// Choose a fleet index under `policy` from gauge `snaps`.
 ///
 /// * Servers with no live API server (expired lease) are never eligible.
@@ -60,19 +132,57 @@ pub fn select(
     rr: usize,
     avoid: Option<usize>,
 ) -> Option<usize> {
-    let mut eligible: Vec<usize> = (0..snaps.len())
-        .filter(|&i| snaps[i].lease_live() && Some(i) != avoid)
+    select_with_affinity(policy, snaps, rr, avoid, None)
+}
+
+/// [`select`] with an optional tenant affinity (sticky placement).
+///
+/// A capped tenant is confined to its live warm servers (falling back to
+/// the whole fleet only when none of them is live); an uncapped tenant
+/// sees its warm servers win load-aware ties through the score bonus. The
+/// liveness and `avoid` rules of [`select`] hold unchanged.
+pub fn select_with_affinity(
+    policy: FleetPolicy,
+    snaps: &[ServerGauges],
+    rr: usize,
+    avoid: Option<usize>,
+    affinity: Option<&TenantAffinity>,
+) -> Option<usize> {
+    let live = |i: &usize| snaps[*i].lease_live();
+    let mut pool: Vec<usize> = (0..snaps.len()).collect();
+    if let Some(aff) = affinity {
+        if aff.capped {
+            let warm_live: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|i| aff.warm.contains(i))
+                .filter(live)
+                .collect();
+            if !warm_live.is_empty() {
+                pool = warm_live;
+            }
+        }
+    }
+    let mut eligible: Vec<usize> = pool
+        .iter()
+        .copied()
+        .filter(live)
+        .filter(|&i| Some(i) != avoid)
         .collect();
     if eligible.is_empty() {
         // Nothing but the avoided server left: better a suspect server
         // than none, as long as its lease is live.
-        eligible = (0..snaps.len())
-            .filter(|&i| snaps[i].lease_live())
-            .collect();
+        eligible = pool.into_iter().filter(live).collect();
     }
     if eligible.is_empty() {
         return None;
     }
+    let warm_bonus = |i: usize| -> u64 {
+        match affinity {
+            Some(aff) if aff.warm.contains(&i) => aff.bonus,
+            _ => 0,
+        }
+    };
     let pick = match policy {
         FleetPolicy::RoundRobin => eligible[rr % eligible.len()],
         FleetPolicy::LeastLoaded => eligible
@@ -85,26 +195,46 @@ pub fn select(
             .expect("non-empty"),
         FleetPolicy::LoadAware => eligible
             .into_iter()
-            .min_by_key(|&i| (load_score(&snaps[i]), i))
+            .min_by_key(|&i| (load_score(&snaps[i]).saturating_sub(warm_bonus(i)), i))
             .expect("non-empty"),
     };
     Some(pick)
 }
 
-/// The balancer: a fleet policy plus the round-robin cursor. Cheap to
+/// Per-tenant warm-set memory of a sticky balancer.
+#[derive(Debug, Default)]
+struct StickyState {
+    /// Fleet indices each tenant has been routed to (its warm contexts).
+    warm: BTreeMap<String, BTreeSet<usize>>,
+    /// Cold placements per tenant: routes that grew the warm set (the
+    /// tenant had never touched that server). A sticky balancer should
+    /// keep this far below the round-robin spray.
+    cold_placements: BTreeMap<String, u64>,
+}
+
+/// The balancer: a fleet policy plus the round-robin cursor, and — when
+/// stickiness is configured — the per-tenant warm-set memory. Cheap to
 /// share; [`crate::Backend`] owns one and consults it per attempt.
 pub struct ClusterBalancer {
     policy: FleetPolicy,
     rr: AtomicUsize,
+    sticky: Option<(StickyConfig, Mutex<StickyState>)>,
 }
 
 impl ClusterBalancer {
-    /// A balancer under `policy`.
+    /// A balancer under `policy`, without tenant stickiness.
     pub fn new(policy: FleetPolicy) -> ClusterBalancer {
         ClusterBalancer {
             policy,
             rr: AtomicUsize::new(0),
+            sticky: None,
         }
+    }
+
+    /// Builder-style: enable bounded sticky tenant placement.
+    pub fn with_sticky(mut self, cfg: StickyConfig) -> ClusterBalancer {
+        self.sticky = Some((cfg, Mutex::new(StickyState::default())));
+        self
     }
 
     /// The policy in force.
@@ -114,6 +244,7 @@ impl ClusterBalancer {
 
     /// Route one invocation across `fleet`, steering away from `avoid`
     /// when possible. `None` means the whole fleet is lease-expired.
+    /// Tenant-blind: sticky state is neither consulted nor updated.
     pub fn route(&self, fleet: &[Arc<GpuServer>], avoid: Option<usize>) -> Option<usize> {
         let snaps: Vec<ServerGauges> = fleet.iter().map(|s| s.gauges()).collect();
         self.route_snapshots(&snaps, avoid)
@@ -127,6 +258,78 @@ impl ClusterBalancer {
             _ => 0,
         };
         select(self.policy, snaps, rr, avoid)
+    }
+
+    /// Route one of `tenant`'s invocations across `fleet` with sticky
+    /// placement (falls back to tenant-blind routing when stickiness is
+    /// not configured).
+    pub fn route_for(
+        &self,
+        tenant: &str,
+        fleet: &[Arc<GpuServer>],
+        avoid: Option<usize>,
+    ) -> Option<usize> {
+        let snaps: Vec<ServerGauges> = fleet.iter().map(|s| s.gauges()).collect();
+        self.route_snapshots_for(tenant, &snaps, avoid)
+    }
+
+    /// [`route_for`](Self::route_for) over pre-collected gauges.
+    ///
+    /// Prunes lease-expired servers from the tenant's warm set, applies
+    /// the max-share cap and warm bonus, and records the chosen server
+    /// back into the warm set (counting a cold placement when the server
+    /// was new to the tenant).
+    pub fn route_snapshots_for(
+        &self,
+        tenant: &str,
+        snaps: &[ServerGauges],
+        avoid: Option<usize>,
+    ) -> Option<usize> {
+        let Some((cfg, state)) = &self.sticky else {
+            return self.route_snapshots(snaps, avoid);
+        };
+        let rr = match self.policy {
+            FleetPolicy::RoundRobin => self.rr.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        let mut st = state.lock();
+        let warm = st.warm.entry(tenant.to_string()).or_default();
+        // A dead server's warm contexts are gone; its slot in the share
+        // returns to the pool.
+        warm.retain(|&i| i < snaps.len() && snaps[i].lease_live());
+        let cap = ((snaps.len() as u64 * cfg.max_share_permille) / 1000).max(1) as usize;
+        let aff = TenantAffinity {
+            warm: warm.clone(),
+            capped: warm.len() >= cap,
+            bonus: cfg.sticky_bonus,
+        };
+        let pick = select_with_affinity(self.policy, snaps, rr, avoid, Some(&aff))?;
+        if warm.insert(pick) {
+            *st.cold_placements.entry(tenant.to_string()).or_insert(0) += 1;
+        }
+        Some(pick)
+    }
+
+    /// The tenant's current warm set (empty when stickiness is off).
+    pub fn warm_servers_of(&self, tenant: &str) -> BTreeSet<usize> {
+        match &self.sticky {
+            Some((_, state)) => state.lock().warm.get(tenant).cloned().unwrap_or_default(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// How many of the tenant's routes landed on a server it had never
+    /// touched (cold placements; 0 when stickiness is off).
+    pub fn cold_placements_of(&self, tenant: &str) -> u64 {
+        match &self.sticky {
+            Some((_, state)) => state
+                .lock()
+                .cold_placements
+                .get(tenant)
+                .copied()
+                .unwrap_or(0),
+            None => 0,
+        }
     }
 }
 
@@ -205,6 +408,70 @@ mod tests {
             select(FleetPolicy::LoadAware, &[migrating_idle, queued], 0, None),
             Some(0)
         );
+    }
+
+    #[test]
+    fn sticky_confines_a_capped_tenant_to_its_warm_set() {
+        // 4 servers, max share 50% → warm cap 2.
+        let snaps = vec![
+            gauges(1, 0, 0, 0),
+            gauges(1, 0, 0, 0),
+            gauges(1, 0, 0, 0),
+            gauges(1, 0, 0, 0),
+        ];
+        let b = ClusterBalancer::new(FleetPolicy::RoundRobin)
+            .with_sticky(StickyConfig::new().with_max_share(500));
+        for _ in 0..32 {
+            let i = b.route_snapshots_for("heavy", &snaps, None).unwrap();
+            assert!(b.warm_servers_of("heavy").contains(&i));
+        }
+        assert!(b.warm_servers_of("heavy").len() <= 2);
+        assert_eq!(b.cold_placements_of("heavy"), 2);
+    }
+
+    #[test]
+    fn sticky_prunes_dead_warm_servers_and_refills_the_share() {
+        let live = gauges(1, 0, 0, 0);
+        let dead = gauges(0, 1, 0, 0);
+        let b = ClusterBalancer::new(FleetPolicy::LoadAware)
+            .with_sticky(StickyConfig::new().with_max_share(500));
+        let snaps = vec![live; 4];
+        // The first route warms server 0; loading it past the warm bonus
+        // spills the tenant onto a second server, filling the 50% share.
+        assert_eq!(b.route_snapshots_for("t", &snaps, None), Some(0));
+        let mut loaded = snaps.clone();
+        loaded[0] = gauges(1, 0, 6, 6);
+        b.route_snapshots_for("t", &loaded, None).unwrap();
+        let warm = b.warm_servers_of("t");
+        assert_eq!(warm.len(), 2);
+        // Kill one warm server: the next route prunes it and routing
+        // continues on live servers, never exceeding the cap.
+        let dead_idx = *warm.iter().next().unwrap();
+        let mut snaps2 = snaps.clone();
+        snaps2[dead_idx] = dead;
+        let pick = b.route_snapshots_for("t", &snaps2, None).unwrap();
+        assert!(snaps2[pick].lease_live());
+        let warm2 = b.warm_servers_of("t");
+        assert!(
+            !warm2.contains(&dead_idx),
+            "the dead server is pruned from the warm set"
+        );
+        assert!(warm2.len() <= 2);
+    }
+
+    #[test]
+    fn warm_bonus_wins_ties_but_not_against_overload() {
+        let b = ClusterBalancer::new(FleetPolicy::LoadAware)
+            .with_sticky(StickyConfig::new().with_max_share(1000));
+        // First route warms server 0 (tie → lowest index).
+        let idle = vec![gauges(2, 0, 0, 0), gauges(2, 0, 0, 0)];
+        assert_eq!(b.route_snapshots_for("t", &idle, None), Some(0));
+        // Equal load: the warm server wins the tie.
+        let even = vec![gauges(2, 0, 1, 0), gauges(2, 0, 1, 0)];
+        assert_eq!(b.route_snapshots_for("t", &even, None), Some(0));
+        // Server 0 heavily overloaded: the bonus must not pin traffic there.
+        let skewed = vec![gauges(2, 0, 6, 6), gauges(2, 0, 0, 0)];
+        assert_eq!(b.route_snapshots_for("t", &skewed, None), Some(1));
     }
 
     #[test]

@@ -24,7 +24,7 @@ mod workload;
 
 pub use arrivals::{ArrivalPattern, Schedule};
 pub use backend::{AdmissionConfig, Backend, RetryPolicy, ServerPolicy};
-pub use cluster::ClusterBalancer;
+pub use cluster::{ClusterBalancer, StickyConfig};
 pub use dgsf_server::{FleetPolicy, ShedPolicy};
 pub use invoke::{
     invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded, invoke_native, FailureClass,

@@ -1,8 +1,11 @@
 //! Cluster-layer invariants: the balancer never routes to a lease-expired
-//! server (property-tested over arbitrary gauge snapshots), and weighted
+//! server (property-tested over arbitrary gauge snapshots), weighted
 //! fair shedding guarantees a tenant its share no matter how hard another
-//! tenant floods the platform.
+//! tenant floods the platform, and sticky tenant placement never lets a
+//! tenant's warm set outgrow the max-share bound while cutting its
+//! cold-placement spread versus round-robin.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use dgsf_cuda::{CudaResult, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry};
@@ -11,7 +14,8 @@ use dgsf_remoting::{NetProfile, OptConfig};
 use dgsf_server::{FleetPolicy, GpuServer, GpuServerConfig, ServerGauges};
 use dgsf_serverless::cluster::select;
 use dgsf_serverless::{
-    AdmissionConfig, Backend, FairShedConfig, ObjectStore, PhaseRecorder, Tenanted, Workload,
+    AdmissionConfig, Backend, ClusterBalancer, FairShedConfig, ObjectStore, PhaseRecorder,
+    StickyConfig, Tenanted, Workload,
 };
 use dgsf_sim::{Dur, ProcCtx, Sim};
 use parking_lot::Mutex;
@@ -99,6 +103,42 @@ proptest! {
             if others_live {
                 prop_assert_ne!(i, avoid, "picked the avoided server {avoid}");
             }
+        }
+    }
+
+    /// The stickiness bound: with max-share = 50%, a tenant's warm set
+    /// never outgrows half the fleet, whatever the gauges look like —
+    /// and once the set is full, every route lands inside it.
+    #[test]
+    fn sticky_max_share_bounds_a_tenants_footprint(
+        snaps in proptest::collection::vec(gauges_strategy(), 2..10),
+        routes in 1usize..64,
+    ) {
+        let bal = ClusterBalancer::new(FleetPolicy::RoundRobin)
+            .with_sticky(StickyConfig::new().with_max_share(500));
+        let cap = ((snaps.len() as u64 * 500) / 1000).max(1) as usize;
+        for _ in 0..routes {
+            let warm_before = bal.warm_servers_of("heavy");
+            let picked = bal.route_snapshots_for("heavy", &snaps, None);
+            match picked {
+                Some(i) => {
+                    prop_assert!(snaps[i].lease_live());
+                    if warm_before.len() >= cap
+                        && warm_before.iter().any(|&w| snaps[w].lease_live())
+                    {
+                        prop_assert!(
+                            warm_before.contains(&i),
+                            "a capped tenant must stay on its warm set"
+                        );
+                    }
+                }
+                None => prop_assert!(!snaps.iter().any(|g| g.lease_live())),
+            }
+            prop_assert!(
+                bal.warm_servers_of("heavy").len() <= cap,
+                "warm set {} exceeds the max-share cap {cap}",
+                bal.warm_servers_of("heavy").len()
+            );
         }
     }
 }
@@ -273,5 +313,63 @@ fn fifo_baseline_lets_the_flood_starve_the_cold_tenant() {
     assert!(
         *cold_shed.lock() > 0,
         "without fairness the flood sheds the cold tenant too"
+    );
+}
+
+/// Sticky placement as a cold-start optimization: round-robin walks a
+/// light tenant across the entire fleet (every server pays a cold start),
+/// while the sticky balancer settles it on its max-share slice and keeps
+/// routing there.
+#[test]
+fn sticky_placement_cuts_the_light_tenants_cold_placements_versus_round_robin() {
+    let idle = || ServerGauges {
+        pool_size: 2,
+        failed_api_servers: 0,
+        active_functions: 0,
+        queued_functions: 0,
+        used_mem_bytes: 0,
+        total_mem_bytes: 16 * GB,
+        migrations_in_flight: 0,
+    };
+    let snaps: Vec<ServerGauges> = (0..4).map(|_| idle()).collect();
+
+    // Plain round-robin: 16 routes touch all 4 servers — 4 cold starts.
+    let rr = ClusterBalancer::new(FleetPolicy::RoundRobin);
+    let mut rr_touched = BTreeSet::new();
+    for _ in 0..16 {
+        rr_touched.insert(rr.route_snapshots(&snaps, None).expect("live fleet"));
+    }
+    assert_eq!(
+        rr_touched.len(),
+        4,
+        "round-robin spreads over the whole fleet"
+    );
+
+    // Sticky with max-share 50%: the same 16 routes pay at most 2 cold
+    // placements, then stay on the warm pair.
+    let sticky = ClusterBalancer::new(FleetPolicy::RoundRobin)
+        .with_sticky(StickyConfig::new().with_max_share(500));
+    let mut sticky_touched = BTreeSet::new();
+    for _ in 0..16 {
+        sticky_touched.insert(
+            sticky
+                .route_snapshots_for("light", &snaps, None)
+                .expect("live fleet"),
+        );
+    }
+    assert!(
+        sticky.warm_servers_of("light").len() <= 2,
+        "warm set respects the half-fleet bound"
+    );
+    assert_eq!(
+        sticky.cold_placements_of("light") as usize,
+        sticky_touched.len(),
+        "every cold placement is a first touch of a server"
+    );
+    assert!(
+        (sticky.cold_placements_of("light") as usize) < rr_touched.len(),
+        "sticky must pay fewer cold placements ({}) than round-robin ({})",
+        sticky.cold_placements_of("light"),
+        rr_touched.len()
     );
 }

@@ -70,6 +70,23 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+/// Jain's fairness index over `xs`, in permille: `(Σx)² / (n·Σx²)`.
+/// 1000 means every party gets the same value; 1000/n means one party gets
+/// everything. All-zero input is vacuously fair. Integer arithmetic only,
+/// so it is safe inside byte-deterministic exports.
+pub fn jain_permille(xs: &[u64]) -> u64 {
+    let n = xs.len() as u128;
+    if n == 0 {
+        return 1000;
+    }
+    let s: u128 = xs.iter().map(|&x| x as u128).sum();
+    let s2: u128 = xs.iter().map(|&x| (x as u128) * (x as u128)).sum();
+    if s2 == 0 {
+        return 1000;
+    }
+    ((s * s * 1000) / (n * s2)) as u64
+}
+
 /// Simple centered-window-free moving average (trailing window of size `w`),
 /// matching the paper's "moving average window of size 5" for Figure 7.
 pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {

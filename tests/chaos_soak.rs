@@ -106,6 +106,7 @@ fn soak_cfg(seed: u64, faults: Option<FaultPlan>) -> BackendRunConfig {
         policy: ServerPolicy::RoundRobin,
         retry: RetryPolicy::default(),
         admission: None,
+        sticky: None,
         opts: OptConfig::full(),
     }
 }

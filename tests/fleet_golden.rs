@@ -1,8 +1,10 @@
 //! Fleet-sweep oracles: byte-determinism of `BENCH_fleet.json` against a
-//! committed golden, plus the two policy effects the experiment exists to
+//! committed golden, plus the policy effects the experiment exists to
 //! demonstrate — load-aware routing beats round-robin on p99 at and past
-//! the saturation knee, and weighted fair shedding raises Jain's fairness
-//! index over FIFO once both tenants are backlogged.
+//! the saturation knee, weighted fair shedding raises Jain's fairness
+//! index over FIFO once both tenants are backlogged, and MQFQ-Sticky
+//! fair queueing splits a backlogged fleet by weight while cutting the
+//! light tenant's queue-delay tail at equal completed demand.
 
 use dgsf_bench::fleet;
 
@@ -77,6 +79,58 @@ fn migration_on_beats_migration_off_on_p99_at_equal_hardware() {
         "overall p99 must improve with migration: on {}us vs off {}us",
         on.p99_e2e_us,
         off.p99_e2e_us,
+    );
+}
+
+#[test]
+fn mqfq_raises_jain_and_cuts_the_light_tenant_tail_over_fcfs() {
+    let f = fleet::fleet(42, true);
+    let arm = |name: &str| {
+        f.queueing
+            .iter()
+            .find(|q| q.arm == name)
+            .unwrap_or_else(|| panic!("missing queueing arm {name}"))
+    };
+    let fcfs = arm("fcfs");
+    let mqfq = arm("mqfq");
+    let sticky = arm("mqfq_sticky");
+    // No admission cap, so every arm serves the identical demand — the
+    // disciplines reorder service, they never shed it.
+    assert_eq!(mqfq.completed, fcfs.completed, "equal completed demand");
+    assert_eq!(sticky.completed, fcfs.completed, "equal completed demand");
+    // With both tenants backlogged past their half share, FCFS serves in
+    // proportion to offered load while MQFQ splits the horizon by weight.
+    assert!(
+        mqfq.jain_served_permille > fcfs.jain_served_permille,
+        "MQFQ Jain {} must exceed FCFS {}",
+        mqfq.jain_served_permille,
+        fcfs.jain_served_permille,
+    );
+    assert!(
+        sticky.jain_served_permille > fcfs.jain_served_permille,
+        "MQFQ-Sticky Jain {} must exceed FCFS {}",
+        sticky.jain_served_permille,
+        fcfs.jain_served_permille,
+    );
+    // The light tenant's short functions no longer queue behind heavy
+    // convoys, so its queue-delay tail collapses.
+    assert!(
+        mqfq.light.p99_queue_delay_us < fcfs.light.p99_queue_delay_us,
+        "MQFQ light p99 queue delay {}us must beat FCFS {}us",
+        mqfq.light.p99_queue_delay_us,
+        fcfs.light.p99_queue_delay_us,
+    );
+    // Sticky placement bounds each tenant to max-share (half the 2-server
+    // fleet); without it both tenants touch every server.
+    assert_eq!(
+        fcfs.heavy.servers_touched, 2,
+        "FCFS spreads the heavy tenant"
+    );
+    assert!(
+        sticky.heavy.servers_touched <= 1 && sticky.light.servers_touched <= 1,
+        "sticky must confine each tenant to half the fleet: heavy {} light {}",
+        sticky.heavy.servers_touched,
+        sticky.light.servers_touched,
     );
 }
 
