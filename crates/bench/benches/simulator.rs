@@ -81,20 +81,113 @@ fn bench_wire_codec(c: &mut Criterion) {
             work_hint: Some(0.001),
         },
     };
-    c.bench_function("wire/encode_launch", |b| b.iter(|| launch.encode()));
+    c.bench_function("wire/encode_launch_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for _ in 0..100_000 {
+                n += launch.encode().len() as u64;
+            }
+            n
+        })
+    });
+    c.bench_function("wire/wire_size_launch_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for _ in 0..100_000 {
+                n += launch.wire_size();
+            }
+            n
+        })
+    });
     let frame = launch.encode();
-    c.bench_function("wire/decode_launch", |b| {
+    c.bench_function("wire/decode_launch_100k", |b| {
         b.iter_batched(
             || frame.clone(),
-            |mut f| Request::decode(&mut f).unwrap(),
+            |f| {
+                let mut n = 0u64;
+                for _ in 0..100_000 {
+                    let mut f = f.clone();
+                    let req = Request::decode(&mut f).unwrap();
+                    n += matches!(req, Request::LaunchConfigured { .. }) as u64;
+                }
+                n
+            },
             BatchSize::SmallInput,
         )
     });
     let h2d = Request::MemcpyH2D {
         dst: 0x7000_0000_0000,
-        data: WireBuf::Bytes(vec![7u8; 64 * 1024]),
+        data: WireBuf::Bytes(vec![7u8; 64 * 1024].into()),
     };
-    c.bench_function("wire/encode_h2d_64k", |b| b.iter(|| h2d.encode()));
+    c.bench_function("wire/encode_h2d_64k_1k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for _ in 0..1_000 {
+                n += h2d.encode().len() as u64;
+            }
+            n
+        })
+    });
+    let h2d_frame = h2d.encode();
+    c.bench_function("wire/decode_h2d_64k_1k", |b| {
+        b.iter_batched(
+            || h2d_frame.clone(),
+            |f| {
+                let mut n = 0u64;
+                for _ in 0..1_000 {
+                    let mut f = f.clone();
+                    let req = Request::decode(&mut f).unwrap();
+                    n += matches!(req, Request::MemcpyH2D { .. }) as u64;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rpc_round_trips(c: &mut Criterion) {
+    // The steady-state remoting hot path: a client/server pair ping-ponging
+    // framed requests over a NetLink. One round trip = encode + wire_size +
+    // uplink transfer + decode + respond (encode + wire_size + downlink) +
+    // reply decode, all through the DES kernel — the `sim events/sec`
+    // number the scale work optimizes.
+    use dgsf::remoting::wire::Response;
+    use dgsf::remoting::{NetLink, NetProfile, RpcClient, RpcInbox};
+    use dgsf::sim::Dur as SimDur;
+
+    let mut g = c.benchmark_group("rpc");
+    g.sample_size(10);
+    g.bench_function("20k_round_trips", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let h = sim.handle();
+            let link = NetLink::new(
+                &h,
+                NetProfile {
+                    rpc_latency: SimDur::from_micros(60),
+                    rpc_jitter: SimDur::ZERO,
+                    nic_bw: 1.25e9,
+                    s3_bw: 0.15e9,
+                },
+            );
+            let (client, inbox) = RpcClient::connect(&h, link.clone());
+            let srv_link = link.clone();
+            sim.spawn("server", move |p| {
+                while let Some(env) = inbox.next(p) {
+                    let _req = RpcInbox::decode(&env).unwrap();
+                    inbox.respond(p, &srv_link, &env, &Response::Ok);
+                }
+            });
+            sim.spawn("client", move |p| {
+                for _ in 0..20_000 {
+                    client.call(p, &Request::Sync).unwrap();
+                }
+            });
+            sim.run()
+        })
+    });
+    g.finish();
 }
 
 fn bench_migration_dma_channels(c: &mut Criterion) {
@@ -140,6 +233,7 @@ criterion_group!(
     bench_event_throughput,
     bench_gps_vs_fifo,
     bench_wire_codec,
+    bench_rpc_round_trips,
     bench_migration_dma_channels,
     bench_functional_kmeans,
 );

@@ -21,6 +21,13 @@
 //! combination and writes `BENCH_fleet.json` to DIR (default
 //! `target/fleet`). Deterministic: same seed ⇒ byte-identical file.
 //!
+//! `dgsf-expt scale [--quick] [--out DIR]` drives the heavy-tailed
+//! open-loop trace (log-normal service, Zipf tenant mix) through the
+//! remoting stack — 1.2M invocations, or 50k with `--quick` — and
+//! writes `BENCH_scale.json` to DIR (default `target/scale`).
+//! Deterministic: same seed ⇒ byte-identical file; wall-clock
+//! events/sec is printed but never serialized.
+//!
 //! `dgsf-expt attribute [--quick] [--out DIR]` runs the overloaded
 //! two-tenant mix with causal tracing on, decomposes every request's
 //! end-to-end latency into its exact critical-path segments, and writes
@@ -29,7 +36,7 @@
 //! DIR (default `target/attrib`). Deterministic: same seed ⇒
 //! byte-identical files.
 
-use dgsf_bench::{attrib, fleet, mixed, single, sweep, trace};
+use dgsf_bench::{attrib, fleet, mixed, scale, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +97,33 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("fleet export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "scale" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/scale")
+        } else {
+            out_dir
+        };
+        let cfg = if quick {
+            scale::ScaleConfig::quick(seed)
+        } else {
+            scale::ScaleConfig::full(seed)
+        };
+        println!(
+            "== Scale: {} heavy-tailed open-loop invocations through the remoting stack ==",
+            cfg.invocations
+        );
+        let (s, wall_secs) = scale::scale(&cfg);
+        print!("{}", scale::scale_text(&s, wall_secs));
+        match scale::write_scale(&dir, &s) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("scale export failed: {e}");
                 std::process::exit(1);
             }
         }

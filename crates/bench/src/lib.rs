@@ -19,6 +19,7 @@
 //! | §VIII-D future work (SJF) | [`mixed::queue_policy`] | `dgsf-expt sjf` |
 //! | telemetry trace | [`trace::write_trace`] | `dgsf-expt trace` |
 //! | autoscaler load sweep | [`sweep::sweep`] | `dgsf-expt sweep` |
+//! | million-invocation scale run | [`scale::scale`] | `dgsf-expt scale` |
 //! | multi-tenant fleet sweep | [`fleet::fleet`] | `dgsf-expt fleet` |
 //! | tail-latency attribution | [`attrib::attrib`] | `dgsf-expt attribute` |
 //!
@@ -32,6 +33,7 @@ pub mod attrib;
 pub mod fleet;
 pub mod mixed;
 pub mod report;
+pub mod scale;
 pub mod single;
 pub mod sweep;
 pub mod trace;

@@ -279,7 +279,7 @@ impl GpuSession {
             let view = DeviceView::new(&va, self.active.gpu());
             let mut out = vec![0u8; bytes as usize];
             view.read_bytes(src, &mut out);
-            Ok(HostBuf::Bytes(out))
+            Ok(HostBuf::Bytes(out.into()))
         } else {
             Ok(HostBuf::Logical(bytes))
         }
@@ -784,8 +784,12 @@ mod tests {
             let b = s.malloc(proc, 4 * MB).unwrap();
             s.memcpy_h2d(proc, a, &HostBuf::from_f32s(&[1.0, 2.0, 3.0]))
                 .unwrap();
-            s.memcpy_h2d(proc, b.offset(4096), &HostBuf::Bytes(b"hello".to_vec()))
-                .unwrap();
+            s.memcpy_h2d(
+                proc,
+                b.offset(4096),
+                &HostBuf::Bytes(b"hello".to_vec().into()),
+            )
+            .unwrap();
 
             let used_before = g0c.used_mem();
             assert!(used_before > 0);

@@ -1,5 +1,7 @@
 //! Handle and value types shared across the virtual CUDA API surface.
 
+use bytes::Bytes;
+
 /// A device pointer (a virtual address in the application's VA space).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
 pub struct DevPtr(pub u64);
@@ -116,11 +118,13 @@ impl KernelArgs {
 ///
 /// Functional workloads carry real bytes; trace-modeled workloads carry only
 /// a logical size (the simulator charges transfer time without materializing
-/// gigabytes of host memory).
+/// gigabytes of host memory). Real bytes are refcounted [`Bytes`] views so a
+/// payload decoded off the wire reaches the device page store without being
+/// copied (and a device read reaches the guest the same way back).
 #[derive(Clone, Debug, PartialEq)]
 pub enum HostBuf {
     /// Real bytes (written to / read from the device page store).
-    Bytes(Vec<u8>),
+    Bytes(Bytes),
     /// Size-only payload.
     Logical(u64),
 }
@@ -153,7 +157,7 @@ impl HostBuf {
         for v in vals {
             raw.extend_from_slice(&v.to_le_bytes());
         }
-        HostBuf::Bytes(raw)
+        HostBuf::Bytes(raw.into())
     }
 
     /// Interpret as little-endian `f32`s.

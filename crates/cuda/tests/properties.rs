@@ -83,7 +83,7 @@ proptest! {
                         let n = data.len().min((size - off) as usize);
                         let data = data[..n].to_vec();
                         if data.is_empty() { continue; }
-                        sess.memcpy_h2d(p, ptr.offset(off), &HostBuf::Bytes(data.clone()))
+                        sess.memcpy_h2d(p, ptr.offset(off), &HostBuf::Bytes(data.clone().into()))
                             .expect("write in bounds");
                         shadow.get_mut(&ptr.0).unwrap().insert(off, data);
                     }

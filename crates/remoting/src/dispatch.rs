@@ -129,15 +129,15 @@ impl Dispatcher {
         if !tel.is_enabled() {
             return self.execute(p, req);
         }
-        let class = req.class();
+        let keys = req.class_keys();
         let t0 = p.now();
         let before = self.stats.clone();
         let resp = self.execute(p, req);
         match &self.trace {
-            Some(t) => tel.span_args(p.name(), class, "server", t0, p.now(), &t.span_args()),
-            None => tel.span(p.name(), class, "server", t0, p.now()),
+            Some(t) => tel.span_args(p.name(), keys.class, "server", t0, p.now(), &t.span_args()),
+            None => tel.span(p.name(), keys.class, "server", t0, p.now()),
         }
-        tel.counter_add(&format!("server.requests.{class}"), repeat.max(1) as u64);
+        tel.counter_add(keys.server_requests, repeat.max(1) as u64);
         // Deltas rather than absolutes so Batch recursion is accounted once.
         tel.counter_add("server.pool_hits", self.stats.pool_hits - before.pool_hits);
         tel.counter_add(

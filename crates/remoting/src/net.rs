@@ -131,14 +131,11 @@ impl NetLink {
         let tel = p.telemetry();
         if tel.is_enabled() {
             tel.counter_add("net.messages", repeat as u64);
-            let dir_name = match dir {
-                Direction::ToServer => "up",
-                Direction::ToClient => "down",
+            let key = match dir {
+                Direction::ToServer => "net.bytes.up",
+                Direction::ToClient => "net.bytes.down",
             };
-            tel.histogram_record(
-                &format!("net.bytes.{dir_name}"),
-                bytes.saturating_mul(repeat as u64),
-            );
+            tel.histogram_record(key, bytes.saturating_mul(repeat as u64));
             match fate {
                 MsgFate::Drop => tel.counter_add("net.dropped", 1),
                 MsgFate::Deliver { extra_delay } if extra_delay > Dur::ZERO => {

@@ -16,6 +16,7 @@
 
 use bytes::Bytes;
 use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, TraceCtx};
+use std::cell::Cell;
 use std::sync::Arc;
 
 use crate::net::{Delivery, Direction, NetLink};
@@ -56,8 +57,13 @@ pub struct RpcEnvelope {
     pub frame: Bytes,
     /// How many identical sequential round trips this stands for.
     pub repeat: u32,
-    /// Reply channel (encoded response).
-    pub reply: SimSender<Bytes>,
+    /// Call sequence number on the issuing client. The reply channel is
+    /// shared across a client's calls (created once at connect, not per
+    /// call); the sequence number lets the client discard a late reply to a
+    /// call it already timed out.
+    pub seq: u64,
+    /// Reply channel (sequence number + encoded response).
+    pub reply: SimSender<(u64, Bytes)>,
     /// Causal trace context, carried out-of-band: it rides the envelope so
     /// the server can attribute its work, but is deliberately *not* part of
     /// the encoded frame — `wire_size()` (and therefore transfer timing)
@@ -100,10 +106,10 @@ impl RpcInbox {
         env: &RpcEnvelope,
         resp: &Response,
     ) -> Delivery {
-        let frame = resp.encode();
-        let delivery = link.transfer(p, Direction::ToClient, resp.wire_size(), env.repeat);
+        let (frame, wire_size) = resp.encode_sized();
+        let delivery = link.transfer(p, Direction::ToClient, wire_size, env.repeat);
         if delivery == Delivery::Delivered {
-            env.reply.send(p, frame);
+            env.reply.send(p, (env.seq, frame));
         }
         delivery
     }
@@ -112,9 +118,17 @@ impl RpcInbox {
 /// Client side of a connection: what the guest library holds after the
 /// monitor hands it an API server address.
 pub struct RpcClient {
+    #[allow(dead_code)]
     handle: SimHandle,
     link: Arc<NetLink>,
     tx: SimSender<RpcEnvelope>,
+    /// Persistent reply path, created once at connect: a fresh channel per
+    /// call costs an allocation on every RPC. Replies are matched to calls
+    /// by sequence number; stale ones (a reply landing after its call timed
+    /// out) are discarded in the receive loop.
+    reply_tx: SimSender<(u64, Bytes)>,
+    reply_rx: SimReceiver<(u64, Bytes)>,
+    next_seq: Cell<u64>,
     timeout: Option<Dur>,
     trace: Option<TraceCtx>,
 }
@@ -124,11 +138,15 @@ impl RpcClient {
     /// calls block until the reply arrives or the transport closes.
     pub fn connect(h: &SimHandle, link: Arc<NetLink>) -> (RpcClient, RpcInbox) {
         let (tx, rx) = h.channel::<RpcEnvelope>();
+        let (reply_tx, reply_rx) = h.channel::<(u64, Bytes)>();
         (
             RpcClient {
                 handle: h.clone(),
                 link,
                 tx,
+                reply_tx,
+                reply_rx,
+                next_seq: Cell::new(0),
                 timeout: None,
                 trace: None,
             },
@@ -174,19 +192,23 @@ impl RpcClient {
         assert!(repeat >= 1, "call_repeated needs at least one round trip");
         let tel = p.telemetry();
         let t0 = p.now();
-        let req_bytes = req.wire_size();
-        let frame = req.encode();
+        // Single-pass: encode once, derive the network charge from the
+        // frame's length (wire v2 — the old path encoded a throwaway copy
+        // just to measure it).
+        let (frame, req_bytes) = req.encode_sized();
         let delivery = self
             .link
             .transfer(p, Direction::ToServer, req_bytes, repeat);
-        let (reply_tx, reply_rx) = self.handle.channel::<Bytes>();
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
         if delivery == Delivery::Delivered {
             self.tx.send(
                 p,
                 RpcEnvelope {
                     frame,
                     repeat,
-                    reply: reply_tx,
+                    seq,
+                    reply: self.reply_tx.clone(),
                     trace: self.trace.clone(),
                 },
             );
@@ -194,9 +216,9 @@ impl RpcClient {
         // On failure the client still records a span for the time it spent
         // waiting: the trace decomposition needs timed-out round trips on
         // the critical path just like successful ones.
-        let fail = |kind: &str, outcome: &str| {
+        let fail = |kind: &'static str, outcome: &str| {
             if tel.is_enabled() {
-                tel.counter_add(&format!("rpc.{kind}"), 1);
+                tel.counter_add(kind, 1);
                 tel.counter_add("rpc.transport_errors", 1);
                 if let Some(t) = &self.trace {
                     let mut args = t.span_args().to_vec();
@@ -207,50 +229,62 @@ impl RpcClient {
         };
         // A dropped request is indistinguishable from a dead server to the
         // client: it waits for the reply and (with a timeout set) gives up.
-        let mut reply = match self.timeout {
-            Some(t) => match reply_rx.recv_timeout(p, t) {
-                Ok(r) => r,
-                Err(RecvError::Timeout) => {
-                    fail("timeouts", "timeout");
-                    return Err(TransportError::Timeout { waited: t });
+        // Replies tagged with an older sequence number are strays from calls
+        // that already timed out — skip them without resetting the deadline.
+        let wait_start = p.now();
+        let mut reply = loop {
+            let got = match self.timeout {
+                Some(t) => {
+                    let remaining = Dur(t
+                        .as_nanos()
+                        .saturating_sub(p.now().since(wait_start).as_nanos()));
+                    match self.reply_rx.recv_timeout(p, remaining) {
+                        Ok(r) => r,
+                        Err(RecvError::Timeout) => {
+                            fail("rpc.timeouts", "timeout");
+                            return Err(TransportError::Timeout { waited: t });
+                        }
+                        Err(RecvError::Shutdown) => {
+                            fail("rpc.closed", "closed");
+                            return Err(TransportError::Closed);
+                        }
+                    }
                 }
-                Err(RecvError::Shutdown) => {
-                    fail("closed", "closed");
-                    return Err(TransportError::Closed);
-                }
-            },
-            None => match reply_rx.recv(p) {
-                Some(r) => r,
-                None => {
-                    fail("closed", "closed");
-                    return Err(TransportError::Closed);
-                }
-            },
+                None => match self.reply_rx.recv(p) {
+                    Some(r) => r,
+                    None => {
+                        fail("rpc.closed", "closed");
+                        return Err(TransportError::Closed);
+                    }
+                },
+            };
+            if got.0 == seq {
+                break got.1;
+            }
         };
         let resp_bytes = reply.len() as u64;
         match Response::decode(&mut reply) {
             Ok(resp) => {
                 if tel.is_enabled() {
-                    let class = req.class();
+                    let keys = req.class_keys();
                     let end = p.now();
                     match &self.trace {
-                        Some(t) => tel.span_args(p.name(), class, "rpc", t0, end, &t.span_args()),
-                        None => tel.span(p.name(), class, "rpc", t0, end),
+                        Some(t) => {
+                            tel.span_args(p.name(), keys.class, "rpc", t0, end, &t.span_args())
+                        }
+                        None => tel.span(p.name(), keys.class, "rpc", t0, end),
                     }
+                    tel.histogram_record(keys.latency_ns, end.since(t0).as_nanos());
                     tel.histogram_record(
-                        &format!("rpc.latency_ns.{class}"),
-                        end.since(t0).as_nanos(),
-                    );
-                    tel.histogram_record(
-                        &format!("rpc.bytes.{class}"),
+                        keys.bytes,
                         (req_bytes + resp_bytes).saturating_mul(repeat as u64),
                     );
-                    tel.counter_add(&format!("rpc.calls.{class}"), repeat as u64);
+                    tel.counter_add(keys.calls, repeat as u64);
                 }
                 Ok(resp)
             }
             Err(e) => {
-                fail("decode_errors", "decode");
+                fail("rpc.decode_errors", "decode");
                 Err(TransportError::Decode(e))
             }
         }

@@ -213,10 +213,14 @@ pub enum Request {
 }
 
 /// Payload crossing the wire.
+///
+/// Real payloads are refcounted [`Bytes`] views: decoding subslices the
+/// received frame instead of copying, so a payload travels guest → frame →
+/// dispatch → device without duplication.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireBuf {
-    /// Real bytes.
-    Bytes(Vec<u8>),
+    /// Real bytes (zero-copy view into the carrying frame after decode).
+    Bytes(Bytes),
     /// Size-only payload (trace-modeled data); charged at full size by the
     /// network model without materializing.
     Logical(u64),
@@ -233,6 +237,12 @@ impl WireBuf {
     /// True if empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for WireBuf {
+    fn from(v: Vec<u8>) -> Self {
+        WireBuf::Bytes(v.into())
     }
 }
 
@@ -387,9 +397,27 @@ pub mod err_class {
 
 // ---------------- codec helpers ----------------
 
+/// Nested [`Request::Batch`] frames deeper than this are rejected by the
+/// decoder: a crafted frame of repeated tag-32 prefixes must produce a
+/// [`WireError`], not a stack overflow. The guest only ever produces depth 1.
+pub const MAX_BATCH_DEPTH: u32 = 4;
+
 fn put_str(b: &mut BytesMut, s: &str) {
+    // The length prefix is u32: an oversize string would silently truncate
+    // on `as u32` and produce a frame the decoder misparses. No caller can
+    // legitimately ship a 4 GiB kernel name or error message.
+    assert!(
+        s.len() <= u32::MAX as usize,
+        "string too long for wire frame: {} bytes",
+        s.len()
+    );
     b.put_u32_le(s.len() as u32);
     b.put_slice(s.as_bytes());
+}
+
+/// Encoded size of [`put_str`]'s output.
+fn str_len(s: &str) -> u64 {
+    4 + s.len() as u64
 }
 
 fn get_str(b: &mut Bytes) -> WireResult<String> {
@@ -436,9 +464,16 @@ fn put_vec_u64(b: &mut BytesMut, v: &[u64]) {
     }
 }
 
+/// Encoded size of [`put_vec_u64`]'s output.
+fn vec_u64_len(v: &[u64]) -> u64 {
+    4 + 8 * v.len() as u64
+}
+
 fn get_vec_u64(b: &mut Bytes) -> WireResult<Vec<u64>> {
-    let n = get_u32(b)? as usize;
-    if b.remaining() < n * 8 {
+    let n = get_u32(b)?;
+    // The byte count is computed in u64: `n as usize * 8` would overflow on
+    // 32-bit targets and let a truncated frame pass the bounds check.
+    if (b.remaining() as u64) < u64::from(n) * 8 {
         return Err(WireError("truncated u64 vec".into()));
     }
     Ok((0..n).map(|_| b.get_u64_le()).collect())
@@ -461,14 +496,25 @@ fn put_buf(b: &mut BytesMut, buf: &WireBuf) {
 fn get_buf(b: &mut Bytes) -> WireResult<WireBuf> {
     match get_u8(b)? {
         0 => {
-            let n = get_u64(b)? as usize;
-            if b.remaining() < n {
+            let n = get_u64(b)?;
+            // Compare in u64 before narrowing: on 32-bit targets a huge
+            // length must fail the check, not wrap in the `as usize` cast.
+            if (b.remaining() as u64) < n {
                 return Err(WireError("truncated payload".into()));
             }
-            Ok(WireBuf::Bytes(b.split_to(n).to_vec()))
+            // Zero-copy: the payload is a refcounted subslice of the frame.
+            Ok(WireBuf::Bytes(b.split_to(n as usize)))
         }
         1 => Ok(WireBuf::Logical(get_u64(b)?)),
         t => Err(WireError(format!("bad WireBuf tag {t}"))),
+    }
+}
+
+/// Encoded size of [`put_buf`]'s output.
+fn buf_len(buf: &WireBuf) -> u64 {
+    match buf {
+        WireBuf::Bytes(raw) => 1 + 8 + raw.len() as u64,
+        WireBuf::Logical(_) => 1 + 8,
     }
 }
 
@@ -502,6 +548,18 @@ fn put_args(b: &mut BytesMut, a: &WireArgs) {
         }
         None => b.put_u8(0),
     }
+}
+
+/// Encoded size of [`put_cfg`]'s output (six u32 dims).
+const CFG_LEN: u64 = 24;
+
+/// Encoded size of [`put_args`]'s output.
+fn args_len(a: &WireArgs) -> u64 {
+    vec_u64_len(&a.ptrs)
+        + vec_u64_len(&a.scalars)
+        + 8
+        + 1
+        + if a.work_hint.is_some() { 8 } else { 0 }
 }
 
 fn get_args(b: &mut Bytes) -> WireResult<WireArgs> {
@@ -544,43 +602,117 @@ pub fn descriptor_kind_from_u8(v: u8) -> WireResult<DescriptorKind> {
     })
 }
 
+/// Pre-joined telemetry key strings for one API class. The RPC and dispatch
+/// hot paths record several metrics per call; building these names with
+/// `format!` allocated three strings per request, so they are interned here
+/// once per class at compile time. The strings are byte-identical to what
+/// the old `format!` calls produced (golden traces depend on them).
+pub struct ClassKeys {
+    /// The bare class label (what [`Request::class`] returns).
+    pub class: &'static str,
+    /// `rpc.latency_ns.<class>` — client round-trip latency histogram.
+    pub latency_ns: &'static str,
+    /// `rpc.bytes.<class>` — client per-call wire bytes histogram.
+    pub bytes: &'static str,
+    /// `rpc.calls.<class>` — client round-trip counter.
+    pub calls: &'static str,
+    /// `server.requests.<class>` — dispatcher served-request counter.
+    pub server_requests: &'static str,
+}
+
+macro_rules! class_keys {
+    ($class:literal) => {
+        &ClassKeys {
+            class: $class,
+            latency_ns: concat!("rpc.latency_ns.", $class),
+            bytes: concat!("rpc.bytes.", $class),
+            calls: concat!("rpc.calls.", $class),
+            server_requests: concat!("server.requests.", $class),
+        }
+    };
+}
+
 impl Request {
     /// Telemetry API class of this request: a small, stable label grouping
     /// the CUDA/cuDNN/cuBLAS surface the way the remoting-characterization
     /// literature buckets it (memory ops, copies, launches, sync, library
     /// handles). Used to key per-class latency/bytes histograms.
     pub fn class(&self) -> &'static str {
+        self.class_keys().class
+    }
+
+    /// The interned per-class telemetry key set (see [`ClassKeys`]).
+    pub fn class_keys(&self) -> &'static ClassKeys {
         use Request::*;
         match self {
-            Init { .. } => "init",
-            RegisterModule { .. } => "register_module",
+            Init { .. } => class_keys!("init"),
+            RegisterModule { .. } => class_keys!("register_module"),
             GetDeviceCount
             | GetDeviceProps { .. }
             | SetDevice { .. }
-            | PointerGetAttributes { .. } => "device_query",
-            Malloc { .. } | Free { .. } | Memset { .. } | MallocHost { .. } => "mem",
-            MemcpyH2D { .. } => "memcpy_h2d",
-            MemcpyD2H { .. } => "memcpy_d2h",
-            PushCallConfiguration { .. } | Launch { .. } | LaunchConfigured { .. } => "launch",
-            Sync => "sync",
-            StreamCreate | StreamDestroy { .. } | StreamSync { .. } => "stream",
-            EventCreate | EventRecord { .. } | EventSync { .. } => "event",
+            | PointerGetAttributes { .. } => class_keys!("device_query"),
+            Malloc { .. } | Free { .. } | Memset { .. } | MallocHost { .. } => class_keys!("mem"),
+            MemcpyH2D { .. } => class_keys!("memcpy_h2d"),
+            MemcpyD2H { .. } => class_keys!("memcpy_d2h"),
+            PushCallConfiguration { .. } | Launch { .. } | LaunchConfigured { .. } => {
+                class_keys!("launch")
+            }
+            Sync => class_keys!("sync"),
+            StreamCreate | StreamDestroy { .. } | StreamSync { .. } => class_keys!("stream"),
+            EventCreate | EventRecord { .. } | EventSync { .. } => class_keys!("event"),
             CudnnCreate { .. }
             | CudnnDestroy { .. }
             | CudnnCreateDescriptors { .. }
             | CudnnSetDescriptors { .. }
             | CudnnDestroyDescriptors { .. }
-            | CudnnOp { .. } => "cudnn",
-            CublasCreate { .. } | CublasDestroy { .. } | CublasOp { .. } => "cublas",
-            Batch(_) => "batch",
-            EndFunction => "end_function",
+            | CudnnOp { .. } => class_keys!("cudnn"),
+            CublasCreate { .. } | CublasDestroy { .. } | CublasOp { .. } => class_keys!("cublas"),
+            Batch(_) => class_keys!("batch"),
+            EndFunction => class_keys!("end_function"),
         }
     }
 
-    /// Serialize into a fresh frame.
+    /// Exact number of bytes [`Request::encode`] will produce, computed
+    /// arithmetically — no buffer is filled. `encode` allocates exactly this
+    /// much and [`Request::wire_size`] builds on it, so the hot path pays
+    /// one traversal instead of a throwaway encode.
+    pub fn encoded_len(&self) -> u64 {
+        use Request::*;
+        1 + match self {
+            Init { .. } | CudnnCreate { .. } | CublasCreate { .. } => 1,
+            RegisterModule { kernels } => 4 + kernels.iter().map(|k| str_len(k)).sum::<u64>(),
+            GetDeviceCount | Sync | StreamCreate | EventCreate | EndFunction => 0,
+            GetDeviceProps { .. } | SetDevice { .. } => 4,
+            Malloc { .. }
+            | Free { .. }
+            | MallocHost { .. }
+            | StreamDestroy { .. }
+            | StreamSync { .. }
+            | EventRecord { .. }
+            | EventSync { .. }
+            | PointerGetAttributes { .. }
+            | CudnnDestroy { .. }
+            | CudnnSetDescriptors { .. }
+            | CudnnDestroyDescriptors { .. }
+            | CublasDestroy { .. } => 8,
+            Memset { .. } => 8 + 1 + 8,
+            MemcpyH2D { data, .. } => 8 + buf_len(data),
+            MemcpyD2H { .. } => 8 + 8 + 1,
+            PushCallConfiguration { .. } => CFG_LEN,
+            Launch { args, .. } => 8 + args_len(args),
+            LaunchConfigured { args, .. } => 8 + 8 + CFG_LEN + args_len(args),
+            CudnnCreateDescriptors { .. } => 1 + 8,
+            CudnnOp { .. } | CublasOp { .. } => 8 + 8 + 8 + 8,
+            Batch(reqs) => 4 + reqs.iter().map(|r| r.encoded_len()).sum::<u64>(),
+        }
+    }
+
+    /// Serialize into a fresh frame (allocated at exactly
+    /// [`Request::encoded_len`] bytes).
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64);
+        let mut b = BytesMut::with_capacity(self.encoded_len() as usize);
         self.encode_into(&mut b);
+        debug_assert_eq!(b.len() as u64, self.encoded_len(), "encoded_len drift");
         b.freeze()
     }
 
@@ -748,8 +880,14 @@ impl Request {
         }
     }
 
-    /// Deserialize from a frame.
+    /// Deserialize from a frame. Payloads ([`WireBuf::Bytes`]) are zero-copy
+    /// refcounted subslices of `frame`; nested [`Request::Batch`] frames
+    /// deeper than [`MAX_BATCH_DEPTH`] are rejected with a [`WireError`].
     pub fn decode(frame: &mut Bytes) -> WireResult<Request> {
+        Request::decode_at(frame, 0)
+    }
+
+    fn decode_at(frame: &mut Bytes, depth: u32) -> WireResult<Request> {
         use Request::*;
         let tag = get_u8(frame)?;
         Ok(match tag {
@@ -845,10 +983,15 @@ impl Request {
                 api_calls: get_u64(frame)?,
             },
             32 => {
+                if depth >= MAX_BATCH_DEPTH {
+                    return Err(WireError(format!(
+                        "batch nesting exceeds depth {MAX_BATCH_DEPTH}"
+                    )));
+                }
                 let n = get_u32(frame)? as usize;
                 let mut reqs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    reqs.push(Request::decode(frame)?);
+                    reqs.push(Request::decode_at(frame, depth + 1)?);
                 }
                 Batch(reqs)
             }
@@ -858,14 +1001,19 @@ impl Request {
     }
 
     /// Bytes this request occupies on the wire, counting logical payloads at
-    /// their full size (what the network model must charge).
+    /// their full size (what the network model must charge). Pure arithmetic
+    /// over [`Request::encoded_len`] — nothing is allocated or encoded.
     pub fn wire_size(&self) -> u64 {
-        let encoded = {
-            let mut b = BytesMut::new();
-            self.encode_into(&mut b);
-            b.len() as u64
-        };
-        encoded + self.logical_extra()
+        self.encoded_len() + self.logical_extra()
+    }
+
+    /// Encode and compute [`Request::wire_size`] in one pass: the wire size
+    /// is derived from the already-encoded frame's length instead of a
+    /// second traversal.
+    pub fn encode_sized(&self) -> (Bytes, u64) {
+        let frame = self.encode();
+        let size = frame.len() as u64 + self.logical_extra();
+        (frame, size)
     }
 
     fn logical_extra(&self) -> u64 {
@@ -881,9 +1029,27 @@ impl Request {
 }
 
 impl Response {
-    /// Serialize into a fresh frame.
+    /// Exact number of bytes [`Response::encode`] will produce, computed
+    /// arithmetically (see [`Request::encoded_len`]).
+    pub fn encoded_len(&self) -> u64 {
+        use Response::*;
+        1 + match self {
+            Ok => 0,
+            Err { msg, .. } => 1 + str_len(msg),
+            Ptr(_) | Handle(_) => 8,
+            Count(_) => 4,
+            Props(p) => str_len(&p.name) + 8 + 4 + 4 + 4,
+            Data(d) => buf_len(d),
+            Handles(hs) => vec_u64_len(hs),
+            Fptrs(fs) => 4 + fs.iter().map(|(name, _)| str_len(name) + 8).sum::<u64>(),
+            Attrs { alloc_size, .. } => 1 + 1 + if alloc_size.is_some() { 8 } else { 0 } + 4,
+        }
+    }
+
+    /// Serialize into a fresh frame (allocated at exactly
+    /// [`Response::encoded_len`] bytes).
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(32);
+        let mut b = BytesMut::with_capacity(self.encoded_len() as usize);
         use Response::*;
         match self {
             Ok => b.put_u8(0),
@@ -945,6 +1111,7 @@ impl Response {
                 b.put_u32_le(*device);
             }
         }
+        debug_assert_eq!(b.len() as u64, self.encoded_len(), "encoded_len drift");
         b.freeze()
     }
 
@@ -992,13 +1159,24 @@ impl Response {
         })
     }
 
-    /// Bytes on the wire, counting logical payloads at full size.
+    /// Bytes on the wire, counting logical payloads at full size. Pure
+    /// arithmetic — nothing is allocated or encoded.
     pub fn wire_size(&self) -> u64 {
-        let extra = match self {
+        self.encoded_len() + self.logical_extra()
+    }
+
+    /// Encode and compute [`Response::wire_size`] in one pass.
+    pub fn encode_sized(&self) -> (Bytes, u64) {
+        let frame = self.encode();
+        let size = frame.len() as u64 + self.logical_extra();
+        (frame, size)
+    }
+
+    fn logical_extra(&self) -> u64 {
+        match self {
             Response::Data(WireBuf::Logical(n)) => *n,
             _ => 0,
-        };
-        self.encode().len() as u64 + extra
+        }
     }
 }
 
@@ -1030,7 +1208,7 @@ mod tests {
         });
         roundtrip_req(&Request::MemcpyH2D {
             dst: 0x7000_0000_0000,
-            data: WireBuf::Bytes(vec![1, 2, 3]),
+            data: vec![1, 2, 3].into(),
         });
         roundtrip_req(&Request::LaunchConfigured {
             fptr: 42,
@@ -1133,17 +1311,303 @@ mod tests {
 
         #[test]
         fn prop_h2d_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048), dst in any::<u64>()) {
-            let r = Request::MemcpyH2D { dst, data: WireBuf::Bytes(data) };
+            let r = Request::MemcpyH2D { dst, data: data.into() };
             let mut frame = r.encode();
             prop_assert_eq!(Request::decode(&mut frame).unwrap(), r);
         }
 
         #[test]
-        fn prop_random_bytes_never_panic_decoder(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let mut frame = Bytes::from(raw);
+        fn prop_random_bytes_never_panic_decoder(
+            raw in proptest::collection::vec(any::<u8>(), 0..4096),
+            // Seed the frame with a run of valid tags so the fuzzer reaches
+            // deep into variant bodies (and the Batch recursion) instead of
+            // bailing on the first byte.
+            prefix in proptest::collection::vec(1u8..34, 0..8),
+        ) {
+            let mut seeded = prefix;
+            seeded.extend_from_slice(&raw);
+            let mut frame = Bytes::from(seeded);
             let _ = Request::decode(&mut frame);
             let mut frame2 = frame.clone();
             let _ = Response::decode(&mut frame2);
         }
+
+        #[test]
+        fn prop_encoded_len_matches_encode(r in arb_request()) {
+            prop_assert_eq!(r.encoded_len(), r.encode().len() as u64);
+            // and wire_size = encoded_len + logical payload charge, always
+            prop_assert!(r.wire_size() >= r.encoded_len());
+        }
+
+        #[test]
+        fn prop_response_encoded_len_matches_encode(r in arb_response()) {
+            prop_assert_eq!(r.encoded_len(), r.encode().len() as u64);
+            prop_assert!(r.wire_size() >= r.encoded_len());
+        }
+    }
+
+    use proptest::test_runner::TestRng;
+
+    /// Strategy over every `Request` variant — including nested batches and
+    /// logical payloads — for the encoded_len ≡ encode().len() equivalence.
+    /// (The vendored proptest is a plain sampler, so this is a direct
+    /// recursive generator rather than a combinator tree.)
+    struct ArbRequest;
+    impl Strategy for ArbRequest {
+        type Value = Request;
+        fn sample(&self, rng: &mut TestRng) -> Request {
+            gen_request(rng, 0)
+        }
+    }
+    fn arb_request() -> ArbRequest {
+        ArbRequest
+    }
+
+    /// Strategy over every `Response` variant.
+    struct ArbResponse;
+    impl Strategy for ArbResponse {
+        type Value = Response;
+        fn sample(&self, rng: &mut TestRng) -> Response {
+            gen_response(rng)
+        }
+    }
+    fn arb_response() -> ArbResponse {
+        ArbResponse
+    }
+
+    fn gen_string(rng: &mut TestRng) -> String {
+        let len = rng.range(0usize..16);
+        (0..len)
+            .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+            .collect()
+    }
+
+    fn gen_buf(rng: &mut TestRng) -> WireBuf {
+        if rng.next_u64().is_multiple_of(2) {
+            let len = rng.range(0usize..64);
+            WireBuf::from((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
+        } else {
+            WireBuf::Logical(rng.next_u64())
+        }
+    }
+
+    fn gen_args(rng: &mut TestRng) -> WireArgs {
+        WireArgs {
+            ptrs: (0..rng.range(0usize..4)).map(|_| rng.next_u64()).collect(),
+            scalars: (0..rng.range(0usize..4)).map(|_| rng.next_u64()).collect(),
+            bytes: rng.next_u64(),
+            work_hint: (rng.next_u64().is_multiple_of(2)).then(|| rng.unit_f64()),
+        }
+    }
+
+    fn gen_cfg(rng: &mut TestRng) -> WireCfg {
+        WireCfg {
+            grid: (
+                rng.next_u64() as u32,
+                rng.next_u64() as u32,
+                rng.next_u64() as u32,
+            ),
+            block: (
+                rng.next_u64() as u32,
+                rng.next_u64() as u32,
+                rng.next_u64() as u32,
+            ),
+        }
+    }
+
+    fn gen_request(rng: &mut TestRng, depth: u32) -> Request {
+        use Request::*;
+        // Batch only below the decoder's depth cap, weighted in often enough
+        // that nesting is exercised every run.
+        let max_tag = if depth < MAX_BATCH_DEPTH { 33 } else { 31 };
+        match rng.range(1u32..max_tag + 1) {
+            1 => Init {
+                pooled_context: rng.next_u64().is_multiple_of(2),
+            },
+            2 => RegisterModule {
+                kernels: (0..rng.range(0usize..4)).map(|_| gen_string(rng)).collect(),
+            },
+            3 => GetDeviceCount,
+            4 => GetDeviceProps {
+                dev: rng.next_u64() as u32,
+            },
+            5 => SetDevice {
+                dev: rng.next_u64() as u32,
+            },
+            6 => Malloc {
+                bytes: rng.next_u64(),
+            },
+            7 => Free {
+                ptr: rng.next_u64(),
+            },
+            8 => Memset {
+                ptr: rng.next_u64(),
+                value: rng.next_u64() as u8,
+                bytes: rng.next_u64(),
+            },
+            9 => MemcpyH2D {
+                dst: rng.next_u64(),
+                data: gen_buf(rng),
+            },
+            10 => MemcpyD2H {
+                src: rng.next_u64(),
+                bytes: rng.next_u64(),
+                want_data: rng.next_u64().is_multiple_of(2),
+            },
+            11 => PushCallConfiguration { cfg: gen_cfg(rng) },
+            12 => Launch {
+                fptr: rng.next_u64(),
+                args: gen_args(rng),
+            },
+            13 => LaunchConfigured {
+                fptr: rng.next_u64(),
+                stream: rng.next_u64(),
+                cfg: gen_cfg(rng),
+                args: gen_args(rng),
+            },
+            14 => Sync,
+            15 => StreamCreate,
+            16 => StreamDestroy { h: rng.next_u64() },
+            17 => StreamSync { h: rng.next_u64() },
+            18 => EventCreate,
+            19 => EventRecord { h: rng.next_u64() },
+            20 => EventSync { h: rng.next_u64() },
+            21 => PointerGetAttributes {
+                ptr: rng.next_u64(),
+            },
+            22 => MallocHost {
+                bytes: rng.next_u64(),
+            },
+            23 => CudnnCreate {
+                pooled: rng.next_u64().is_multiple_of(2),
+            },
+            24 => CudnnDestroy { h: rng.next_u64() },
+            25 => CudnnCreateDescriptors {
+                kind: rng.next_u64() as u8,
+                n: rng.next_u64(),
+            },
+            26 => CudnnSetDescriptors { n: rng.next_u64() },
+            27 => CudnnDestroyDescriptors { n: rng.next_u64() },
+            28 => CudnnOp {
+                h: rng.next_u64(),
+                work: rng.unit_f64(),
+                bytes: rng.next_u64(),
+                api_calls: rng.next_u64(),
+            },
+            29 => CublasCreate {
+                pooled: rng.next_u64().is_multiple_of(2),
+            },
+            30 => CublasDestroy { h: rng.next_u64() },
+            31 => CublasOp {
+                h: rng.next_u64(),
+                work: rng.unit_f64(),
+                bytes: rng.next_u64(),
+                api_calls: rng.next_u64(),
+            },
+            32 => EndFunction,
+            _ => Batch(
+                (0..rng.range(0usize..4))
+                    .map(|_| gen_request(rng, depth + 1))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn gen_response(rng: &mut TestRng) -> Response {
+        use Response::*;
+        match rng.range(0u32..10) {
+            0 => Ok,
+            1 => Err {
+                class: rng.next_u64() as u8,
+                msg: gen_string(rng),
+            },
+            2 => Ptr(rng.next_u64()),
+            3 => Count(rng.next_u64() as u32),
+            4 => Props(WireProps {
+                name: gen_string(rng),
+                total_mem: rng.next_u64(),
+                sm_count: rng.next_u64() as u32,
+                cc: (rng.next_u64() as u32, rng.next_u64() as u32),
+            }),
+            5 => Handle(rng.next_u64()),
+            6 => Data(gen_buf(rng)),
+            7 => Handles((0..rng.range(0usize..8)).map(|_| rng.next_u64()).collect()),
+            8 => Fptrs(
+                (0..rng.range(0usize..4))
+                    .map(|_| (gen_string(rng), rng.next_u64()))
+                    .collect(),
+            ),
+            _ => Attrs {
+                is_device: rng.next_u64().is_multiple_of(2),
+                alloc_size: (rng.next_u64().is_multiple_of(2)).then(|| rng.next_u64()),
+                device: rng.next_u64() as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn deeply_nested_batch_errors_instead_of_overflowing() {
+        // A frame of repeated tag-32 prefixes claims batches nested far past
+        // any legitimate producer. Pre-fix this recursed once per level and
+        // aborted on stack overflow; now it must come back as a WireError.
+        let mut raw = Vec::new();
+        for _ in 0..100_000 {
+            raw.push(32u8); // Batch tag
+            raw.extend_from_slice(&1u32.to_le_bytes()); // "one element follows"
+        }
+        raw.push(14); // innermost: Sync
+        let mut frame = Bytes::from(raw);
+        let err = Request::decode(&mut frame).expect_err("must reject, not abort");
+        assert!(err.0.contains("depth"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn batch_nesting_at_the_cap_still_decodes() {
+        // Depth MAX_BATCH_DEPTH itself is legal; one past is not.
+        let mut r = Request::Sync;
+        for _ in 0..MAX_BATCH_DEPTH {
+            r = Request::Batch(vec![r]);
+        }
+        roundtrip_req(&r);
+        let too_deep = Request::Batch(vec![r]);
+        let mut frame = too_deep.encode();
+        assert!(Request::decode(&mut frame).is_err());
+    }
+
+    #[test]
+    fn decoded_payload_borrows_from_the_frame() {
+        // Zero-copy contract: the decoded WireBuf is a subslice of the
+        // arriving frame, not a fresh allocation.
+        let r = Request::MemcpyH2D {
+            dst: 7,
+            data: vec![9u8; 4096].into(),
+        };
+        let frame = r.encode();
+        let mut f = frame.clone();
+        let back = Request::decode(&mut f).unwrap();
+        match back {
+            Request::MemcpyH2D {
+                data: WireBuf::Bytes(b),
+                ..
+            } => {
+                assert_eq!(b.len(), 4096);
+                // same backing storage ⇒ the payload's first byte lives
+                // inside the frame's allocation
+                let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+                assert!(frame_range.contains(&(b.as_ptr() as usize)));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_u64_vec_length_is_rejected() {
+        // A claimed length of u32::MAX must fail the bounds check (and on
+        // 32-bit targets must not wrap `n * 8` into a tiny number).
+        let mut raw = vec![12u8]; // Launch tag
+        raw.extend_from_slice(&8u64.to_le_bytes()); // fptr
+        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // ptrs len
+        let mut frame = Bytes::from(raw);
+        assert!(Request::decode(&mut frame).is_err());
     }
 }

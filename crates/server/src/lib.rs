@@ -121,7 +121,10 @@ mod tests {
             assert_eq!(recs[0].queue_delay().unwrap(), Dur::ZERO);
         });
         sim.run();
-        assert_eq!(out.lock().take().unwrap(), HostBuf::Bytes(vec![0xAB; 8]));
+        assert_eq!(
+            out.lock().take().unwrap(),
+            HostBuf::Bytes(vec![0xAB; 8].into())
+        );
     }
 
     #[test]
@@ -280,7 +283,7 @@ mod tests {
                 api.runtime_init(p).unwrap();
                 api.register_module(p, registry()).unwrap();
                 let buf = api.malloc(p, 64 * MB).unwrap();
-                api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![5u8; 1024]))
+                api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![5u8; 1024].into()))
                     .unwrap();
                 api.device_synchronize(p).unwrap();
                 let before = srv2.server_current_gpu(0);
@@ -291,7 +294,7 @@ mod tests {
                 assert_ne!(before, after);
                 assert_eq!(after, GpuId(1));
                 let data = api.memcpy_d2h(p, buf, 1024, true).unwrap();
-                assert_eq!(data, HostBuf::Bytes(vec![5u8; 1024]));
+                assert_eq!(data, HostBuf::Bytes(vec![5u8; 1024].into()));
                 api.finish(p).unwrap();
                 // after the function, the server reverts home
                 assert_eq!(srv2.server_current_gpu(0), GpuId(0));

@@ -114,6 +114,10 @@ pub(crate) struct SimState {
     procs: HashMap<ProcId, ProcRec>,
     pub(crate) shutdown: bool,
     pub(crate) rng: StdRng,
+    /// Events popped and executed so far (wakes + calls, stale wakes
+    /// included). The scale harness divides this by wall time to report
+    /// kernel throughput.
+    executed: u64,
 }
 
 impl SimState {
@@ -186,6 +190,7 @@ impl Sim {
                 procs: HashMap::new(),
                 shutdown: false,
                 rng: StdRng::seed_from_u64(seed),
+                executed: 0,
             }),
             yield_tx,
             handles: Mutex::new(Vec::new()),
@@ -244,6 +249,7 @@ impl Sim {
                     Some(ev) if ev.time <= deadline => {
                         let ev = st.queue.pop().expect("peeked");
                         st.now = st.now.max(ev.time);
+                        st.executed += 1;
                         Some(ev)
                     }
                     _ => None,
@@ -312,6 +318,12 @@ impl Sim {
             }
             Err(_) => {} // all senders gone; nothing left to wait for
         }
+    }
+
+    /// Total kernel events executed so far (process wakes and call timers).
+    /// Monotone across `run_until` calls; deterministic per seed.
+    pub fn events_executed(&self) -> u64 {
+        self.shared.state.lock().executed
     }
 
     /// Names of processes still alive (parked); useful for debugging hangs.

@@ -27,6 +27,51 @@ pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
     xs.shuffle(rng);
 }
 
+/// Log-normally distributed duration with underlying normal parameters
+/// `mu`/`sigma` (of the log, in seconds). Heavy-tailed service times: the
+/// median is `e^mu` seconds, the mean `e^{mu + sigma^2/2}`.
+///
+/// Uses Box–Muller on two uniform draws, consuming exactly two RNG samples
+/// per call so traces stay byte-reproducible per seed.
+pub fn lognormal_dur<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> Dur {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    Dur::from_secs_f64((mu + sigma * z).exp())
+}
+
+/// Precomputed Zipf(`s`) sampler over ranks `0..n`: rank `k` has weight
+/// `1 / (k+1)^s`. Skewed tenant mixes — a handful of hot tenants get most
+/// of the traffic while a long tail stays warm.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative weights, normalised to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (rank 0 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +101,38 @@ mod tests {
         };
         assert_eq!(sample(1), sample(1));
         assert_ne!(sample(1), sample(2));
+    }
+
+    #[test]
+    fn lognormal_dur_matches_the_median() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // mu = ln(0.01) → median 10 ms; sample median should land nearby.
+        let mu = (0.01f64).ln();
+        let mut xs: Vec<u64> = (0..20_001)
+            .map(|_| lognormal_dur(&mut rng, mu, 1.5).as_nanos())
+            .collect();
+        xs.sort_unstable();
+        let median = xs[xs.len() / 2] as f64 / 1e9;
+        assert!(
+            (median - 0.01).abs() < 0.002,
+            "observed median {median}, expected ~0.01"
+        );
+        // Heavy tail: max should dwarf the median.
+        assert!(*xs.last().unwrap() as f64 / 1e9 > 0.1);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(16, 1.1);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 16);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[4]);
+        assert!(counts.iter().all(|&c| c > 0), "tail ranks must still occur");
     }
 
     #[test]

@@ -117,14 +117,14 @@ fn migration_respects_target_capacity() {
         api.runtime_init(p).unwrap();
         api.register_module(p, registry()).unwrap();
         let buf = api.malloc(p, 1024 * MB).unwrap();
-        api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![9u8; 64]))
+        api.memcpy_h2d(p, buf, HostBuf::Bytes(vec![9u8; 64].into()))
             .unwrap();
         server.force_migration(0, GpuId(1));
         api.device_synchronize(p).unwrap(); // boundary: migration attempted
         assert_eq!(server.server_current_gpu(0), GpuId(0), "migration skipped");
         assert!(server.migrations().is_empty());
         let out = api.memcpy_d2h(p, buf, 64, true).unwrap();
-        assert_eq!(out, HostBuf::Bytes(vec![9u8; 64]));
+        assert_eq!(out, HostBuf::Bytes(vec![9u8; 64].into()));
         api.finish(p).unwrap();
         server.gpus[1].release(hog);
     });

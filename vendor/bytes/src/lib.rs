@@ -24,8 +24,10 @@ macro_rules! fmt_as_byte_string {
 }
 
 /// Cheaply cloneable immutable byte view. Reading via [`Buf`] consumes from
-/// the front, as in the real crate.
-#[derive(Clone, Default, PartialEq, Eq)]
+/// the front, as in the real crate. Equality is by content, not by backing
+/// storage — a zero-copy subslice equals a standalone buffer with the same
+/// bytes.
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
@@ -138,6 +140,44 @@ impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
