@@ -21,6 +21,12 @@
 //! combination and writes `BENCH_fleet.json` to DIR (default
 //! `target/fleet`). Deterministic: same seed ⇒ byte-identical file.
 //!
+//! `dgsf-expt pipeline [--quick] [--out DIR]` runs the three-stage
+//! function-DAG comparison — host-bounce vs GPU-resident inter-stage
+//! handoff on the same launch schedule — and writes `BENCH_pipeline.json`
+//! to DIR (default `target/pipeline`). Deterministic: same seed ⇒
+//! byte-identical file.
+//!
 //! `dgsf-expt scale [--quick] [--out DIR]` drives the heavy-tailed
 //! open-loop trace (log-normal service, Zipf tenant mix) through the
 //! remoting stack — 1.2M invocations, or 50k with `--quick` — and
@@ -36,7 +42,7 @@
 //! DIR (default `target/attrib`). Deterministic: same seed ⇒
 //! byte-identical files.
 
-use dgsf_bench::{attrib, fleet, mixed, scale, single, sweep, trace};
+use dgsf_bench::{attrib, fleet, mixed, pipeline, scale, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +103,25 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("fleet export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "pipeline" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/pipeline")
+        } else {
+            out_dir
+        };
+        let o = pipeline::pipeline(seed, quick);
+        println!("== DAG pipeline: host-bounce vs GPU-resident handoff ==");
+        print!("{}", pipeline::pipeline_text(&o));
+        match pipeline::write_pipeline(&dir, &o) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("pipeline export failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -32,6 +32,7 @@
 pub mod attrib;
 pub mod fleet;
 pub mod mixed;
+pub mod pipeline;
 pub mod report;
 pub mod scale;
 pub mod single;

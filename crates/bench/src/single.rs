@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use dgsf::prelude::*;
 use dgsf::server::GpuServer;
-use dgsf::serverless::{invoke_dgsf, phase, ObjectStore};
+use dgsf::serverless::{phase, InvokeOptions, Invoker, ObjectStore};
 use dgsf::sim::Sim;
 use dgsf::workloads::{paper_suite, SyntheticMigration, TraceSpec};
 use dgsf::{gpu, remoting};
@@ -84,7 +84,11 @@ pub fn migration_probe(w: &Arc<TraceSpec>) -> f64 {
         let w2 = Arc::clone(&w);
         let store2 = Arc::clone(&store);
         h2.spawn("fn", move |p| {
-            let _ = invoke_dgsf(p, &server2, &store2, w2.as_ref(), OptConfig::full());
+            let _ = Invoker::new(&server2, &store2).invoke(
+                p,
+                w2.as_ref(),
+                InvokeOptions::new(OptConfig::full()),
+            );
         });
         // Trigger the migration once the function is mid-processing.
         let dl = store.download_time(w.download_bytes());
@@ -438,7 +442,11 @@ fn migration_probe_total(w: &Arc<TraceSpec>) -> f64 {
         let w2 = Arc::clone(&w);
         let store2 = Arc::clone(&store);
         h2.spawn("fn", move |p| {
-            let _ = invoke_dgsf(p, &server2, &store2, w2.as_ref(), OptConfig::full());
+            let _ = Invoker::new(&server2, &store2).invoke(
+                p,
+                w2.as_ref(),
+                InvokeOptions::new(OptConfig::full()),
+            );
         });
         let dl = store.download_time(w.download_bytes());
         p.sleep(dl + Dur::from_secs_f64(w.load.work + 1.0 + w.total_gpu_work() / 2.0));

@@ -84,6 +84,49 @@ pub fn check_backend_run(out: &BackendRunOutput) -> InvariantReport {
     report
 }
 
+/// Run the handoff exactly-once oracle over a fleet's resident-store
+/// audit log: every published buffer was published under a fresh key and
+/// reached exactly one terminal state (adopted by a successor stage or
+/// reclaimed on abort/teardown), and nothing is still parked. Call at
+/// quiescence — a buffer legitimately in flight between two stages counts
+/// as "still parked" until its DAG finishes.
+pub fn check_resident_handoff(server: &GpuServer) -> InvariantReport {
+    use dgsf_cuda::ResidentEvent;
+    use std::collections::HashMap;
+    let mut report = InvariantReport::default();
+    // key -> (published, adopted, reclaimed) counts
+    let mut by_key: HashMap<u64, (u32, u32, u32)> = HashMap::new();
+    for ev in server.resident_events() {
+        match ev {
+            ResidentEvent::Published { key, .. } => by_key.entry(key).or_default().0 += 1,
+            ResidentEvent::Adopted { key, .. } => by_key.entry(key).or_default().1 += 1,
+            ResidentEvent::Reclaimed { key, .. } => by_key.entry(key).or_default().2 += 1,
+        }
+    }
+    let mut keys: Vec<u64> = by_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let (published, adopted, reclaimed) = by_key[&key];
+        if published != 1 || adopted + reclaimed != 1 {
+            report.violations.push(dgsf_sim::invariants::Violation {
+                rule: "resident-handoff-exactly-once",
+                detail: format!(
+                    "key {key:#x}: published {published}, adopted {adopted}, \
+                     reclaimed {reclaimed} (want exactly 1 publish and 1 terminal)"
+                ),
+            });
+        }
+    }
+    let parked = server.resident_in_store();
+    if parked != 0 {
+        report.violations.push(dgsf_sim::invariants::Violation {
+            rule: "resident-store-drains",
+            detail: format!("{parked} buffer(s) still parked at quiescence"),
+        });
+    }
+    report
+}
+
 /// Check that GPU memory accounting balances on a quiescent server: what
 /// each GPU holds equals the idle footprint implied by the live registry
 /// (home workers plus migrated-in contexts).

@@ -47,7 +47,7 @@ pub mod invariants;
 mod platform;
 mod testbed;
 
-pub use invariants::{check_backend_run, check_memory_balance};
+pub use invariants::{check_backend_run, check_memory_balance, check_resident_handoff};
 pub use platform::{ConfigError, PlatformConfig};
 pub use testbed::{BackendRunConfig, BackendRunOutput, RunOutput, Testbed, TestbedConfig};
 
@@ -86,7 +86,8 @@ pub mod prelude {
     };
     pub use dgsf_serverless::{
         AdmissionConfig, ArrivalPattern, ClusterBalancer, FailureClass, FairShedConfig,
-        PhaseRecorder, RetryPolicy, Schedule, ServerPolicy, StickyConfig, Tenanted, Workload,
+        InvokeOptions, Invoker, Phase, PhaseRecorder, RetryPolicy, Schedule, StickyConfig,
+        Tenanted, Workload,
     };
     pub use dgsf_sim::{Dur, Sim, SimTime};
 }

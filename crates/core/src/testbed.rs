@@ -13,8 +13,8 @@ use dgsf_cuda::CostTable;
 use dgsf_remoting::OptConfig;
 use dgsf_server::{GpuServer, GpuServerConfig, InvocationRecord, MigrationRecord};
 use dgsf_serverless::{
-    invoke_cpu, invoke_dgsf, invoke_native, AdmissionConfig, Backend, FunctionResult, ObjectStore,
-    RetryPolicy, Schedule, ServerPolicy, StickyConfig, Workload,
+    invoke_cpu, invoke_native, AdmissionConfig, Backend, FleetPolicy, FunctionResult,
+    InvokeOptions, Invoker, ObjectStore, RetryPolicy, Schedule, StickyConfig, Workload,
 };
 use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
@@ -119,7 +119,7 @@ pub struct BackendRunConfig {
     /// Fleet size.
     pub num_servers: usize,
     /// Server-selection policy.
-    pub policy: ServerPolicy,
+    pub policy: FleetPolicy,
     /// Retry policy for transient failures.
     pub retry: RetryPolicy,
     /// Optional admission control (overload shedding).
@@ -138,7 +138,7 @@ impl BackendRunConfig {
             seed: 42,
             server: GpuServerConfig::paper_default(),
             num_servers: 1,
-            policy: ServerPolicy::RoundRobin,
+            policy: FleetPolicy::RoundRobin,
             retry: RetryPolicy::default(),
             admission: None,
             sticky: None,
@@ -246,7 +246,8 @@ impl Testbed {
                 let results = Arc::clone(&results2);
                 let done_count = Arc::clone(&done_count);
                 h2.spawn_at(&format!("fn-{}-{widx}", at.as_nanos()), at, move |p| {
-                    let r = invoke_dgsf(p, &server, &store, w.as_ref(), opts)
+                    let r = Invoker::new(&server, &store)
+                        .invoke(p, w.as_ref(), InvokeOptions::new(opts))
                         .expect("schedule runs fault-free");
                     results.lock().push(r);
                     *done_count.lock() += 1;

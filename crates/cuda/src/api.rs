@@ -178,6 +178,27 @@ pub trait CudaApi {
     /// `cudaPointerGetAttributes` — answerable guest-side under DGSF.
     fn pointer_get_attributes(&mut self, p: &ProcCtx, ptr: DevPtr) -> CudaResult<PtrAttributes>;
 
+    /// DGSF handoff extension: park `ptr` in the serving context's
+    /// resident store under `key` — the buffer stays on the GPU, data
+    /// intact, after this function exits, for a successor DAG stage to
+    /// [`CudaApi::adopt_buffer`]. Not part of real CUDA; backends without
+    /// a resident store report `Unsupported`.
+    fn publish_buffer(&mut self, p: &ProcCtx, key: u64, ptr: DevPtr) -> CudaResult<()> {
+        let _ = (p, key, ptr);
+        Err(crate::error::CudaError::Unsupported(
+            "publish_buffer: no resident store on this backend".into(),
+        ))
+    }
+
+    /// DGSF handoff extension: adopt the buffer a predecessor stage parked
+    /// under `key`, mapping it into this session at a fresh device pointer.
+    fn adopt_buffer(&mut self, p: &ProcCtx, key: u64) -> CudaResult<DevPtr> {
+        let _ = (p, key);
+        Err(crate::error::CudaError::Unsupported(
+            "adopt_buffer: no resident store on this backend".into(),
+        ))
+    }
+
     /// `cudaMallocHost` — host-only; fully emulated client-side under DGSF.
     fn malloc_host(&mut self, p: &ProcCtx, bytes: u64) -> CudaResult<()>;
 

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dgsf_gpu::{Gpu, ReservationId, VaSpace};
+use dgsf_gpu::{Gpu, PhysId, ReservationId, VaSpace};
 use dgsf_sim::{ProcCtx, SimHandle, SimSender};
 use parking_lot::Mutex;
 
@@ -54,6 +54,49 @@ pub(crate) enum StreamCmd {
     Sync { done: SimSender<()> },
 }
 
+/// A device buffer parked in a context's resident store between DAG
+/// stages: the physical allocation survives while no session maps it.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidentBuf {
+    /// Physical allocation handle on the context's GPU.
+    pub phys: PhysId,
+    /// Bytes the publishing session originally requested.
+    pub requested: u64,
+    /// Bytes actually mapped (requested rounded up to VA granularity).
+    pub mapped: u64,
+}
+
+/// Audit-log entry for the resident store — the raw material of the
+/// leak/exactly-once oracle: every `Published` key must later appear as
+/// exactly one `Adopted` or `Reclaimed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidentEvent {
+    /// A session parked a buffer under `key` without freeing its physical
+    /// allocation.
+    Published {
+        /// Handoff key.
+        key: u64,
+        /// Mapped bytes parked.
+        bytes: u64,
+    },
+    /// A (possibly different) session mapped the parked buffer into its
+    /// own VA space and took ownership.
+    Adopted {
+        /// Handoff key.
+        key: u64,
+        /// Mapped bytes adopted.
+        bytes: u64,
+    },
+    /// The buffer was freed without ever being adopted — on explicit
+    /// reclaim after a DAG abort, or at context teardown.
+    Reclaimed {
+        /// Handoff key.
+        key: u64,
+        /// Mapped bytes returned to the GPU.
+        bytes: u64,
+    },
+}
+
 /// A CUDA context bound to one physical GPU.
 pub struct CudaContext {
     /// Globally unique context id.
@@ -75,6 +118,13 @@ pub struct CudaContext {
     /// Streams of the same context contend on the GPU's processor-sharing
     /// compute engine, so independent streams genuinely overlap.
     engines: Mutex<HashMap<u64, SimSender<StreamCmd>>>,
+    /// GPU-resident handoff buffers parked between DAG stages, keyed by
+    /// the handoff key chosen by the publisher. The context outlives the
+    /// sessions that come and go on it, so a buffer published here stays
+    /// on-device across function invocations.
+    resident: Mutex<HashMap<u64, ResidentBuf>>,
+    /// Append-only audit log of resident-store traffic.
+    resident_log: Mutex<Vec<ResidentEvent>>,
 }
 
 /// The default stream's key in the engine table.
@@ -119,6 +169,8 @@ impl CudaContext {
             cudnn: Mutex::new(HashMap::new()),
             cublas: Mutex::new(HashMap::new()),
             engines: Mutex::new(engines),
+            resident: Mutex::new(HashMap::new()),
+            resident_log: Mutex::new(Vec::new()),
         });
         Ok(ctx)
     }
@@ -318,9 +370,78 @@ impl CudaContext {
         self.cublas.lock().len()
     }
 
+    /// Park a buffer in the resident store under `key`. Fails if the key
+    /// is already taken (handoff keys are single-use by construction).
+    pub fn publish_resident(&self, key: u64, buf: ResidentBuf) -> CudaResult<()> {
+        let mut map = self.resident.lock();
+        if map.contains_key(&key) {
+            return Err(CudaError::InvalidResourceHandle(format!(
+                "resident key {key:#x} already published"
+            )));
+        }
+        map.insert(key, buf);
+        self.resident_log.lock().push(ResidentEvent::Published {
+            key,
+            bytes: buf.mapped,
+        });
+        Ok(())
+    }
+
+    /// Look at the buffer parked under `key` without taking it.
+    pub fn resident_peek(&self, key: u64) -> CudaResult<ResidentBuf> {
+        self.resident.lock().get(&key).copied().ok_or_else(|| {
+            CudaError::InvalidResourceHandle(format!("resident key {key:#x} not published"))
+        })
+    }
+
+    /// Take ownership of the buffer parked under `key`, logging the
+    /// adoption. The caller is now responsible for the physical allocation.
+    pub fn take_resident(&self, key: u64) -> CudaResult<ResidentBuf> {
+        let buf = self.resident.lock().remove(&key).ok_or_else(|| {
+            CudaError::InvalidResourceHandle(format!("resident key {key:#x} not published"))
+        })?;
+        self.resident_log.lock().push(ResidentEvent::Adopted {
+            key,
+            bytes: buf.mapped,
+        });
+        Ok(buf)
+    }
+
+    /// Free the buffer parked under `key` without adopting it (DAG abort
+    /// path). Returns false if no such buffer is parked here.
+    pub fn reclaim_resident(&self, key: u64) -> bool {
+        let Some(buf) = self.resident.lock().remove(&key) else {
+            return false;
+        };
+        self.gpu.mem_free(buf.phys);
+        self.resident_log.lock().push(ResidentEvent::Reclaimed {
+            key,
+            bytes: buf.mapped,
+        });
+        true
+    }
+
+    /// Number of buffers currently parked in the resident store.
+    pub fn resident_count(&self) -> usize {
+        self.resident.lock().len()
+    }
+
+    /// Snapshot of the resident-store audit log, in publish/adopt order.
+    pub fn resident_events(&self) -> Vec<ResidentEvent> {
+        self.resident_log.lock().clone()
+    }
+
     /// Tear the context down: release its footprint and all library handle
-    /// reservations. (The stream executor exits at simulation shutdown.)
+    /// reservations, and reclaim any resident buffers never adopted. (The
+    /// stream executor exits at simulation shutdown.)
     pub fn release(&self) {
+        // Sort for determinism: HashMap iteration order is seeded per
+        // process, and reclaim order reaches the GPU free lists and log.
+        let mut orphans: Vec<u64> = self.resident.lock().keys().copied().collect();
+        orphans.sort_unstable();
+        for key in orphans {
+            self.reclaim_resident(key);
+        }
         if let Some(r) = self.ctx_reservation.lock().take() {
             self.gpu.release(r);
         }

@@ -34,7 +34,7 @@ mod types;
 mod view;
 
 pub use api::{ApiStats, CudaApi, LibOp};
-pub use context::{CudaContext, DEFAULT_STREAM};
+pub use context::{CudaContext, ResidentBuf, ResidentEvent, DEFAULT_STREAM};
 pub use costs::CostTable;
 pub use error::{CudaError, CudaResult};
 pub use module::{KernelCost, KernelDef, KernelFn, ModuleRegistry};

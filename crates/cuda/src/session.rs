@@ -39,6 +39,20 @@ struct SessionAlloc {
     range: VaRange,
 }
 
+/// A pipelined host→device copy not yet known to have retired: the VA range
+/// it targets plus the background transfer's completion signal.
+struct PendingH2d {
+    base: u64,
+    len: u64,
+    done: dgsf_sim::SimReceiver<()>,
+}
+
+impl PendingH2d {
+    fn overlaps(&self, base: u64, len: u64) -> bool {
+        len > 0 && self.len > 0 && base < self.base + self.len && self.base < base + len
+    }
+}
+
 /// Client-visible handle twins: the value the application holds, mapped to
 /// the per-context native value for every context the session has visited.
 #[derive(Default)]
@@ -118,6 +132,9 @@ pub struct GpuSession {
     cublas: TwinMap,
     /// Pending `cudaEventRecord` markers: client event → wait state.
     event_waits: HashMap<u64, EventWait>,
+    /// In-flight pipelined host→device copies (empty unless
+    /// [`CostTable::h2d_pipelined`] is set).
+    pending_h2d: Vec<PendingH2d>,
     /// Number of completed migrations.
     pub migrations: u32,
 }
@@ -148,6 +165,7 @@ impl GpuSession {
             cudnn: TwinMap::default(),
             cublas: TwinMap::default(),
             event_waits: HashMap::new(),
+            pending_h2d: Vec::new(),
             migrations: 0,
         }
     }
@@ -220,7 +238,11 @@ impl GpuSession {
     }
 
     /// `cudaFree`.
-    pub fn free(&mut self, _proc: &ProcCtx, ptr: DevPtr) -> CudaResult<()> {
+    pub fn free(&mut self, proc: &ProcCtx, ptr: DevPtr) -> CudaResult<()> {
+        if let Some(a) = self.allocs.get(&ptr.0) {
+            let (base, mapped) = (a.range.base, a.mapped);
+            self.fence_h2d_range(proc, base, mapped);
+        }
         let a = self
             .allocs
             .remove(&ptr.0)
@@ -234,9 +256,87 @@ impl GpuSession {
         Ok(())
     }
 
+    /// Park an allocation in the active context's resident store under
+    /// `key` (DGSF handoff extension): the buffer leaves this session —
+    /// its VA is released and its bytes stop counting against the memory
+    /// limit — but the *physical* allocation stays on the GPU, data
+    /// intact, for a later session on the same context to adopt. Pending
+    /// pipelined copies into the range are fenced first.
+    pub fn publish_buffer(&mut self, proc: &ProcCtx, key: u64, ptr: DevPtr) -> CudaResult<()> {
+        // Reject duplicate keys before dismantling the mapping, so a
+        // failed publish leaves the allocation untouched in this session.
+        if self.active.resident_peek(key).is_ok() {
+            return Err(CudaError::InvalidResourceHandle(format!(
+                "resident key {key:#x} already published"
+            )));
+        }
+        if let Some(a) = self.allocs.get(&ptr.0) {
+            let (base, mapped) = (a.range.base, a.mapped);
+            self.fence_h2d_range(proc, base, mapped);
+        }
+        let a = self
+            .allocs
+            .remove(&ptr.0)
+            .ok_or_else(|| CudaError::InvalidValue(format!("publish_buffer({:#x})", ptr.0)))?;
+        let mut va = self.va.lock();
+        va.unmap(a.range.base)?;
+        va.release(a.range)?;
+        drop(va);
+        // No `mem_free`: the physical pages survive as the parked buffer.
+        self.active.publish_resident(
+            key,
+            crate::context::ResidentBuf {
+                phys: a.phys,
+                requested: a.requested,
+                mapped: a.mapped,
+            },
+        )?;
+        self.mem_used -= a.mapped;
+        Ok(())
+    }
+
+    /// Adopt the buffer parked under `key` in the active context's
+    /// resident store: map its physical allocation into *this* session's
+    /// VA space (at a fresh virtual address — the adopter never saw the
+    /// publisher's) and take ownership as an ordinary allocation.
+    pub fn adopt_buffer(&mut self, _proc: &ProcCtx, key: u64) -> CudaResult<DevPtr> {
+        // Check the limit before taking the buffer out of the store so a
+        // failed adopt leaves it parked (and later reclaimable).
+        let mapped = {
+            let buf = self.active.resident_peek(key)?;
+            buf.mapped
+        };
+        if let Some(limit) = self.mem_limit {
+            if self.mem_used + mapped > limit {
+                return Err(CudaError::MemoryLimitExceeded {
+                    would_use: self.mem_used + mapped,
+                    limit,
+                });
+            }
+        }
+        let buf = self.active.take_resident(key)?;
+        let mut va = self.va.lock();
+        let range = va.reserve(buf.mapped)?;
+        va.map(range.base, buf.mapped, buf.phys)?;
+        drop(va);
+        self.allocs.insert(
+            range.base,
+            SessionAlloc {
+                requested: buf.requested,
+                mapped: buf.mapped,
+                phys: buf.phys,
+                range,
+            },
+        );
+        self.mem_used += buf.mapped;
+        self.peak_mem = self.peak_mem.max(self.mem_used);
+        Ok(DevPtr(range.base))
+    }
+
     /// `cudaMemset` (asynchronous, stream-ordered).
     pub fn memset(&mut self, proc: &ProcCtx, ptr: DevPtr, value: u8, bytes: u64) -> CudaResult<()> {
         self.check_mapped(ptr, bytes)?;
+        self.fence_h2d_range(proc, ptr.0, bytes);
         self.active.submit(
             proc,
             StreamCmd::Memset {
@@ -249,10 +349,38 @@ impl GpuSession {
         Ok(())
     }
 
-    /// `cudaMemcpy` host→device. Synchronous: drains the stream first (as a
-    /// default-stream pageable copy does), then charges PCIe time.
+    /// `cudaMemcpy` host→device.
+    ///
+    /// Synchronous by default: drains the stream first (as a default-stream
+    /// pageable copy does), then charges PCIe time. With
+    /// [`CostTable::h2d_pipelined`] set the call instead *stages* the copy
+    /// and returns immediately — the bytes are snapshotted (as a pinned
+    /// staging copy would) and the DMA engines move them in the background,
+    /// overlapping the transfer with compute and host work. Subsequent
+    /// kernel launches touching the destination buffer fence on the
+    /// in-flight copy; pipelined copies are not ordered against
+    /// previously-submitted stream work.
     pub fn memcpy_h2d(&mut self, proc: &ProcCtx, dst: DevPtr, src: &HostBuf) -> CudaResult<()> {
         self.check_mapped(dst, src.len())?;
+        if self.costs.h2d_pipelined {
+            if let Some(bytes) = src.as_bytes() {
+                let va = self.va.lock();
+                let mut view = DeviceView::new(&va, self.active.gpu());
+                view.write_bytes(dst, bytes);
+            }
+            let done = self.active.gpu().dma_pipelined(
+                proc,
+                src.len(),
+                self.costs.h2d_chunk_bytes,
+                self.costs.h2d_dma_engines,
+            );
+            self.pending_h2d.push(PendingH2d {
+                base: dst.0,
+                len: src.len(),
+                done,
+            });
+            return Ok(());
+        }
         self.active.sync(proc);
         self.active.gpu().dma(proc, src.len());
         if let Some(bytes) = src.as_bytes() {
@@ -261,6 +389,49 @@ impl GpuSession {
             view.write_bytes(dst, bytes);
         }
         Ok(())
+    }
+
+    /// Wait for in-flight pipelined copies overlapping `[base, base+len)`.
+    fn fence_h2d_range(&mut self, proc: &ProcCtx, base: u64, len: u64) {
+        if self.pending_h2d.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_h2d);
+        for t in pending {
+            if t.overlaps(base, len) {
+                let _ = t.done.recv(proc);
+            } else {
+                self.pending_h2d.push(t);
+            }
+        }
+    }
+
+    /// Wait for every in-flight pipelined copy.
+    fn fence_h2d_all(&mut self, proc: &ProcCtx) {
+        for t in std::mem::take(&mut self.pending_h2d) {
+            let _ = t.done.recv(proc);
+        }
+    }
+
+    /// Fence in-flight pipelined copies against the allocations any of
+    /// `ptrs` point into (a kernel may read anywhere in a buffer it is
+    /// handed, so the fence covers the whole allocation).
+    fn fence_h2d_for_ptrs(&mut self, proc: &ProcCtx, ptrs: &[DevPtr]) {
+        if self.pending_h2d.is_empty() {
+            return;
+        }
+        let spans: Vec<(u64, u64)> = ptrs
+            .iter()
+            .filter_map(|p| {
+                self.allocs
+                    .values()
+                    .find(|a| p.0 >= a.range.base && p.0 < a.range.base + a.mapped)
+                    .map(|a| (a.range.base, a.mapped))
+            })
+            .collect();
+        for (base, len) in spans {
+            self.fence_h2d_range(proc, base, len);
+        }
     }
 
     /// `cudaMemcpy` device→host. Returns real bytes when `want_data`.
@@ -272,6 +443,7 @@ impl GpuSession {
         want_data: bool,
     ) -> CudaResult<HostBuf> {
         self.check_mapped(src, bytes)?;
+        self.fence_h2d_range(proc, src.0, bytes);
         self.active.sync(proc);
         self.active.gpu().dma(proc, bytes);
         if want_data {
@@ -340,6 +512,7 @@ impl GpuSession {
         if self.registry.get(name).is_none() {
             return Err(CudaError::InvalidValue(format!("unknown kernel {name:?}")));
         }
+        self.fence_h2d_for_ptrs(proc, &args.ptrs);
         let native = match stream {
             None => crate::context::DEFAULT_STREAM,
             Some(s) => self
@@ -376,8 +549,9 @@ impl GpuSession {
         self.active.submit(proc, StreamCmd::LibOp { work });
     }
 
-    /// `cudaDeviceSynchronize`.
+    /// `cudaDeviceSynchronize`. Also fences every in-flight pipelined copy.
     pub fn synchronize(&mut self, proc: &ProcCtx) {
+        self.fence_h2d_all(proc);
         self.active.sync(proc);
     }
 
@@ -547,7 +721,8 @@ impl GpuSession {
         }
         let t0 = proc.now();
 
-        // (1) quiesce
+        // (1) quiesce: in-flight pipelined copies, then all stream work
+        self.fence_h2d_all(proc);
         self.active.sync(proc);
         let t_quiesced = proc.now();
 
@@ -655,6 +830,7 @@ impl GpuSession {
     /// (after which the server flips back to its home GPU for the next
     /// function — with nothing left to copy).
     pub fn release(&mut self, proc: &ProcCtx) {
+        self.fence_h2d_all(proc);
         self.active.sync(proc);
         let ptrs: Vec<u64> = self.allocs.keys().copied().collect();
         for p in ptrs {
@@ -909,6 +1085,172 @@ mod tests {
         sim.run();
     }
 
+    fn pipelined_costs() -> Arc<CostTable> {
+        Arc::new(CostTable {
+            h2d_pipelined: true,
+            ..CostTable::default()
+        })
+    }
+
+    #[test]
+    fn pipelined_h2d_overlaps_compute() {
+        // A pipelined copy runs while an already-submitted kernel computes:
+        // 1 s of kernel + 1 s of PCIe finish together, not back to back.
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let ctx = CudaContext::create(proc, &h, g0, pipelined_costs(), false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, None);
+            let registry = Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")));
+            s.register_module(registry);
+            let buf = s.malloc(proc, 10_000 * MB).unwrap();
+            let t0 = proc.now();
+            s.launch(
+                proc,
+                "k",
+                LaunchConfig::linear(1, 32),
+                KernelArgs::timed(1.0, 0),
+            )
+            .unwrap();
+            // 10 GB at 10 GB/s = 1 s, staged while the kernel runs
+            s.memcpy_h2d(proc, buf, &HostBuf::Logical(10_000_000_000))
+                .unwrap();
+            assert_eq!(proc.now(), t0, "pipelined copy returns immediately");
+            s.synchronize(proc);
+            let elapsed = proc.now().since(t0).as_secs_f64();
+            assert!(
+                elapsed < 1.1,
+                "copy and kernel overlap, not serialize: {elapsed}"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pipelined_h2d_fences_dependent_launches_only() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let ctx = CudaContext::create(proc, &h, g0, pipelined_costs(), false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, None);
+            let registry = Arc::new(ModuleRegistry::new().with(KernelDef::functional(
+                "sum",
+                KernelCost::Fixed(0.0),
+                |view, _cfg, args| {
+                    let v = view.read_f32s(args.ptrs[0], 2);
+                    view.write_f32s(args.ptrs[1], &[v[0] + v[1]]);
+                },
+            )));
+            s.register_module(registry);
+            let a = s.malloc(proc, 100 * MB).unwrap();
+            let b = s.malloc(proc, MB).unwrap();
+            let mut payload = vec![0u8; 100 * MB as usize];
+            payload[..4].copy_from_slice(&2.0f32.to_le_bytes());
+            payload[4..8].copy_from_slice(&3.0f32.to_le_bytes());
+            s.memcpy_h2d(proc, a, &HostBuf::Bytes(payload.into()))
+                .unwrap();
+            let t0 = proc.now();
+            // kernel reads `a`: the launch fences on the in-flight copy
+            let args = KernelArgs {
+                ptrs: vec![a, b],
+                ..Default::default()
+            };
+            s.launch(proc, "sum", LaunchConfig::linear(2, 32), args)
+                .unwrap();
+            assert!(
+                proc.now().since(t0).as_secs_f64() > 0.009,
+                "launch waited for the 100 MB copy (~10 ms)"
+            );
+            let out = s.memcpy_d2h(proc, b, 4, true).unwrap();
+            assert_eq!(out.to_f32s().unwrap(), vec![5.0]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pipelined_h2d_zero_bytes_is_free() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let ctx = CudaContext::create(proc, &h, g0, pipelined_costs(), false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, None);
+            let buf = s.malloc(proc, MB).unwrap();
+            let t0 = proc.now();
+            s.memcpy_h2d(proc, buf, &HostBuf::Logical(0)).unwrap();
+            s.synchronize(proc);
+            assert_eq!(proc.now(), t0, "zero-byte pipelined copy costs nothing");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pipelined_h2d_release_fences_in_flight_copies() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let ctx = CudaContext::create(proc, &h, g0, pipelined_costs(), false).unwrap();
+            let mut s = GpuSession::new(&h, ctx, None);
+            let buf = s.malloc(proc, 10_000 * MB).unwrap();
+            let t0 = proc.now();
+            s.memcpy_h2d(proc, buf, &HostBuf::Logical(10_000_000_000))
+                .unwrap();
+            s.release(proc);
+            assert!(
+                proc.now().since(t0).as_secs_f64() > 0.99,
+                "release drained the in-flight copy"
+            );
+            assert_eq!(s.alloc_count(), 0);
+        });
+        sim.run();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Chunking is telemetry-only: a pipelined (chunked) copy never
+        /// finishes later than the synchronous unchunked copy of the same
+        /// bytes at the same bandwidth.
+        #[test]
+        fn pipelined_copy_never_slower_than_sync(
+            bytes in 1u64..2_000_000_000,
+            chunk in 1u64..64 * MB,
+        ) {
+            let run = |pipelined: bool| -> u64 {
+                let mut sim = Sim::new(1);
+                let h = sim.handle();
+                let gpu = Gpu::v100(&h, GpuId(0));
+                let elapsed = Arc::new(Mutex::new(0u64));
+                let e = elapsed.clone();
+                sim.spawn("app", move |proc| {
+                    let c = CostTable {
+                        h2d_pipelined: pipelined,
+                        h2d_chunk_bytes: chunk,
+                        ..CostTable::default()
+                    };
+                    let ctx = CudaContext::create(proc, &h, gpu, Arc::new(c), false).unwrap();
+                    let mut s = GpuSession::new(&h, ctx, None);
+                    let buf = s.malloc(proc, bytes.div_ceil(MB) * MB).unwrap();
+                    let t0 = proc.now();
+                    s.memcpy_h2d(proc, buf, &HostBuf::Logical(bytes)).unwrap();
+                    s.synchronize(proc);
+                    *e.lock() = proc.now().since(t0).as_nanos();
+                });
+                sim.run();
+                let v = *elapsed.lock();
+                v
+            };
+            let chunked = run(true);
+            let unchunked = run(false);
+            proptest::prop_assert!(
+                chunked <= unchunked,
+                "chunked {chunked} ns > unchunked {unchunked} ns"
+            );
+        }
+    }
+
     #[test]
     fn release_returns_all_resources() {
         let mut sim = Sim::new(1);
@@ -928,6 +1270,148 @@ mod tests {
             s.release(proc);
             assert_eq!(g.used_mem(), base, "everything the function owned is gone");
             assert_eq!(s.alloc_count(), 0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn publish_adopt_preserves_data_across_sessions() {
+        // Stage 1 writes and publishes; stage 2 (a fresh session on the
+        // same context) adopts at a new VA and reads the same bytes back.
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        let g = g0.clone();
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g.clone(), costs, false).unwrap();
+
+            let mut s1 = GpuSession::new(&h, ctx.clone(), None);
+            let p1 = s1.malloc(proc, MB).unwrap();
+            s1.memcpy_h2d(proc, p1, &HostBuf::from_f32s(&[3.5, -7.25, 42.0]))
+                .unwrap();
+            s1.publish_buffer(proc, 0xDA6, p1).unwrap();
+            assert_eq!(s1.mem_used(), 0, "published bytes leave the session");
+            assert_eq!(ctx.resident_count(), 1);
+            assert!(
+                s1.free(proc, p1).is_err(),
+                "published pointer is gone from the session"
+            );
+            s1.release(proc);
+
+            let mut s2 = GpuSession::new(&h, ctx.clone(), None);
+            // The adopter maps into its *own* VA space; the numeric value
+            // may coincide with the publisher's but is a fresh reservation.
+            let p2 = s2.adopt_buffer(proc, 0xDA6).unwrap();
+            assert_eq!(ctx.resident_count(), 0);
+            let back = s2.memcpy_d2h(proc, p2, 12, true).unwrap();
+            assert_eq!(back.to_f32s().unwrap(), vec![3.5, -7.25, 42.0]);
+            s2.free(proc, p2).unwrap();
+            s2.release(proc);
+
+            use crate::context::ResidentEvent;
+            assert_eq!(
+                ctx.resident_events(),
+                vec![
+                    ResidentEvent::Published {
+                        key: 0xDA6,
+                        bytes: 2 * MB
+                    },
+                    ResidentEvent::Adopted {
+                        key: 0xDA6,
+                        bytes: 2 * MB
+                    },
+                ]
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn adopt_respects_mem_limit_and_missing_keys_fail() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g0.clone(), costs, false).unwrap();
+
+            let mut s1 = GpuSession::new(&h, ctx.clone(), None);
+            let p1 = s1.malloc(proc, 100 * MB).unwrap();
+            s1.publish_buffer(proc, 1, p1).unwrap();
+            s1.release(proc);
+
+            // Limit smaller than the parked buffer: adopt refuses and the
+            // buffer stays parked for someone else (or the reclaimer).
+            let mut tight = GpuSession::new(&h, ctx.clone(), Some(10 * MB));
+            assert!(matches!(
+                tight.adopt_buffer(proc, 1),
+                Err(CudaError::MemoryLimitExceeded { .. })
+            ));
+            assert_eq!(ctx.resident_count(), 1, "failed adopt leaves it parked");
+            assert!(matches!(
+                tight.adopt_buffer(proc, 99),
+                Err(CudaError::InvalidResourceHandle(_))
+            ));
+            assert!(matches!(
+                tight.publish_buffer(proc, 2, DevPtr(0xBAD)),
+                Err(CudaError::InvalidValue(_))
+            ));
+            tight.release(proc);
+
+            let mut roomy = GpuSession::new(&h, ctx.clone(), Some(200 * MB));
+            let p2 = roomy.adopt_buffer(proc, 1).unwrap();
+            roomy.free(proc, p2).unwrap();
+            roomy.release(proc);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn context_release_reclaims_orphaned_residents() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        let g = g0.clone();
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g.clone(), costs, false).unwrap();
+            let base = g.used_mem();
+            let mut s = GpuSession::new(&h, ctx.clone(), None);
+            let p = s.malloc(proc, 64 * MB).unwrap();
+            s.publish_buffer(proc, 7, p).unwrap();
+            s.release(proc);
+            assert!(g.used_mem() > base, "parked buffer still holds memory");
+            ctx.release();
+            assert_eq!(g.used_mem(), 0, "teardown reclaims orphaned residents");
+            use crate::context::ResidentEvent;
+            let evs = ctx.resident_events();
+            assert_eq!(evs.len(), 2);
+            assert!(matches!(evs[1], ResidentEvent::Reclaimed { key: 7, .. }));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn duplicate_publish_key_rejected() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (g0, _g1) = two_gpu_session(&sim);
+        sim.spawn("app", move |proc| {
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(proc, &h, g0.clone(), costs, false).unwrap();
+            let mut s = GpuSession::new(&h, ctx.clone(), None);
+            let a = s.malloc(proc, MB).unwrap();
+            let b = s.malloc(proc, MB).unwrap();
+            s.publish_buffer(proc, 5, a).unwrap();
+            assert!(matches!(
+                s.publish_buffer(proc, 5, b),
+                Err(CudaError::InvalidResourceHandle(_))
+            ));
+            assert_eq!(s.alloc_count(), 1, "failed publish keeps the alloc");
+            assert!(ctx.reclaim_resident(5));
+            assert!(!ctx.reclaim_resident(5), "second reclaim is a no-op");
+            s.release(proc);
         });
         sim.run();
     }

@@ -349,6 +349,14 @@ impl Dispatcher {
                 self.finished = true;
                 Response::Ok
             }
+            PublishBuffer { key, ptr } => match self.session.publish_buffer(p, key, DevPtr(ptr)) {
+                Ok(()) => Response::Ok,
+                Err(e) => error_response(&e),
+            },
+            AdoptBuffer { key } => match self.session.adopt_buffer(p, key) {
+                Ok(ptr) => Response::Ptr(ptr.0),
+                Err(e) => error_response(&e),
+            },
         }
     }
 
@@ -549,6 +557,96 @@ mod tests {
                 1,
             );
             assert_eq!(d.handle(p, Request::Launch { fptr, args }, 1), Response::Ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn publish_adopt_hands_buffer_between_functions() {
+        // Two functions served back-to-back on the same context (the API
+        // server's home GPU): the first parks its output, the second
+        // adopts it and reads the bytes the first wrote.
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.spawn("srv", move |p| {
+            let gpu = Gpu::v100(&h, GpuId(0));
+            let costs = Arc::new(CostTable::default());
+            let ctx = CudaContext::create(p, &h, gpu, costs, false).unwrap();
+            let registry = Arc::new(ModuleRegistry::new());
+
+            let mut d1 = Dispatcher::new(GpuSession::new(&h, ctx.clone(), None), registry.clone());
+            d1.handle(
+                p,
+                Request::Init {
+                    pooled_context: true,
+                },
+                1,
+            );
+            let ptr = match d1.handle(p, Request::Malloc { bytes: MB }, 1) {
+                Response::Ptr(x) => x,
+                _ => unreachable!(),
+            };
+            d1.handle(
+                p,
+                Request::MemcpyH2D {
+                    dst: ptr,
+                    data: vec![5, 6, 7, 8].into(),
+                },
+                1,
+            );
+            assert_eq!(
+                d1.handle(p, Request::PublishBuffer { key: 0xA1, ptr }, 1),
+                Response::Ok
+            );
+            // Publishing twice under the same key is rejected.
+            let ptr2 = match d1.handle(p, Request::Malloc { bytes: MB }, 1) {
+                Response::Ptr(x) => x,
+                _ => unreachable!(),
+            };
+            match d1.handle(
+                p,
+                Request::PublishBuffer {
+                    key: 0xA1,
+                    ptr: ptr2,
+                },
+                1,
+            ) {
+                Response::Err { class, .. } => assert_eq!(class, err_class::INVALID_HANDLE),
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(d1.handle(p, Request::EndFunction, 1), Response::Ok);
+
+            let mut d2 = Dispatcher::new(GpuSession::new(&h, ctx.clone(), None), registry);
+            d2.handle(
+                p,
+                Request::Init {
+                    pooled_context: true,
+                },
+                1,
+            );
+            let adopted = match d2.handle(p, Request::AdoptBuffer { key: 0xA1 }, 1) {
+                Response::Ptr(x) => x,
+                other => panic!("{other:?}"),
+            };
+            match d2.handle(
+                p,
+                Request::MemcpyD2H {
+                    src: adopted,
+                    bytes: 4,
+                    want_data: true,
+                },
+                1,
+            ) {
+                Response::Data(WireBuf::Bytes(b)) => assert_eq!(b, vec![5, 6, 7, 8]),
+                other => panic!("{other:?}"),
+            }
+            // A second adopt of the same key fails: handoff is exactly-once.
+            match d2.handle(p, Request::AdoptBuffer { key: 0xA1 }, 1) {
+                Response::Err { class, .. } => assert_eq!(class, err_class::INVALID_HANDLE),
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(d2.handle(p, Request::EndFunction, 1), Response::Ok);
+            assert_eq!(ctx.resident_count(), 0);
         });
         sim.run();
     }

@@ -324,6 +324,30 @@ impl CudaApi for RemoteCuda {
         Ok(())
     }
 
+    fn publish_buffer(&mut self, p: &ProcCtx, key: u64, ptr: DevPtr) -> CudaResult<()> {
+        self.stats.issue("dgsfPublishBuffer", 1);
+        self.flush(p)?;
+        self.call(p, &Request::PublishBuffer { key, ptr: ptr.0 })?;
+        self.allocs.remove(&ptr.0);
+        Ok(())
+    }
+
+    fn adopt_buffer(&mut self, p: &ProcCtx, key: u64) -> CudaResult<DevPtr> {
+        self.stats.issue("dgsfAdoptBuffer", 1);
+        self.flush(p)?;
+        match self.call(p, &Request::AdoptBuffer { key })? {
+            Response::Ptr(ptr) => {
+                // The server answers only with the fresh pointer; record it
+                // with an unknown (zero) size so local
+                // `pointer_get_attributes` still classifies it as a device
+                // pointer.
+                self.allocs.insert(ptr, 0);
+                Ok(DevPtr(ptr))
+            }
+            other => Err(CudaError::RemotingFailure(format!("{other:?}"))),
+        }
+    }
+
     fn memset(&mut self, p: &ProcCtx, ptr: DevPtr, value: u8, bytes: u64) -> CudaResult<()> {
         self.stats.issue("cudaMemset", 1);
         let req = Request::Memset {

@@ -210,6 +210,20 @@ pub enum Request {
     Batch(Vec<Request>),
     /// Function finished; release all of its state.
     EndFunction,
+    /// DGSF handoff extension: park allocation `ptr` in the serving
+    /// context's resident store under `key`, surviving `EndFunction`.
+    PublishBuffer {
+        /// Handoff key (single-use).
+        key: u64,
+        /// Device pointer of the allocation to park.
+        ptr: u64,
+    },
+    /// DGSF handoff extension: adopt the buffer parked under `key` into
+    /// this function's session; answers with the fresh device pointer.
+    AdoptBuffer {
+        /// Handoff key a predecessor published under.
+        key: u64,
+    },
 }
 
 /// Payload crossing the wire.
@@ -669,6 +683,7 @@ impl Request {
             CublasCreate { .. } | CublasDestroy { .. } | CublasOp { .. } => class_keys!("cublas"),
             Batch(_) => class_keys!("batch"),
             EndFunction => class_keys!("end_function"),
+            PublishBuffer { .. } | AdoptBuffer { .. } => class_keys!("resident"),
         }
     }
 
@@ -704,6 +719,8 @@ impl Request {
             CudnnCreateDescriptors { .. } => 1 + 8,
             CudnnOp { .. } | CublasOp { .. } => 8 + 8 + 8 + 8,
             Batch(reqs) => 4 + reqs.iter().map(|r| r.encoded_len()).sum::<u64>(),
+            PublishBuffer { .. } => 8 + 8,
+            AdoptBuffer { .. } => 8,
         }
     }
 
@@ -877,6 +894,15 @@ impl Request {
                 }
             }
             EndFunction => b.put_u8(33),
+            PublishBuffer { key, ptr } => {
+                b.put_u8(34);
+                b.put_u64_le(*key);
+                b.put_u64_le(*ptr);
+            }
+            AdoptBuffer { key } => {
+                b.put_u8(35);
+                b.put_u64_le(*key);
+            }
         }
     }
 
@@ -996,6 +1022,13 @@ impl Request {
                 Batch(reqs)
             }
             33 => EndFunction,
+            34 => PublishBuffer {
+                key: get_u64(frame)?,
+                ptr: get_u64(frame)?,
+            },
+            35 => AdoptBuffer {
+                key: get_u64(frame)?,
+            },
             t => return Err(WireError(format!("bad request tag {t}"))),
         })
     }
@@ -1232,6 +1265,11 @@ mod tests {
             },
             Request::Sync,
         ]));
+        roundtrip_req(&Request::PublishBuffer {
+            key: 0xFEED_BEEF,
+            ptr: 0x7000_0000_0000,
+        });
+        roundtrip_req(&Request::AdoptBuffer { key: 0xFEED_BEEF });
     }
 
     #[test]
@@ -1322,7 +1360,7 @@ mod tests {
             // Seed the frame with a run of valid tags so the fuzzer reaches
             // deep into variant bodies (and the Batch recursion) instead of
             // bailing on the first byte.
-            prefix in proptest::collection::vec(1u8..34, 0..8),
+            prefix in proptest::collection::vec(1u8..36, 0..8),
         ) {
             let mut seeded = prefix;
             seeded.extend_from_slice(&raw);
@@ -1419,7 +1457,7 @@ mod tests {
         use Request::*;
         // Batch only below the decoder's depth cap, weighted in often enough
         // that nesting is exercised every run.
-        let max_tag = if depth < MAX_BATCH_DEPTH { 33 } else { 31 };
+        let max_tag = if depth < MAX_BATCH_DEPTH { 35 } else { 33 };
         match rng.range(1u32..max_tag + 1) {
             1 => Init {
                 pooled_context: rng.next_u64().is_multiple_of(2),
@@ -1505,6 +1543,13 @@ mod tests {
                 api_calls: rng.next_u64(),
             },
             32 => EndFunction,
+            33 => PublishBuffer {
+                key: rng.next_u64(),
+                ptr: rng.next_u64(),
+            },
+            34 => AdoptBuffer {
+                key: rng.next_u64(),
+            },
             _ => Batch(
                 (0..rng.range(0usize..4))
                     .map(|_| gen_request(rng, depth + 1))

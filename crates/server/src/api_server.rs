@@ -150,6 +150,19 @@ impl ApiServerShared {
         self.state.lock().contexts.keys().copied().collect()
     }
 
+    /// All CUDA contexts this server currently holds, ordered by GPU id
+    /// (deterministic — the state map is a `HashMap`).
+    pub(crate) fn contexts(&self) -> Vec<Arc<CudaContext>> {
+        let state = self.state.lock();
+        let mut by_gpu: Vec<(GpuId, Arc<CudaContext>)> = state
+            .contexts
+            .iter()
+            .map(|(g, c)| (*g, Arc::clone(c)))
+            .collect();
+        by_gpu.sort_by_key(|(g, _)| g.0);
+        by_gpu.into_iter().map(|(_, c)| c).collect()
+    }
+
     fn take_migration_request(&self) -> Option<GpuId> {
         self.state.lock().migration_request.take()
     }

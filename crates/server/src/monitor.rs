@@ -50,6 +50,11 @@ pub(crate) struct FnRequest {
     /// the caller threaded no trace). Keys the MQFQ flow and the
     /// per-tenant queue-delay gauges.
     pub tenant: String,
+    /// Restrict assignment to this one API server: the request waits (FCFS
+    /// head-of-line rules apply) until that server is idle and its GPU
+    /// fits, and is never placed elsewhere. GPU-resident DAG stages pin to
+    /// the server whose context holds their predecessor's output buffer.
+    pub pin_server: Option<u32>,
 }
 
 /// Messages the monitor consumes.
@@ -578,13 +583,17 @@ fn drain_queue(
                         0
                     }
                 };
-                let Some(srv_idx) = pick_server(a, servers, overhead, q[pos].mem) else {
+                let Some(srv_idx) =
+                    pick_server(a, servers, overhead, q[pos].mem, q[pos].pin_server)
+                else {
                     return;
                 };
                 (q.remove(pos).expect("index in bounds"), srv_idx)
             }
             MonQueue::Fair(fq) => {
-                let Some(picked) = fq.pop_next(|r| pick_server(a, servers, overhead, r.mem)) else {
+                let Some(picked) =
+                    fq.pop_next(|r| pick_server(a, servers, overhead, r.mem, r.pin_server))
+                else {
                     return; // no backlogged tenant's head fits anywhere
                 };
                 picked
@@ -649,16 +658,24 @@ fn assign_request(
     req.reply.send(p, client);
 }
 
-/// Choose an idle API server whose home GPU fits `mem`, by policy.
+/// Choose an idle API server whose home GPU fits `mem`, by policy. A
+/// pinned request considers only its pinned server — `None` while that
+/// server is busy means the request waits for it, and a pin on a failed
+/// (lease-expired) or retired server never places, leaving the requester's
+/// queue timeout to fail the invocation over.
 fn pick_server(
     a: &MonCtx,
     servers: &[SrvBook],
     overhead: &HashMap<GpuId, u64>,
     mem: u64,
+    pin: Option<u32>,
 ) -> Option<usize> {
     let mut best: Option<(usize, i64)> = None;
     for (i, s) in servers.iter().enumerate() {
         if s.busy.is_some() || s.failed {
+            continue;
+        }
+        if pin.is_some_and(|id| s.shared.id != id) {
             continue;
         }
         let gpu = s.shared.home_gpu;

@@ -12,7 +12,7 @@
 //!
 //! Historically `PlacementPolicy`/`QueuePolicy` lived in
 //! `dgsf_server::config` and the fleet selection enum in
-//! `dgsf_serverless::backend` (as `ServerPolicy`); those paths re-export
+//! `dgsf_serverless::backend`; those paths re-export
 //! from here so existing code compiles unchanged.
 
 /// How the monitor picks a GPU for an incoming function (§VIII-D/E).

@@ -283,14 +283,18 @@ impl GpuServer {
             attempt,
             self.cfg.queue_timeout,
             None,
+            None,
         )
     }
 
     /// Like [`try_request_gpu`](Self::try_request_gpu), but with an
-    /// explicit queue-wait bound overriding the configured one and an
+    /// explicit queue-wait bound overriding the configured one, an
     /// optional causal [`TraceCtx`] that rides the monitor's queue entry
-    /// down to the API server. The serverless backend's admission control
-    /// uses this to enforce its queue-age limit and thread request tracing.
+    /// down to the API server, and an optional placement pin restricting
+    /// assignment to one API server (GPU-resident DAG stages must land on
+    /// the context holding their predecessor's output buffer). The
+    /// serverless backend's admission control uses this to enforce its
+    /// queue-age limit and thread request tracing.
     #[allow(clippy::too_many_arguments)]
     pub fn try_request_gpu_with_timeout(
         &self,
@@ -301,6 +305,7 @@ impl GpuServer {
         attempt: u32,
         timeout: Option<Dur>,
         trace: Option<TraceCtx>,
+        pin_server: Option<u32>,
     ) -> Result<(RpcClient, u64), AcquireError> {
         let invocation = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         let now = p.now();
@@ -338,6 +343,7 @@ impl GpuServer {
                 cancelled: Arc::clone(&cancelled),
                 trace,
                 tenant,
+                pin_server,
             }),
         );
         let got = match timeout {
@@ -389,9 +395,59 @@ impl GpuServer {
         })
     }
 
+    /// API server an invocation was assigned to, if the monitor got that
+    /// far. The invoke layer reads this back after a successful attempt so
+    /// GPU-resident DAG stages can pin their successors.
+    pub fn invocation_server(&self, invocation: u64) -> Option<u32> {
+        self.records.lock().get(&invocation).and_then(|r| r.server)
+    }
+
     /// Fault counters of the link's chaos layer, if one is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Free a GPU-resident handoff buffer parked under `key` on any of the
+    /// fleet's contexts. The DAG layer calls this when it abandons a DAG
+    /// whose published output will never be adopted; returns false if no
+    /// context holds the key (already adopted, reclaimed, or never
+    /// published).
+    pub fn reclaim_resident(&self, key: u64) -> bool {
+        let servers: Vec<_> = self.servers.lock().iter().cloned().collect();
+        for s in servers {
+            for ctx in s.contexts() {
+                if ctx.reclaim_resident(key) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Resident-store audit events from every context in the fleet, in
+    /// (server id, context creation) order: the raw material for the
+    /// handoff exactly-once oracle — every `Published` key must be followed
+    /// by exactly one `Adopted` or `Reclaimed`.
+    pub fn resident_events(&self) -> Vec<dgsf_cuda::ResidentEvent> {
+        let servers: Vec<_> = self.servers.lock().iter().cloned().collect();
+        let mut out = Vec::new();
+        for s in servers {
+            for ctx in s.contexts() {
+                out.extend(ctx.resident_events());
+            }
+        }
+        out
+    }
+
+    /// Buffers currently parked in resident stores fleet-wide (leak probe:
+    /// zero once every DAG has completed or been reclaimed).
+    pub fn resident_in_store(&self) -> usize {
+        let servers: Vec<_> = self.servers.lock().iter().cloned().collect();
+        servers
+            .iter()
+            .flat_map(|s| s.contexts())
+            .map(|c| c.resident_count())
+            .sum()
     }
 
     /// Force an API server to migrate to `target` at its next API-call

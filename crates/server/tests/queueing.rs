@@ -428,6 +428,7 @@ fn hold_gpu_as(p: &ProcCtx, srv: &GpuServer, tenant: &str, id: u64, name: &str, 
             1,
             None,
             Some(TraceCtx::new(id, tenant)),
+            None,
         )
         .expect("monitor alive for the run's duration");
     let mut api = RemoteCuda::new(client, OptConfig::full());

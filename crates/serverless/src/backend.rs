@@ -19,25 +19,18 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
-use dgsf_server::{GpuServer, InvocationOutcome, ShedPolicy};
+use dgsf_server::{FleetPolicy, GpuServer, InvocationOutcome, ShedPolicy};
 use dgsf_sim::{Dur, ProcCtx, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::cluster::ClusterBalancer;
 use crate::invoke::{
-    invoke_dgsf_bounded, record_request_span, FailureClass, FunctionResult, InvokeFailure,
+    record_request_span, FailureClass, FunctionResult, InvokeFailure, InvokeOptions, Invoker,
 };
 use crate::phases::PhaseRecorder;
 use crate::store::ObjectStore;
 use crate::tenant::{FairShedConfig, FairShedder};
 use crate::workload::Workload;
-
-/// How the backend picks a GPU server for a function.
-///
-/// The canonical type is [`dgsf_server::FleetPolicy`] (one naming scheme
-/// shared with the cluster balancer); this alias keeps the backend's
-/// original name working.
-pub type ServerPolicy = dgsf_server::FleetPolicy;
 
 /// Bounded retry-with-backoff for transient invocation failures.
 ///
@@ -211,7 +204,7 @@ pub struct Backend {
 
 impl Backend {
     /// Build a backend over already-provisioned servers.
-    pub fn new(servers: Vec<Arc<GpuServer>>, policy: ServerPolicy) -> Backend {
+    pub fn new(servers: Vec<Arc<GpuServer>>, policy: FleetPolicy) -> Backend {
         assert!(
             !servers.is_empty(),
             "a backend needs at least one GPU server"
@@ -253,7 +246,7 @@ impl Backend {
     }
 
     /// The fleet policy the balancer routes under.
-    pub fn policy(&self) -> ServerPolicy {
+    pub fn policy(&self) -> FleetPolicy {
         self.balancer.policy()
     }
 
@@ -352,18 +345,17 @@ impl Backend {
                     failure: Some("no live GPU server: every lease expired".into()),
                     shed: false,
                     trace: Some(trace.id),
+                    server: None,
                 };
             };
             tel.counter_add("backend.attempts", 1);
-            match invoke_dgsf_bounded(
+            match Invoker::new(&self.servers[idx], store).invoke(
                 p,
-                &self.servers[idx],
-                store,
                 w,
-                opts,
-                attempt,
-                max_queue_age,
-                trace.with_attempt(attempt),
+                InvokeOptions::new(opts)
+                    .with_attempt(attempt)
+                    .with_max_queue_age(max_queue_age)
+                    .with_trace(trace.with_attempt(attempt)),
             ) {
                 Ok(mut r) => {
                     r.launched_at = launched_at;
@@ -428,6 +420,7 @@ impl Backend {
                                     failure: None,
                                     shed: false,
                                     trace: Some(trace.id),
+                                    server: self.servers[idx].invocation_server(inv),
                                 };
                             }
                         }
@@ -503,6 +496,7 @@ impl Backend {
             failure: Some(failure),
             shed,
             trace: Some(trace.id),
+            server: None,
         }
     }
 
@@ -594,6 +588,7 @@ impl Backend {
             failure: Some(format!("overloaded: {reason}")),
             shed: true,
             trace: Some(trace.id),
+            server: None,
         }
     }
 }
@@ -646,7 +641,7 @@ mod tests {
         }
     }
 
-    fn two_server_backend(p: &ProcCtx, h: &dgsf_sim::SimHandle, policy: ServerPolicy) -> Backend {
+    fn two_server_backend(p: &ProcCtx, h: &dgsf_sim::SimHandle, policy: FleetPolicy) -> Backend {
         let cfg = GpuServerConfig::paper_default().gpus(1);
         let s1 = GpuServer::provision(p, h, cfg.clone());
         let s2 = GpuServer::provision(p, h, cfg);
@@ -658,7 +653,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let h = sim.handle();
         sim.spawn("root", move |p| {
-            let b = two_server_backend(p, &h, ServerPolicy::RoundRobin);
+            let b = two_server_backend(p, &h, FleetPolicy::RoundRobin);
             let a = Arc::as_ptr(b.choose());
             let c = Arc::as_ptr(b.choose());
             let d = Arc::as_ptr(b.choose());
@@ -723,7 +718,7 @@ mod tests {
         let spread = Arc::new(Mutex::new((0usize, 0usize)));
         let s2 = spread.clone();
         sim.spawn("root", move |p| {
-            let b = Arc::new(two_server_backend(p, &h, ServerPolicy::LeastLoaded));
+            let b = Arc::new(two_server_backend(p, &h, FleetPolicy::LeastLoaded));
             let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
             // launch 4 concurrent functions through the backend
             for i in 0..4 {
@@ -755,7 +750,7 @@ mod tests {
             let cfg = GpuServerConfig::paper_default().gpus(1);
             let srv = GpuServer::provision(p, &h, cfg);
             let b = Arc::new(
-                Backend::new(vec![srv], ServerPolicy::RoundRobin)
+                Backend::new(vec![srv], FleetPolicy::RoundRobin)
                     .with_admission(AdmissionConfig::new(1)),
             );
             let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
@@ -832,7 +827,7 @@ mod tests {
             let cfg = GpuServerConfig::paper_default().gpus(2).sharing(2);
             let srv = GpuServer::provision(p, &h, cfg);
             let b = Arc::new(
-                Backend::new(vec![srv], ServerPolicy::RoundRobin)
+                Backend::new(vec![srv], FleetPolicy::RoundRobin)
                     .with_admission(AdmissionConfig::new(16).with_max_per_workload(1)),
             );
             let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
@@ -862,7 +857,7 @@ mod tests {
         let spread = Arc::new(Mutex::new((0usize, 0usize)));
         let s2 = spread.clone();
         sim.spawn("root", move |p| {
-            let b = Arc::new(two_server_backend(p, &h, ServerPolicy::MostLoaded));
+            let b = Arc::new(two_server_backend(p, &h, FleetPolicy::MostLoaded));
             let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
             for i in 0..3 {
                 let b = Arc::clone(&b);

@@ -1,0 +1,332 @@
+//! Function DAGs with GPU-resident inter-stage handoff.
+//!
+//! A [`DagWorkload`] is a linear pipeline of GPU stages (the canonical
+//! serverless vision pipeline: preprocess → infer → postprocess) whose
+//! inter-stage data can travel two ways:
+//!
+//! * **Host bounce** ([`HandoffMode::HostBounce`]) — the baseline every
+//!   serverless platform implements today: each stage downloads its output
+//!   to the invoker (`memcpy_d2h` across the remoting link) and the next
+//!   stage re-uploads it (`memcpy_h2d`), paying the intermediate bytes
+//!   twice over the NIC.
+//! * **GPU resident** ([`HandoffMode::GpuResident`]) — the DGSF extension:
+//!   a stage *publishes* its output buffer into the serving context's
+//!   resident store (`publish_buffer`, a 17-byte control RPC) and exits;
+//!   the successor stage, pinned by [`crate::Invoker::invoke_dag`] to the
+//!   API server owning that context, *adopts* it (`adopt_buffer`) and the
+//!   intermediate bytes never leave the GPU.
+//!
+//! Stage bodies are trace-modeled (logical payloads, timed kernels), so
+//! both arms issue identical compute and differ only in data movement —
+//! exactly the comparison the `pipeline` experiment measures.
+
+use std::sync::Arc;
+
+use dgsf_cuda::{
+    CudaApi, CudaResult, HostBuf, KernelArgs, KernelDef, LaunchConfig, ModuleRegistry,
+};
+use dgsf_gpu::VA_GRANULARITY;
+use dgsf_sim::ProcCtx;
+
+use crate::phases::{phase, PhaseRecorder};
+use crate::workload::Workload;
+
+/// How intermediate buffers travel between DAG stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffMode {
+    /// Bounce through the invoker's host memory: `memcpy_d2h` out of the
+    /// producing stage, `memcpy_h2d` into the consuming one.
+    HostBounce,
+    /// Park on the GPU between stages via the context resident store:
+    /// `publish_buffer` / `adopt_buffer` control RPCs, zero data movement.
+    GpuResident,
+}
+
+impl HandoffMode {
+    /// Stable label used in reports and span names.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            HandoffMode::HostBounce => "host_bounce",
+            HandoffMode::GpuResident => "gpu_resident",
+        }
+    }
+}
+
+/// One stage of a [`DagWorkload`].
+#[derive(Debug, Clone)]
+pub struct DagStage {
+    /// Stage name (e.g. "preprocess").
+    pub name: String,
+    /// GPU-seconds of device work the stage retires.
+    pub gpu_secs: f64,
+    /// Bytes the stage produces for its successor (or, for the last
+    /// stage, returns to the invoker).
+    pub output_bytes: u64,
+}
+
+/// A linear pipeline of GPU stages executed as separate serverless
+/// functions, with configurable inter-stage handoff.
+#[derive(Debug, Clone)]
+pub struct DagWorkload {
+    /// DAG name (stages are labelled `{name}/{stage}`).
+    pub name: String,
+    /// Tenant that deployed the DAG.
+    pub tenant: String,
+    /// Inter-stage handoff mode.
+    pub mode: HandoffMode,
+    /// Bytes the first stage uploads from the host (the raw input).
+    pub input_bytes: u64,
+    /// Object-store bytes the first stage downloads (models + input).
+    pub download: u64,
+    /// Stages, in execution order. Must be non-empty.
+    pub stages: Vec<DagStage>,
+}
+
+impl DagWorkload {
+    /// The canonical three-stage inference pipeline of the paper's
+    /// serverless-vision motivation: preprocess → infer → postprocess.
+    /// `inter_bytes` is the size of both intermediate tensors;
+    /// `final_bytes` is the (small) result the last stage returns.
+    pub fn pipeline3(
+        name: &str,
+        mode: HandoffMode,
+        input_bytes: u64,
+        inter_bytes: u64,
+        final_bytes: u64,
+        gpu_secs: [f64; 3],
+    ) -> DagWorkload {
+        DagWorkload {
+            name: name.to_string(),
+            tenant: "default".into(),
+            mode,
+            input_bytes,
+            download: input_bytes,
+            stages: vec![
+                DagStage {
+                    name: "preprocess".into(),
+                    gpu_secs: gpu_secs[0],
+                    output_bytes: inter_bytes,
+                },
+                DagStage {
+                    name: "infer".into(),
+                    gpu_secs: gpu_secs[1],
+                    output_bytes: inter_bytes,
+                },
+                DagStage {
+                    name: "postprocess".into(),
+                    gpu_secs: gpu_secs[2],
+                    output_bytes: final_bytes,
+                },
+            ],
+        }
+    }
+
+    /// Builder-style: set the tenant label.
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = tenant.to_string();
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the DAG has no stages (never valid to invoke).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Bytes stage `idx` consumes: the raw input for the first stage, the
+    /// predecessor's output for every later one.
+    pub fn stage_input_bytes(&self, idx: usize) -> u64 {
+        if idx == 0 {
+            self.input_bytes
+        } else {
+            self.stages[idx - 1].output_bytes
+        }
+    }
+
+    /// The kernel registry every stage ships.
+    pub(crate) fn registry() -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("dag_stage")))
+    }
+}
+
+/// One stage viewed as a standalone [`Workload`]: what
+/// [`crate::Invoker::invoke_dag`] actually submits to the platform.
+pub(crate) struct StageRun<'a> {
+    dag: &'a DagWorkload,
+    idx: usize,
+    /// Resident-store key this stage adopts its input from (`None` for the
+    /// first stage and in host-bounce mode).
+    in_key: Option<u64>,
+    /// Resident-store key this stage publishes its output under (`None`
+    /// for the last stage and in host-bounce mode).
+    out_key: Option<u64>,
+    label: String,
+    registry: Arc<ModuleRegistry>,
+}
+
+impl<'a> StageRun<'a> {
+    pub(crate) fn new(
+        dag: &'a DagWorkload,
+        idx: usize,
+        in_key: Option<u64>,
+        out_key: Option<u64>,
+    ) -> StageRun<'a> {
+        StageRun {
+            dag,
+            idx,
+            in_key,
+            out_key,
+            label: format!("{}/{}", dag.name, dag.stages[idx].name),
+            registry: DagWorkload::registry(),
+        }
+    }
+}
+
+impl Workload for StageRun<'_> {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn tenant(&self) -> &str {
+        &self.dag.tenant
+    }
+
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    fn required_gpu_mem(&self) -> u64 {
+        let round = |b: u64| b.max(1).div_ceil(VA_GRANULARITY) * VA_GRANULARITY;
+        round(self.dag.stage_input_bytes(self.idx)) + round(self.dag.stages[self.idx].output_bytes)
+    }
+
+    fn download_bytes(&self) -> u64 {
+        // Only the first stage touches the object store; intermediate data
+        // travels over the handoff path under measurement.
+        if self.idx == 0 {
+            self.dag.download
+        } else {
+            0
+        }
+    }
+
+    fn run(&self, p: &ProcCtx, api: &mut dyn CudaApi, rec: &mut PhaseRecorder) -> CudaResult<()> {
+        let stage = &self.dag.stages[self.idx];
+        let in_bytes = self.dag.stage_input_bytes(self.idx);
+
+        // ---- acquire input ----
+        rec.enter(p, phase::TRANSFER);
+        let input = match self.in_key {
+            // GPU-resident: adopt the predecessor's parked output — a
+            // control RPC, no data crosses the link.
+            Some(k) => api.adopt_buffer(p, k)?,
+            // First stage or host bounce: upload from the host.
+            None => {
+                let b = api.malloc(p, in_bytes.max(1))?;
+                if in_bytes > 0 {
+                    api.memcpy_h2d(p, b, HostBuf::Logical(in_bytes))?;
+                }
+                b
+            }
+        };
+        let output = api.malloc(p, stage.output_bytes.max(1))?;
+
+        // ---- compute ----
+        rec.enter(p, phase::PROCESSING);
+        api.launch_kernel(
+            p,
+            "dag_stage",
+            LaunchConfig::linear(1 << 20, 256),
+            KernelArgs::timed(stage.gpu_secs, in_bytes),
+        )?;
+        api.device_synchronize(p)?;
+
+        // ---- emit output ----
+        rec.enter(p, phase::TRANSFER);
+        api.free(p, input)?;
+        match self.out_key {
+            // GPU-resident: park the output for the successor.
+            Some(k) => api.publish_buffer(p, k, output)?,
+            // Last stage or host bounce: read it back to the host.
+            None => {
+                if stage.output_bytes > 0 {
+                    api.memcpy_d2h(p, output, stage.output_bytes, false)?;
+                }
+                api.free(p, output)?;
+            }
+        }
+        rec.close(p);
+        Ok(())
+    }
+
+    fn cpu_secs(&self) -> f64 {
+        // CPU baseline: the paper's ~20× GPU→CPU slowdown heuristic.
+        self.dag.stages[self.idx].gpu_secs * 20.0
+    }
+}
+
+/// Derive the resident-store key for the edge out of stage `edge` on DAG
+/// attempt `attempt` of trace `trace_id`. Keys are single-use server-side,
+/// so each whole-DAG retry must mint fresh ones — a completed-but-
+/// unreported stage may have published under the previous attempt's key.
+pub(crate) fn edge_key(trace_id: u64, attempt: u32, edge: usize) -> u64 {
+    trace_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((attempt as u64) << 32) | edge as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline3_shape() {
+        let d = DagWorkload::pipeline3(
+            "vision",
+            HandoffMode::GpuResident,
+            8 * 1024 * 1024,
+            64 * 1024 * 1024,
+            4096,
+            [0.01, 0.1, 0.01],
+        );
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.stage_input_bytes(0), 8 * 1024 * 1024);
+        assert_eq!(d.stage_input_bytes(1), 64 * 1024 * 1024);
+        assert_eq!(d.stage_input_bytes(2), 64 * 1024 * 1024);
+        assert_eq!(d.stages[2].output_bytes, 4096);
+    }
+
+    #[test]
+    fn stage_views_declare_consistent_resources() {
+        let d = DagWorkload::pipeline3(
+            "vision",
+            HandoffMode::HostBounce,
+            1024,
+            2048,
+            512,
+            [0.1, 0.2, 0.3],
+        );
+        let s0 = StageRun::new(&d, 0, None, None);
+        let s1 = StageRun::new(&d, 1, None, None);
+        assert_eq!(s0.name(), "vision/preprocess");
+        assert_eq!(s1.name(), "vision/infer");
+        assert_eq!(s0.download_bytes(), 1024);
+        assert_eq!(s1.download_bytes(), 0, "only stage 0 hits the store");
+        assert!(s0.required_gpu_mem() >= 2 * VA_GRANULARITY);
+        assert!((s1.cpu_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_keys_differ_by_attempt_and_edge() {
+        let k = edge_key(42, 1, 0);
+        assert_ne!(k, edge_key(42, 1, 1), "per-edge");
+        assert_ne!(k, edge_key(42, 2, 0), "per-attempt");
+        assert_ne!(k, edge_key(43, 1, 0), "per-trace");
+        assert_eq!(k, edge_key(42, 1, 0), "deterministic");
+    }
+}

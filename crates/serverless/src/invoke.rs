@@ -3,10 +3,15 @@
 //!
 //! The DGSF path is fallible: over a faulted link any remoted call can time
 //! out or come back with a transport error, and GPU acquisition itself can
-//! time out in the monitor's queue. [`invoke_dgsf_attempt`] surfaces those
-//! as [`InvokeFailure`] so [`crate::Backend::invoke`] can retry the whole
+//! time out in the monitor's queue. [`Invoker::invoke`] surfaces those as
+//! [`InvokeFailure`] so [`crate::Backend::invoke`] can retry the whole
 //! function (possibly on another GPU server); the native and CPU baselines
 //! run on dedicated fault-free hardware and stay infallible.
+//!
+//! [`Invoker`] is the single DGSF entry point; the old
+//! `invoke_dgsf` / `invoke_dgsf_attempt` / `invoke_dgsf_bounded` trio
+//! survives as deprecated shims for one PR so external callers migrate
+//! mechanically.
 
 use std::sync::Arc;
 
@@ -16,6 +21,7 @@ use dgsf_remoting::{OptConfig, RemoteCuda};
 use dgsf_server::GpuServer;
 use dgsf_sim::{Dur, ProcCtx, SimHandle, SimTime, TraceCtx};
 
+use crate::dag::{edge_key, DagWorkload, HandoffMode, StageRun};
 use crate::phases::{phase, PhaseRecorder};
 use crate::store::ObjectStore;
 use crate::workload::Workload;
@@ -66,6 +72,10 @@ pub struct FunctionResult {
     /// Platform-unique causal trace id for this request, when the run was
     /// traced end-to-end (DGSF path). `None` for native/CPU baselines.
     pub trace: Option<u64>,
+    /// API server the (last) attempt executed on, when the monitor got as
+    /// far as assigning one. GPU-resident DAG stages pin their successor
+    /// to this server, because it owns the context holding their output.
+    pub server: Option<u32>,
 }
 
 impl FunctionResult {
@@ -105,38 +115,405 @@ impl std::fmt::Display for InvokeFailure {
     }
 }
 
-/// Run `w` over DGSF: download, request a virtual GPU (FCFS queueing
-/// included), then remote every CUDA call to the assigned API server.
-/// Single attempt — retry policy lives in [`crate::Backend::invoke`].
-pub fn invoke_dgsf(
-    p: &ProcCtx,
-    server: &GpuServer,
-    store: &ObjectStore,
-    w: &dyn Workload,
-    opts: OptConfig,
-) -> Result<FunctionResult, InvokeFailure> {
-    let trace = TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(1);
-    let out = invoke_dgsf_bounded(p, server, store, w, opts, 1, None, trace.clone());
-    match &out {
-        Ok(r) => record_request_span(
-            p,
-            &trace,
-            w.name(),
-            r.launched_at,
-            r.finished_at,
-            "completed",
-            1,
-        ),
-        Err(f) => {
-            let outcome = if f.class == FailureClass::Overloaded {
-                "shed"
-            } else {
-                "failed"
-            };
-            record_request_span(p, &trace, w.name(), f.launched_at, f.failed_at, outcome, 1);
+/// Everything that varies about one DGSF invocation attempt, in one place.
+/// Build with [`InvokeOptions::new`] and layer on the builders; the plain
+/// constructor is a fault-free single attempt with no queue bound, no
+/// caller-owned trace and no placement pin.
+#[derive(Debug, Clone)]
+pub struct InvokeOptions {
+    /// Remoting specialization ladder for the guest-side API (Figure 4).
+    pub opts: OptConfig,
+    /// 1-based attempt label in the server's invocation records.
+    pub attempt: u32,
+    /// Bound on queue wait at the GPU server. When this (rather than the
+    /// server's own `queue_timeout`) binds and expires, the failure is
+    /// classed [`FailureClass::Overloaded`] — shed, never retried.
+    pub max_queue_age: Option<Dur>,
+    /// Caller-owned causal trace context. `None` means the invoker roots a
+    /// fresh trace and records the top-level request span itself; `Some`
+    /// means the caller (the backend's retry loop) owns the request span.
+    pub trace: Option<TraceCtx>,
+    /// Pin the attempt to one API server: the monitor will assign no
+    /// other, waiting (within the queue bound) for it to free up. This is
+    /// how a GPU-resident DAG stage lands on the context holding its
+    /// predecessor's output buffer.
+    pub pin_server: Option<u32>,
+}
+
+impl InvokeOptions {
+    /// A fault-free single attempt under `opts` — the common case.
+    pub fn new(opts: OptConfig) -> InvokeOptions {
+        InvokeOptions {
+            opts,
+            attempt: 1,
+            max_queue_age: None,
+            trace: None,
+            pin_server: None,
         }
     }
-    out
+
+    /// Builder-style: label this as attempt `n` (1-based).
+    pub fn with_attempt(mut self, n: u32) -> Self {
+        self.attempt = n.max(1);
+        self
+    }
+
+    /// Builder-style: bound the queue wait (expiry ⇒ shed as overload).
+    pub fn with_max_queue_age(mut self, d: Option<Dur>) -> Self {
+        self.max_queue_age = d;
+        self
+    }
+
+    /// Builder-style: thread a caller-owned trace context.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style: pin the attempt to one API server.
+    pub fn with_pin_server(mut self, server: u32) -> Self {
+        self.pin_server = Some(server);
+        self
+    }
+}
+
+/// The single DGSF invocation entry point: download, request a virtual GPU
+/// (FCFS queueing included), then remote every CUDA call to the assigned
+/// API server. One [`Invoker::invoke`] call is one attempt — retry policy
+/// lives in [`crate::Backend::invoke`], DAG stage sequencing in
+/// [`Invoker::invoke_dag`].
+pub struct Invoker<'a> {
+    server: &'a GpuServer,
+    store: &'a ObjectStore,
+}
+
+impl<'a> Invoker<'a> {
+    /// An invoker against one GPU server and object store.
+    pub fn new(server: &'a GpuServer, store: &'a ObjectStore) -> Invoker<'a> {
+        Invoker { server, store }
+    }
+
+    /// Run `w` over DGSF under `options`. With no caller-owned trace
+    /// ([`InvokeOptions::trace`] = `None`) this also records the top-level
+    /// request span, making it a complete single-shot invocation.
+    pub fn invoke(
+        &self,
+        p: &ProcCtx,
+        w: &dyn Workload,
+        options: InvokeOptions,
+    ) -> Result<FunctionResult, InvokeFailure> {
+        let attempt = options.attempt.max(1);
+        match options.trace.clone() {
+            Some(trace) => self.attempt(p, w, &options, trace),
+            None => {
+                let trace =
+                    TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(attempt);
+                let out = self.attempt(p, w, &options, trace.clone());
+                match &out {
+                    Ok(r) => record_request_span(
+                        p,
+                        &trace,
+                        w.name(),
+                        r.launched_at,
+                        r.finished_at,
+                        "completed",
+                        attempt,
+                    ),
+                    Err(f) => {
+                        let outcome = if f.class == FailureClass::Overloaded {
+                            "shed"
+                        } else {
+                            "failed"
+                        };
+                        record_request_span(
+                            p,
+                            &trace,
+                            w.name(),
+                            f.launched_at,
+                            f.failed_at,
+                            outcome,
+                            attempt,
+                        );
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Run a function DAG stage by stage, each stage a separate platform
+    /// invocation under `options` (its `trace`, `attempt` and `pin_server`
+    /// are managed per stage; the rest applies to every stage).
+    ///
+    /// In [`HandoffMode::GpuResident`] each stage publishes its output
+    /// into the serving context's resident store and the successor is
+    /// **pinned** to that API server — the only server whose context holds
+    /// the buffer — where it adopts it without any data crossing the link.
+    /// In [`HandoffMode::HostBounce`] stages are placed freely and the
+    /// intermediate bytes bounce through the invoker.
+    ///
+    /// Failures retry the *whole* DAG (fresh handoff keys per attempt) up
+    /// to `max_attempts` times for transient errors; overload shedding and
+    /// permanent errors are terminal, as in [`crate::Backend`]'s policy.
+    /// On any abort the attempt's published-but-unadopted buffers are
+    /// reclaimed fleet-wide, so a failed DAG never leaks GPU memory.
+    pub fn invoke_dag(
+        &self,
+        p: &ProcCtx,
+        dag: &DagWorkload,
+        options: InvokeOptions,
+        max_attempts: u32,
+    ) -> DagResult {
+        assert!(!dag.is_empty(), "invoke_dag on an empty DAG");
+        let n = dag.len();
+        let resident = dag.mode == HandoffMode::GpuResident;
+        let launched_at = p.now();
+        let trace = match &options.trace {
+            Some(t) => t.clone(),
+            None => TraceCtx::new(p.telemetry().next_trace_id(), &dag.tenant),
+        };
+        let max_attempts = max_attempts.max(1);
+
+        let mut terminal: Option<(String, bool)> = None; // (failure, shed)
+        let mut stages: Vec<FunctionResult> = Vec::new();
+        let mut attempts_taken = 0;
+        'dag: for attempt in 1..=max_attempts {
+            attempts_taken = attempt;
+            stages = Vec::with_capacity(n);
+            let mut pin: Option<u32> = None;
+            for idx in 0..n {
+                let in_key = (resident && idx > 0).then(|| edge_key(trace.id, attempt, idx - 1));
+                let out_key = (resident && idx + 1 < n).then(|| edge_key(trace.id, attempt, idx));
+                let stage = StageRun::new(dag, idx, in_key, out_key);
+                let mut o = options
+                    .clone()
+                    .with_attempt(attempt)
+                    .with_trace(trace.clone().with_attempt(attempt));
+                o.pin_server = if resident { pin } else { None };
+                match self.invoke(p, &stage, o) {
+                    Ok(r) => {
+                        pin = r.server;
+                        stages.push(r);
+                    }
+                    Err(f) => {
+                        // This attempt's parked intermediates will never be
+                        // adopted now — free them wherever they sit.
+                        if resident {
+                            for e in 0..n.saturating_sub(1) {
+                                self.server.reclaim_resident(edge_key(trace.id, attempt, e));
+                            }
+                        }
+                        match f.class {
+                            FailureClass::Transient if attempt < max_attempts => continue 'dag,
+                            FailureClass::Overloaded => {
+                                terminal = Some((f.error.to_string(), true));
+                                break 'dag;
+                            }
+                            _ => {
+                                terminal = Some((f.error.to_string(), false));
+                                break 'dag;
+                            }
+                        }
+                    }
+                }
+            }
+            terminal = None;
+            break 'dag;
+        }
+
+        let (failure, shed) = match terminal {
+            Some((e, shed)) => (Some(e), shed),
+            None => (None, false),
+        };
+        let outcome = if failure.is_none() {
+            "completed"
+        } else if shed {
+            "shed"
+        } else {
+            "failed"
+        };
+        record_request_span(
+            p,
+            &trace,
+            &dag.name,
+            launched_at,
+            p.now(),
+            outcome,
+            attempts_taken,
+        );
+        DagResult {
+            name: dag.name.clone(),
+            tenant: dag.tenant.clone(),
+            mode: dag.mode.as_str().to_string(),
+            stages,
+            launched_at,
+            finished_at: p.now(),
+            attempts: attempts_taken,
+            failure,
+            shed,
+            trace: trace.id,
+        }
+    }
+
+    /// One attempt: download, acquire (bounded, possibly pinned), drive
+    /// the workload over the remoted API, settle the invocation record.
+    fn attempt(
+        &self,
+        p: &ProcCtx,
+        w: &dyn Workload,
+        options: &InvokeOptions,
+        trace: TraceCtx,
+    ) -> Result<FunctionResult, InvokeFailure> {
+        let server = self.server;
+        let attempt = options.attempt.max(1);
+        let launched_at = p.now();
+        let mut rec = PhaseRecorder::new();
+        rec.set_trace(Some(trace.clone()));
+
+        rec.enter(p, phase::DOWNLOAD);
+        self.store.download(p, w.download_bytes());
+
+        rec.enter(p, phase::QUEUE);
+        let cfg_timeout = server.config().queue_timeout;
+        let (timeout, age_binds) = match (cfg_timeout, options.max_queue_age) {
+            (None, None) => (None, false),
+            (Some(t), None) => (Some(t), false),
+            (None, Some(a)) => (Some(a), true),
+            (Some(t), Some(a)) => (Some(t.min(a)), a <= t),
+        };
+        let acquired = server.try_request_gpu_with_timeout(
+            p,
+            w.name(),
+            w.required_gpu_mem(),
+            w.registry(),
+            attempt,
+            timeout,
+            Some(trace.clone()),
+            options.pin_server,
+        );
+        let (client, invocation) = match acquired {
+            Ok(x) => x,
+            Err(e) => {
+                rec.close(p);
+                let tel = p.telemetry();
+                if tel.is_enabled() {
+                    let mut args = trace.span_args().to_vec();
+                    args.push(("outcome", "acquire_error".to_string()));
+                    tel.span_args(
+                        p.name(),
+                        &format!("invoke:{}:a{attempt}", w.name()),
+                        "invocation",
+                        launched_at,
+                        p.now(),
+                        &args,
+                    );
+                }
+                let error = CudaError::Transport(e.to_string());
+                let timed_out = matches!(e, dgsf_server::AcquireError::Timeout { .. });
+                let class = if timed_out && age_binds {
+                    FailureClass::Overloaded
+                } else if error.is_transient() {
+                    FailureClass::Transient
+                } else {
+                    FailureClass::Permanent
+                };
+                return Err(InvokeFailure {
+                    error,
+                    class,
+                    invocation: None,
+                    phases: Box::new(rec),
+                    launched_at,
+                    failed_at: p.now(),
+                });
+            }
+        };
+        let mut api = RemoteCuda::new(client, options.opts);
+        let outcome = drive(p, &mut api, w, &mut rec);
+        rec.close(p);
+        let tel = p.telemetry();
+        if tel.is_enabled() {
+            tel.span_args(
+                p.name(),
+                &format!("invoke:{}:a{attempt}", w.name()),
+                "invocation",
+                launched_at,
+                p.now(),
+                &trace.span_args(),
+            );
+        }
+        match outcome {
+            Ok(()) => Ok(FunctionResult {
+                name: w.name().to_string(),
+                tenant: w.tenant().to_string(),
+                mode: "dgsf".into(),
+                launched_at,
+                finished_at: p.now(),
+                phases: rec,
+                api_stats: api.stats(),
+                invocation: Some(invocation),
+                attempts: attempt,
+                failure: None,
+                shed: false,
+                trace: Some(trace.id),
+                server: server.invocation_server(invocation),
+            }),
+            Err(error) => {
+                server.mark_invocation_failed(p.now(), invocation);
+                let class = if error.is_transient() {
+                    FailureClass::Transient
+                } else {
+                    FailureClass::Permanent
+                };
+                Err(InvokeFailure {
+                    error,
+                    class,
+                    invocation: Some(invocation),
+                    phases: Box::new(rec),
+                    launched_at,
+                    failed_at: p.now(),
+                })
+            }
+        }
+    }
+}
+
+/// Outcome of one DAG execution: the per-stage results of the attempt that
+/// ran furthest, plus DAG-level accounting.
+#[derive(Debug, Clone)]
+pub struct DagResult {
+    /// DAG name.
+    pub name: String,
+    /// Tenant that deployed the DAG.
+    pub tenant: String,
+    /// Handoff mode label ("host_bounce" / "gpu_resident").
+    pub mode: String,
+    /// Per-stage results of the last (furthest) attempt, in stage order.
+    /// Shorter than the stage count when the DAG failed mid-pipeline.
+    pub stages: Vec<FunctionResult>,
+    /// When the DAG began (first stage's download start).
+    pub launched_at: SimTime,
+    /// When it finished (last stage completion or terminal failure).
+    pub finished_at: SimTime,
+    /// Whole-DAG attempts taken (1 on the fault-free path).
+    pub attempts: u32,
+    /// Why the DAG ultimately failed, if it did — `None` on success.
+    pub failure: Option<String>,
+    /// True when the terminal failure was overload shedding.
+    pub shed: bool,
+    /// Causal trace id shared by every stage invocation of this DAG.
+    pub trace: u64,
+}
+
+impl DagResult {
+    /// End-to-end time of the DAG, spanning every stage and retry.
+    pub fn e2e(&self) -> Dur {
+        self.finished_at.since(self.launched_at)
+    }
+
+    /// True when every stage completed (possibly after whole-DAG retries).
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
 /// Record the top-level `req:{workload}` span that roots a causal trace:
@@ -184,9 +561,23 @@ fn drive(
     api.finish(p)
 }
 
+/// Single-shot DGSF invocation. Deprecated shim over [`Invoker`]; migrate
+/// to `Invoker::new(server, store).invoke(p, w, InvokeOptions::new(opts))`.
+#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions`")]
+pub fn invoke_dgsf(
+    p: &ProcCtx,
+    server: &GpuServer,
+    store: &ObjectStore,
+    w: &dyn Workload,
+    opts: OptConfig,
+) -> Result<FunctionResult, InvokeFailure> {
+    Invoker::new(server, store).invoke(p, w, InvokeOptions::new(opts))
+}
+
 /// One DGSF attempt, labelled `attempt` (1-based) in the server's
-/// invocation records. On failure the invocation (if one was acquired) is
-/// marked failed on the server so capacity accounting stays truthful.
+/// invocation records. Deprecated shim over [`Invoker`]; migrate to
+/// [`InvokeOptions::with_attempt`] + [`InvokeOptions::with_trace`].
+#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions::with_attempt`")]
 pub fn invoke_dgsf_attempt(
     p: &ProcCtx,
     server: &GpuServer,
@@ -196,15 +587,18 @@ pub fn invoke_dgsf_attempt(
     attempt: u32,
 ) -> Result<FunctionResult, InvokeFailure> {
     let trace = TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(attempt);
-    invoke_dgsf_bounded(p, server, store, w, opts, attempt, None, trace)
+    Invoker::new(server, store).invoke(
+        p,
+        w,
+        InvokeOptions::new(opts)
+            .with_attempt(attempt)
+            .with_trace(trace),
+    )
 }
 
-/// Like [`invoke_dgsf_attempt`], with an additional bound on how long the
-/// attempt may wait in the GPU server's queue. When `max_queue_age` is the
-/// binding constraint and expires, the failure is classed
-/// [`FailureClass::Overloaded`] — the platform is saturated and the work is
-/// shed rather than retried. The server's own `queue_timeout` (operator
-/// patience, not overload) stays [`FailureClass::Transient`].
+/// Bounded DGSF attempt with a caller-owned trace. Deprecated shim over
+/// [`Invoker`]; migrate to [`InvokeOptions`] with `max_queue_age` + trace.
+#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions`")]
 #[allow(clippy::too_many_arguments)]
 pub fn invoke_dgsf_bounded(
     p: &ProcCtx,
@@ -216,112 +610,14 @@ pub fn invoke_dgsf_bounded(
     max_queue_age: Option<Dur>,
     trace: TraceCtx,
 ) -> Result<FunctionResult, InvokeFailure> {
-    let launched_at = p.now();
-    let mut rec = PhaseRecorder::new();
-    rec.set_trace(Some(trace.clone()));
-
-    rec.enter(p, phase::DOWNLOAD);
-    store.download(p, w.download_bytes());
-
-    rec.enter(p, phase::QUEUE);
-    let cfg_timeout = server.config().queue_timeout;
-    let (timeout, age_binds) = match (cfg_timeout, max_queue_age) {
-        (None, None) => (None, false),
-        (Some(t), None) => (Some(t), false),
-        (None, Some(a)) => (Some(a), true),
-        (Some(t), Some(a)) => (Some(t.min(a)), a <= t),
-    };
-    let acquired = server.try_request_gpu_with_timeout(
+    Invoker::new(server, store).invoke(
         p,
-        w.name(),
-        w.required_gpu_mem(),
-        w.registry(),
-        attempt,
-        timeout,
-        Some(trace.clone()),
-    );
-    let (client, invocation) = match acquired {
-        Ok(x) => x,
-        Err(e) => {
-            rec.close(p);
-            let tel = p.telemetry();
-            if tel.is_enabled() {
-                let mut args = trace.span_args().to_vec();
-                args.push(("outcome", "acquire_error".to_string()));
-                tel.span_args(
-                    p.name(),
-                    &format!("invoke:{}:a{attempt}", w.name()),
-                    "invocation",
-                    launched_at,
-                    p.now(),
-                    &args,
-                );
-            }
-            let error = CudaError::Transport(e.to_string());
-            let timed_out = matches!(e, dgsf_server::AcquireError::Timeout { .. });
-            let class = if timed_out && age_binds {
-                FailureClass::Overloaded
-            } else if error.is_transient() {
-                FailureClass::Transient
-            } else {
-                FailureClass::Permanent
-            };
-            return Err(InvokeFailure {
-                error,
-                class,
-                invocation: None,
-                phases: Box::new(rec),
-                launched_at,
-                failed_at: p.now(),
-            });
-        }
-    };
-    let mut api = RemoteCuda::new(client, opts);
-    let outcome = drive(p, &mut api, w, &mut rec);
-    rec.close(p);
-    let tel = p.telemetry();
-    if tel.is_enabled() {
-        tel.span_args(
-            p.name(),
-            &format!("invoke:{}:a{attempt}", w.name()),
-            "invocation",
-            launched_at,
-            p.now(),
-            &trace.span_args(),
-        );
-    }
-    match outcome {
-        Ok(()) => Ok(FunctionResult {
-            name: w.name().to_string(),
-            tenant: w.tenant().to_string(),
-            mode: "dgsf".into(),
-            launched_at,
-            finished_at: p.now(),
-            phases: rec,
-            api_stats: api.stats(),
-            invocation: Some(invocation),
-            attempts: attempt,
-            failure: None,
-            shed: false,
-            trace: Some(trace.id),
-        }),
-        Err(error) => {
-            server.mark_invocation_failed(p.now(), invocation);
-            let class = if error.is_transient() {
-                FailureClass::Transient
-            } else {
-                FailureClass::Permanent
-            };
-            Err(InvokeFailure {
-                error,
-                class,
-                invocation: Some(invocation),
-                phases: Box::new(rec),
-                launched_at,
-                failed_at: p.now(),
-            })
-        }
-    }
+        w,
+        InvokeOptions::new(opts)
+            .with_attempt(attempt)
+            .with_max_queue_age(max_queue_age)
+            .with_trace(trace),
+    )
 }
 
 /// Run `w` natively: a dedicated machine with a local GPU, paying CUDA
@@ -377,6 +673,7 @@ pub fn invoke_native(
         failure: None,
         shed: false,
         trace: None,
+        server: None,
     }
 }
 
@@ -403,5 +700,6 @@ pub fn invoke_cpu(p: &ProcCtx, store: &ObjectStore, w: &dyn Workload) -> Functio
         failure: None,
         shed: false,
         trace: None,
+        server: None,
     }
 }

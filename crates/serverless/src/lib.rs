@@ -4,9 +4,10 @@
 //! equivalent substrate: a [`Workload`] abstraction (function bodies written
 //! against the interposable CUDA API), per-phase accounting
 //! ([`PhaseRecorder`]), an S3-like [`ObjectStore`], the three invocation
-//! paths of Table II ([`invoke_native`], [`invoke_dgsf`], [`invoke_cpu`]),
-//! and the arrival processes of the mixed-workload experiments
-//! ([`Schedule`]).
+//! paths of Table II ([`invoke_native`], [`Invoker`] for DGSF,
+//! [`invoke_cpu`]), function DAGs with GPU-resident inter-stage handoff
+//! ([`DagWorkload`]), and the arrival processes of the mixed-workload
+//! experiments ([`Schedule`]).
 //!
 //! Cold-start management is out of scope exactly as in the paper (§IV):
 //! every invocation assumes a warm execution context.
@@ -16,6 +17,7 @@
 mod arrivals;
 mod backend;
 pub mod cluster;
+mod dag;
 mod invoke;
 mod phases;
 mod store;
@@ -23,14 +25,17 @@ mod tenant;
 mod workload;
 
 pub use arrivals::{ArrivalPattern, Schedule};
-pub use backend::{AdmissionConfig, Backend, RetryPolicy, ServerPolicy};
+pub use backend::{AdmissionConfig, Backend, RetryPolicy};
 pub use cluster::{ClusterBalancer, StickyConfig};
+pub use dag::{DagStage, DagWorkload, HandoffMode};
 pub use dgsf_server::{FleetPolicy, ShedPolicy};
 pub use invoke::{
-    invoke_cpu, invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded, invoke_native, FailureClass,
-    FunctionResult, InvokeFailure,
+    invoke_cpu, invoke_native, DagResult, FailureClass, FunctionResult, InvokeFailure,
+    InvokeOptions, Invoker,
 };
-pub use phases::{phase, PhaseRecorder};
+#[allow(deprecated)]
+pub use invoke::{invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded};
+pub use phases::{phase, Phase, PhaseRecorder};
 pub use store::ObjectStore;
 pub use tenant::{FairRefusal, FairShedConfig, FairShedder, Tenanted};
 pub use workload::Workload;

@@ -7,25 +7,79 @@
 
 use dgsf_sim::{Dur, ProcCtx, SimTime, TraceCtx};
 
-/// Canonical phase names used across workloads and harnesses.
-pub mod phase {
+/// A canonical execution phase. [`PhaseRecorder::enter`] takes this enum —
+/// not a bare string — so a typo'd phase name is a compile error instead of
+/// a silently split bucket. [`Phase::as_str`] returns the exact historical
+/// wire/telemetry strings, so goldens and span names are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
     /// Downloading model + inputs from the object store.
-    pub const DOWNLOAD: &str = "download";
+    Download,
     /// CUDA runtime (and module) initialization.
-    pub const INIT: &str = "init";
+    Init,
     /// Queueing at the GPU server waiting for an API server.
-    pub const QUEUE: &str = "queue";
+    Queue,
     /// Loading the model onto the GPU (weights + descriptors + handles).
-    pub const MODEL_LOAD: &str = "model_load";
+    ModelLoad,
     /// Inference / main computation.
-    pub const PROCESSING: &str = "processing";
+    Processing,
+    /// Host↔GPU data movement over the remoting link (the pipelined data
+    /// plane's bucket: uploads, downloads and inter-stage host bounces).
+    Transfer,
+}
+
+impl Phase {
+    /// The phase's canonical name — byte-identical to the historical `&str`
+    /// constants, so existing goldens and telemetry spans are unmoved.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Phase::Download => "download",
+            Phase::Init => "init",
+            Phase::Queue => "queue",
+            Phase::ModelLoad => "model_load",
+            Phase::Processing => "processing",
+            Phase::Transfer => "transfer",
+        }
+    }
+}
+
+impl AsRef<str> for Phase {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Canonical phase constants. These used to be bare `&str`s; they are now
+/// [`Phase`] values, so `rec.enter(p, phase::PROCESSING)` keeps compiling
+/// while gaining the enum's typo protection.
+pub mod phase {
+    use super::Phase;
+
+    /// Downloading model + inputs from the object store.
+    pub const DOWNLOAD: Phase = Phase::Download;
+    /// CUDA runtime (and module) initialization.
+    pub const INIT: Phase = Phase::Init;
+    /// Queueing at the GPU server waiting for an API server.
+    pub const QUEUE: Phase = Phase::Queue;
+    /// Loading the model onto the GPU (weights + descriptors + handles).
+    pub const MODEL_LOAD: Phase = Phase::ModelLoad;
+    /// Inference / main computation.
+    pub const PROCESSING: Phase = Phase::Processing;
+    /// Host↔GPU data movement over the remoting link.
+    pub const TRANSFER: Phase = Phase::Transfer;
 }
 
 /// Accumulates named phase durations for one function execution.
 #[derive(Debug, Default, Clone)]
 pub struct PhaseRecorder {
     phases: Vec<(String, Dur)>,
-    open: Option<(String, SimTime)>,
+    open: Option<(Phase, SimTime)>,
     trace: Option<TraceCtx>,
 }
 
@@ -43,9 +97,9 @@ impl PhaseRecorder {
     }
 
     /// Begin a phase (closing any open one).
-    pub fn enter(&mut self, p: &ProcCtx, name: &str) {
+    pub fn enter(&mut self, p: &ProcCtx, phase: Phase) {
         self.close(p);
-        self.open = Some((name.to_string(), p.now()));
+        self.open = Some((phase, p.now()));
     }
 
     /// Close the currently open phase, if any. With telemetry enabled the
@@ -53,23 +107,26 @@ impl PhaseRecorder {
     /// track, so traces show the same phase breakdown the harness reads
     /// back — on every invocation path (DGSF, native, CPU) uniformly.
     pub fn close(&mut self, p: &ProcCtx) {
-        if let Some((name, start)) = self.open.take() {
+        if let Some((phase, start)) = self.open.take() {
             let d = p.now().since(start);
+            let name = phase.as_str();
             let tel = p.telemetry();
             if tel.is_enabled() {
                 match &self.trace {
                     Some(t) => {
-                        tel.span_args(p.name(), &name, "phase", start, p.now(), &t.span_args())
+                        tel.span_args(p.name(), name, "phase", start, p.now(), &t.span_args())
                     }
-                    None => tel.span(p.name(), &name, "phase", start, p.now()),
+                    None => tel.span(p.name(), name, "phase", start, p.now()),
                 }
             }
-            self.add(&name, d);
+            self.add(name, d);
         }
     }
 
-    /// Add a duration to a named phase directly.
-    pub fn add(&mut self, name: &str, d: Dur) {
+    /// Add a duration to a named phase directly. Accepts a [`Phase`] or any
+    /// ad-hoc string name (harness-internal buckets).
+    pub fn add(&mut self, name: impl AsRef<str>, d: Dur) {
+        let name = name.as_ref();
         if let Some(e) = self.phases.iter_mut().find(|(n, _)| n == name) {
             e.1 += d;
         } else {
@@ -78,7 +135,8 @@ impl PhaseRecorder {
     }
 
     /// Duration of a named phase (zero if absent).
-    pub fn get(&self, name: &str) -> Dur {
+    pub fn get(&self, name: impl AsRef<str>) -> Dur {
+        let name = name.as_ref();
         self.phases
             .iter()
             .find(|(n, _)| n == name)
@@ -125,5 +183,16 @@ mod tests {
         assert_eq!(rec.get(phase::PROCESSING), Dur::from_secs(4));
         assert_eq!(rec.get("nonexistent"), Dur::ZERO);
         assert_eq!(rec.total(), Dur::from_secs(6));
+    }
+
+    #[test]
+    fn phase_names_are_the_historical_strings() {
+        // Goldens and telemetry spans key off these exact bytes.
+        assert_eq!(Phase::Download.as_str(), "download");
+        assert_eq!(Phase::Init.as_str(), "init");
+        assert_eq!(Phase::Queue.as_str(), "queue");
+        assert_eq!(Phase::ModelLoad.as_str(), "model_load");
+        assert_eq!(Phase::Processing.as_str(), "processing");
+        assert_eq!(Phase::Transfer.as_str(), "transfer");
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use dgsf::prelude::*;
 use dgsf::remoting::FaultPlan;
 use dgsf::server::GpuServer;
-use dgsf::serverless::{Backend, ObjectStore, RetryPolicy, ServerPolicy};
+use dgsf::serverless::{Backend, FleetPolicy, ObjectStore, RetryPolicy};
 use parking_lot::Mutex;
 
 /// One function's client-observed outcome.
@@ -42,7 +42,7 @@ fn chaos_run(seed: u64, n: usize) -> (Vec<Outcome>, u64, usize) {
         let backend = Arc::new(
             Backend::new(
                 vec![Arc::clone(&a), Arc::clone(&b)],
-                ServerPolicy::RoundRobin,
+                FleetPolicy::RoundRobin,
             )
             .with_retry(RetryPolicy::default()),
         );

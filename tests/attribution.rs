@@ -11,7 +11,7 @@ use dgsf::cuda::{CudaApi, CudaResult, KernelArgs, KernelDef, LaunchConfig, Modul
 use dgsf::prelude::*;
 use dgsf::remoting::FaultPlan;
 use dgsf::server::GpuServer;
-use dgsf::serverless::{Backend, FunctionResult, ObjectStore, RetryPolicy, ServerPolicy};
+use dgsf::serverless::{Backend, FleetPolicy, FunctionResult, ObjectStore, RetryPolicy};
 use dgsf::sim::trace::{assemble, TraceOutcome, TraceTree};
 use dgsf::workloads::{as_workloads, paper_suite};
 use parking_lot::Mutex;
@@ -159,7 +159,7 @@ fn chaos_run(seed: u64, n: usize, faults: FaultPlan) -> (Vec<FunctionResult>, Ve
         let a = GpuServer::provision(p, &h2, cfg.clone().with_faults(faults));
         let b = GpuServer::provision(p, &h2, cfg);
         let backend = Arc::new(
-            Backend::new(vec![a, b], ServerPolicy::RoundRobin).with_retry(RetryPolicy::default()),
+            Backend::new(vec![a, b], FleetPolicy::RoundRobin).with_retry(RetryPolicy::default()),
         );
         let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
         for i in 0..n {

@@ -17,7 +17,7 @@ use dgsf::invariants::migration_facts;
 use dgsf::prelude::*;
 use dgsf::remoting::FaultPlan;
 use dgsf::server::{GpuServer, MigrationRecord};
-use dgsf::serverless::{Backend, ObjectStore, ServerPolicy};
+use dgsf::serverless::{Backend, FleetPolicy, ObjectStore};
 use dgsf::sim::invariants::check_migration_telemetry;
 use parking_lot::Mutex;
 
@@ -103,7 +103,7 @@ fn soak_cfg(seed: u64, faults: Option<FaultPlan>) -> BackendRunConfig {
         seed,
         server,
         num_servers: 2,
-        policy: ServerPolicy::RoundRobin,
+        policy: FleetPolicy::RoundRobin,
         retry: RetryPolicy::default(),
         admission: None,
         sticky: None,
@@ -244,7 +244,7 @@ fn migration_log_matches_telemetry_exactly_on_the_happy_path() {
         let server = GpuServer::provision(p, &h2, cfg);
         let backend = Arc::new(Backend::new(
             vec![Arc::clone(&server)],
-            ServerPolicy::RoundRobin,
+            FleetPolicy::RoundRobin,
         ));
         let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
         let done = Arc::new(Mutex::new(0usize));

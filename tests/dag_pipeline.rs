@@ -1,0 +1,232 @@
+//! Integration tests for function DAGs over the GPU-resident handoff path.
+//!
+//! The contract under test: [`Invoker::invoke_dag`] in
+//! [`HandoffMode::GpuResident`] pins successor stages to the API server
+//! holding the published intermediate, never moves the intermediate bytes
+//! over the link (so it beats the host-bounce baseline end to end), and —
+//! fault-free or under chaos — every published buffer reaches exactly one
+//! terminal state (adopted or reclaimed) with the resident store empty at
+//! quiescence.
+
+use std::sync::Arc;
+
+use dgsf::prelude::*;
+use dgsf::remoting::FaultPlan;
+use dgsf::server::GpuServer;
+use dgsf::serverless::{DagWorkload, HandoffMode, ObjectStore};
+use parking_lot::Mutex;
+
+const MB: u64 = 1 << 20;
+
+fn t(secs: f64) -> SimTime {
+    SimTime::ZERO + Dur::from_secs_f64(secs)
+}
+
+/// Comparable digest of one DAG outcome: (e2e ns, attempts, failure, shed,
+/// per-stage server ids, trace id).
+type DagKey = (u64, u32, Option<String>, bool, Vec<Option<u32>>, u64);
+
+/// What one simulated run leaves behind for the assertions.
+struct DagRunOut {
+    /// Per-DAG digests in launch order.
+    results: Vec<DagKey>,
+    /// `check_resident_handoff` violations at quiescence.
+    handoff_violations: Vec<String>,
+    /// `check_memory_balance` violations at quiescence.
+    memory_violations: Vec<String>,
+    /// Resident-store audit-log length (0 in host-bounce mode).
+    resident_events: usize,
+}
+
+/// Run `n` staggered copies of the three-stage vision pipeline in `mode`
+/// through one two-API-server GPU server, optionally under a fault plan.
+/// Oracles run inside the sim after all DAGs settle.
+fn run_dags(
+    seed: u64,
+    mode: HandoffMode,
+    n: usize,
+    gpu_secs: [f64; 3],
+    faults: Option<FaultPlan>,
+    strict_memory: bool,
+) -> DagRunOut {
+    let mut sim = Sim::new(seed);
+    let tel = sim.telemetry();
+    tel.enable();
+    let h = sim.handle();
+    let out: Arc<Mutex<Vec<(usize, DagKey)>>> = Arc::new(Mutex::new(Vec::new()));
+    let handoff: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let memory: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let events = Arc::new(Mutex::new(0usize));
+    let (o2, h2ref, m2, e2) = (
+        Arc::clone(&out),
+        Arc::clone(&handoff),
+        Arc::clone(&memory),
+        Arc::clone(&events),
+    );
+    let h2 = h.clone();
+    sim.spawn("dag-root", move |p| {
+        let mut cfg = GpuServerConfig::paper_default()
+            .gpus(2)
+            .with_rpc_timeout(Dur::from_secs(2))
+            .with_queue_timeout(Dur::from_secs(10))
+            .with_idle_timeout(Dur::from_secs(5));
+        if let Some(plan) = faults {
+            cfg = cfg.with_faults(plan);
+        }
+        let server = GpuServer::provision(p, &h2, cfg);
+        let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
+        let done = Arc::new(Mutex::new(0usize));
+        for i in 0..n {
+            let server = Arc::clone(&server);
+            let store = Arc::clone(&store);
+            let out = Arc::clone(&o2);
+            let done = Arc::clone(&done);
+            // Two tenants interleave so placement sees real contention.
+            let tenant = if i % 2 == 0 { "acme" } else { "globex" };
+            let dag = DagWorkload::pipeline3("vision", mode, 8 * MB, 128 * MB, MB, gpu_secs)
+                .with_tenant(tenant);
+            h2.spawn_at(&format!("dag-{i}"), t(0.5 * i as f64), move |p| {
+                let inv = Invoker::new(&server, &store);
+                let r = inv.invoke_dag(p, &dag, InvokeOptions::new(OptConfig::full()), 3);
+                out.lock().push((
+                    i,
+                    (
+                        r.e2e().as_nanos(),
+                        r.attempts,
+                        r.failure.clone(),
+                        r.shed,
+                        r.stages.iter().map(|s| s.server).collect(),
+                        r.trace,
+                    ),
+                ));
+                *done.lock() += 1;
+            });
+        }
+        let (h3, m3, e3) = (h2ref, m2, e2);
+        h2.spawn("collector", move |p| {
+            while *done.lock() < n {
+                p.sleep(Dur::from_millis(500));
+            }
+            // Let in-flight teardown (EndFunction, idle retirements) settle.
+            p.sleep(Dur::from_secs(1));
+            let rep = dgsf::check_resident_handoff(&server);
+            *h3.lock() = rep.violations.iter().map(|v| format!("{v:?}")).collect();
+            let rep = dgsf::check_memory_balance(&server, strict_memory);
+            *m3.lock() = rep.violations.iter().map(|v| format!("{v:?}")).collect();
+            *e3.lock() = server.resident_events().len();
+        });
+    });
+    sim.run();
+    let mut results = out.lock().clone();
+    results.sort_by_key(|(i, _)| *i);
+    let handoff_violations = handoff.lock().clone();
+    let memory_violations = memory.lock().clone();
+    let resident_events = *events.lock();
+    DagRunOut {
+        results: results.into_iter().map(|(_, k)| k).collect(),
+        handoff_violations,
+        memory_violations,
+        resident_events,
+    }
+}
+
+#[test]
+fn resident_dags_pin_stages_and_beat_host_bounce() {
+    let quick = [0.02, 0.2, 0.02];
+    let bounce = run_dags(7, HandoffMode::HostBounce, 4, quick, None, true);
+    let resident = run_dags(7, HandoffMode::GpuResident, 4, quick, None, true);
+
+    for out in [&bounce, &resident] {
+        assert_eq!(out.results.len(), 4, "every DAG reaches an outcome");
+        for (_, attempts, failure, shed, servers, _) in &out.results {
+            assert_eq!(*attempts, 1, "fault-free runs need no retries");
+            assert!(failure.is_none() && !shed, "fault-free DAGs complete");
+            assert_eq!(servers.len(), 3, "all three stages ran");
+        }
+        assert!(
+            out.memory_violations.is_empty(),
+            "strict memory balance at quiescence: {:?}",
+            out.memory_violations
+        );
+        assert!(
+            out.handoff_violations.is_empty(),
+            "handoff oracle: {:?}",
+            out.handoff_violations
+        );
+    }
+
+    // Host bounce never touches the resident store; the resident arm logs
+    // one publish + one adopt per interior edge (2 edges × 4 DAGs).
+    assert_eq!(bounce.resident_events, 0);
+    assert_eq!(resident.resident_events, 2 * 2 * 4);
+
+    // Pinning: in resident mode every stage of a DAG runs on the server
+    // holding its input buffer — one server id per DAG.
+    for (_, _, _, _, servers, _) in &resident.results {
+        let first = servers[0].expect("stage records its server");
+        assert!(
+            servers.iter().all(|s| *s == Some(first)),
+            "resident stages must stay on the publishing server: {servers:?}"
+        );
+    }
+
+    // The point of the whole exercise: skipping the double bounce of the
+    // 128 MB intermediates makes every DAG faster end to end.
+    for (i, ((b, ..), (r, ..))) in bounce.results.iter().zip(&resident.results).enumerate() {
+        assert!(
+            r < b,
+            "DAG {i}: resident e2e {r} ns should beat host bounce {b} ns"
+        );
+    }
+}
+
+#[test]
+fn dag_chaos_holds_handoff_exactly_once_and_replays() {
+    // One API server dies mid-run; the link eats and delays messages.
+    let plan = || {
+        FaultPlan::new(23)
+            .kill_server(0, t(1.5))
+            .drop_probability(0.02)
+            .delay_probability(0.05, Dur::from_millis(5))
+    };
+    let slow = [0.05, 0.5, 0.05];
+    let run = || run_dags(23, HandoffMode::GpuResident, 6, slow, Some(plan()), false);
+    let a = run();
+
+    assert_eq!(a.results.len(), 6, "no DAG may hang or get lost");
+    for (_, attempts, _, _, _, _) in &a.results {
+        assert!(*attempts >= 1 && *attempts <= 3, "attempts stay bounded");
+    }
+    assert!(
+        a.results
+            .iter()
+            .any(|(_, attempts, failure, ..)| *attempts > 1 || failure.is_some()),
+        "the chaos plan must actually bite (a retry or a failure)"
+    );
+    assert!(
+        a.results
+            .iter()
+            .any(|(_, _, failure, shed, _, _)| failure.is_none() && !shed),
+        "the surviving server must complete some DAGs"
+    );
+    // The invariant this PR exists to keep: even with a killed server and a
+    // lossy link, every published intermediate is adopted or reclaimed
+    // exactly once and nothing stays parked.
+    assert!(
+        a.handoff_violations.is_empty(),
+        "handoff exactly-once under chaos: {:?}",
+        a.handoff_violations
+    );
+    // Killed servers leak session memory by design; non-strict still
+    // catches under-accounting.
+    assert!(
+        a.memory_violations.is_empty(),
+        "memory may leak under chaos but never under-account: {:?}",
+        a.memory_violations
+    );
+
+    // Determinism: the whole chaotic timeline replays byte-for-byte.
+    let b = run();
+    assert_eq!(a.results, b.results, "same seed, same chaotic timeline");
+    assert_eq!(a.resident_events, b.resident_events);
+}

@@ -117,7 +117,7 @@ fn memory_fully_returns_after_a_run() {
     // After every function completes, the GPUs hold only the provisioned
     // idle footprints — nothing leaks across invocations.
     use dgsf::server::GpuServer;
-    use dgsf::serverless::{invoke_dgsf, ObjectStore};
+    use dgsf::serverless::{InvokeOptions, Invoker, ObjectStore};
     use dgsf::sim::Sim;
     use parking_lot::Mutex;
 
@@ -132,7 +132,8 @@ fn memory_fully_returns_after_a_run() {
         let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
         let w = dgsf::workloads::face_identification();
         for _ in 0..3 {
-            let _ = invoke_dgsf(p, &server, &store, &w, OptConfig::full());
+            let _ =
+                Invoker::new(&server, &store).invoke(p, &w, InvokeOptions::new(OptConfig::full()));
         }
         p.sleep(Dur::from_secs(2));
         let after: Vec<u64> = server.gpus.iter().map(|g| g.used_mem()).collect();

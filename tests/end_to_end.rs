@@ -47,7 +47,7 @@ fn native_pays_init_dgsf_does_not() {
     let init_span_secs = |tel: &dgsf::sim::Telemetry| -> f64 {
         tel.spans()
             .iter()
-            .filter(|s| s.cat == "phase" && s.name == phase::INIT)
+            .filter(|s| s.cat == "phase" && s.name == phase::INIT.as_str())
             .map(|s| s.dur().as_secs_f64())
             .sum()
     };
@@ -274,7 +274,7 @@ fn errors_propagate_across_the_wire_with_their_class() {
 #[test]
 fn backend_routes_functions_across_gpu_servers() {
     use dgsf::server::GpuServer;
-    use dgsf::serverless::{Backend, ObjectStore, ServerPolicy};
+    use dgsf::serverless::{Backend, FleetPolicy, ObjectStore};
     use dgsf::sim::Sim;
     use dgsf::workloads;
     use parking_lot::Mutex;
@@ -287,7 +287,7 @@ fn backend_routes_functions_across_gpu_servers() {
         let cfg = GpuServerConfig::paper_default().gpus(1);
         let s1 = GpuServer::provision(p, &h, cfg.clone());
         let s2 = GpuServer::provision(p, &h, cfg);
-        let backend = Arc::new(Backend::new(vec![s1, s2], ServerPolicy::RoundRobin));
+        let backend = Arc::new(Backend::new(vec![s1, s2], FleetPolicy::RoundRobin));
         let store = Arc::new(ObjectStore::new(NetProfile::datacenter().s3_bw));
         let done = Arc::new(Mutex::new(0usize));
         for i in 0..4 {

@@ -12,7 +12,7 @@ use dgsf::cuda::{CudaApi, CudaResult, KernelArgs, KernelDef, LaunchConfig, Modul
 use dgsf::prelude::*;
 use dgsf::remoting::FaultPlan;
 use dgsf::server::{GpuServer, InvocationRecord};
-use dgsf::serverless::{Backend, ObjectStore, RetryPolicy, ServerPolicy};
+use dgsf::serverless::{Backend, FleetPolicy, ObjectStore, RetryPolicy};
 use parking_lot::Mutex;
 
 const GB: u64 = 1 << 30;
@@ -127,7 +127,7 @@ fn chaos_run(
         let backend = Arc::new(
             Backend::new(
                 vec![Arc::clone(&a), Arc::clone(&b)],
-                ServerPolicy::RoundRobin,
+                FleetPolicy::RoundRobin,
             )
             .with_retry(RetryPolicy::default()),
         );
@@ -352,7 +352,7 @@ fn chaos_run_no_faults(
         let backend = Arc::new(
             Backend::new(
                 vec![Arc::clone(&a), Arc::clone(&b)],
-                ServerPolicy::RoundRobin,
+                FleetPolicy::RoundRobin,
             )
             .with_retry(RetryPolicy::default()),
         );

@@ -91,7 +91,7 @@ fn untraced_runs_record_nothing() {
     // layer leaves the registry empty, so the no-op path costs at most one
     // relaxed atomic load per call site.
     use dgsf::server::GpuServer;
-    use dgsf::serverless::{invoke_dgsf, ObjectStore};
+    use dgsf::serverless::{InvokeOptions, Invoker, ObjectStore};
     let mut sim = dgsf::sim::Sim::new(5);
     let tel = sim.telemetry();
     let h = sim.handle();
@@ -99,7 +99,9 @@ fn untraced_runs_record_nothing() {
         let server = GpuServer::provision(p, &h, GpuServerConfig::paper_default().gpus(1));
         let store = ObjectStore::new(NetProfile::datacenter().s3_bw);
         let w = dgsf::workloads::kmeans();
-        let r = invoke_dgsf(p, &server, &store, &w, OptConfig::full()).expect("fault-free");
+        let r = Invoker::new(&server, &store)
+            .invoke(p, &w, InvokeOptions::new(OptConfig::full()))
+            .expect("fault-free");
         assert!(r.succeeded());
     });
     sim.run();
