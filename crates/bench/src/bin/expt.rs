@@ -34,6 +34,14 @@
 //! Deterministic: same seed ⇒ byte-identical file; wall-clock
 //! events/sec is printed but never serialized.
 //!
+//! `dgsf-expt obs [--quick] [--out DIR]` replays the sweep's workload on
+//! a 10× diurnal ramp twice — reactive vs predictive autoscaling at an
+//! equal hardware ceiling — with the online observability plane attached,
+//! and writes `BENCH_obs.json` (shed counts, pool-grow latency, alert
+//! counts per mode) plus the predictive run's `dashboard.json` (windows,
+//! burn-rate alert log, health timeline) to DIR (default `target/obs`).
+//! Deterministic: same seed ⇒ byte-identical files.
+//!
 //! `dgsf-expt attribute [--quick] [--out DIR]` runs the overloaded
 //! two-tenant mix with causal tracing on, decomposes every request's
 //! end-to-end latency into its exact critical-path segments, and writes
@@ -42,7 +50,7 @@
 //! DIR (default `target/attrib`). Deterministic: same seed ⇒
 //! byte-identical files.
 
-use dgsf_bench::{attrib, fleet, mixed, pipeline, scale, single, sweep, trace};
+use dgsf_bench::{attrib, fleet, mixed, obs, pipeline, scale, single, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -149,6 +157,28 @@ fn main() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("scale export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "obs" {
+        let dir = if out_dir == std::path::Path::new("target/trace") {
+            std::path::PathBuf::from("target/obs")
+        } else {
+            out_dir
+        };
+        let o = obs::obs(seed, quick);
+        println!("== Observability: predictive vs reactive autoscaling on a 10x ramp ==");
+        print!("{}", obs::obs_text(&o));
+        match obs::write_obs(&dir, &o) {
+            Ok(path) => {
+                println!("wrote {}", path.display());
+                println!("wrote {}", dir.join("dashboard.json").display());
+            }
+            Err(e) => {
+                eprintln!("obs export failed: {e}");
                 std::process::exit(1);
             }
         }

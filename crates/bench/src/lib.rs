@@ -22,6 +22,7 @@
 //! | million-invocation scale run | [`scale::scale`] | `dgsf-expt scale` |
 //! | multi-tenant fleet sweep | [`fleet::fleet`] | `dgsf-expt fleet` |
 //! | tail-latency attribution | [`attrib::attrib`] | `dgsf-expt attribute` |
+//! | predictive vs reactive ramp | [`obs::obs`] | `dgsf-expt obs` |
 //!
 //! `dgsf-expt all` regenerates everything (this is what EXPERIMENTS.md
 //! records). `dgsf-expt trace` instead writes telemetry artifacts
@@ -32,6 +33,7 @@
 pub mod attrib;
 pub mod fleet;
 pub mod mixed;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod scale;

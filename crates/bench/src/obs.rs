@@ -1,0 +1,418 @@
+//! `dgsf-expt obs` — the observability-plane experiment: predictive vs
+//! reactive autoscaling on a 10× diurnal ramp.
+//!
+//! Replays the sweep's synthetic workload through the same autoscaled,
+//! admission-controlled fleet, but with a diurnal arrival profile: a low
+//! baseline rate, a 10× surge, then the baseline again. Both runs attach
+//! the online observability plane (`sim::obs`); the *predictive* run
+//! additionally puts the autoscaler in predictive mode, so it pre-warms
+//! API servers on the plane's rate-ramp signal instead of waiting for
+//! sustained queue-delay breaches, and gates reactive scale-ups on the
+//! streamed queue-attributed share of tail latency.
+//!
+//! The experiment reports, per mode, the shed count and the pool-grow
+//! latency (first scale-up/prewarm after surge onset) — the paper-style
+//! claim is that prediction sheds strictly less at an equal hardware
+//! ceiling. The predictive run's dashboard (windows, burn-rate alerts,
+//! health timeline) is exported as `dashboard.json` next to
+//! `BENCH_obs.json`; both are integers-only and **byte-identical per
+//! seed**, so CI diffs the quick run against a committed golden.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dgsf::cuda::{CudaResult, KernelDef};
+use dgsf::gpu::GB;
+use dgsf::prelude::*;
+
+use crate::report::TextTable;
+
+/// The ramp's synthetic workload: 0.75 s of host-side pre-processing
+/// followed by 0.5 s of GPU work (1 GB footprint, no download). The host
+/// share is the point: it keeps the API server busy without occupying the
+/// GPU, so the fleet's service rate is set by the *pool size* until GPU
+/// compute saturates — exactly the regime where autoscaling lag turns
+/// into queueing and sheds.
+struct Spin;
+
+impl Workload for Spin {
+    fn name(&self) -> &str {
+        "spin"
+    }
+    fn registry(&self) -> Arc<ModuleRegistry> {
+        Arc::new(ModuleRegistry::new().with(KernelDef::timed("k")))
+    }
+    fn required_gpu_mem(&self) -> u64 {
+        GB
+    }
+    fn download_bytes(&self) -> u64 {
+        0
+    }
+    fn run(
+        &self,
+        p: &dgsf::sim::ProcCtx,
+        api: &mut dyn CudaApi,
+        rec: &mut PhaseRecorder,
+    ) -> CudaResult<()> {
+        rec.enter(p, dgsf::serverless::phase::PROCESSING);
+        p.sleep(Dur::from_millis(HOST_MS)); // host-side pre-processing
+        api.launch_kernel(
+            p,
+            "k",
+            LaunchConfig::linear(1, 32),
+            KernelArgs::timed(SPIN_SECS, 0),
+        )?;
+        api.device_synchronize(p)?;
+        rec.close(p);
+        Ok(())
+    }
+    fn cpu_secs(&self) -> f64 {
+        30.0
+    }
+}
+
+/// GPU seconds of work per invocation.
+const SPIN_SECS: f64 = 0.5;
+
+/// Host milliseconds per invocation (API server busy, GPU free).
+const HOST_MS: u64 = 750;
+
+/// Baseline (off-peak) arrival rate, milli-requests/second.
+const LOW_RPS_MILLI: u64 = 360;
+
+/// Surge arrival rate — 10× the baseline, just under the 4 rps GPU
+/// ceiling but far above what the off-peak pool serves (each server is
+/// busy 1.25 s per function). A fully grown pool keeps up, so every shed
+/// is a scaling-lag artifact — the quantity prediction is supposed to
+/// shrink.
+const HIGH_RPS_MILLI: u64 = 3_600;
+
+/// One autoscaling mode's run over the ramp. All integers (virtual-time
+/// derived), so the JSON rendering is byte-stable per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeStats {
+    /// Functions launched.
+    pub launched: u64,
+    /// Functions that completed successfully.
+    pub completed: u64,
+    /// Functions shed (admission, queue-age bound, overload).
+    pub shed: u64,
+    /// Functions that failed for any other reason.
+    pub failed: u64,
+    /// Median end-to-end latency of completed functions (microseconds).
+    pub p50_e2e_us: u64,
+    /// 99th-percentile end-to-end latency (microseconds, nearest-rank).
+    pub p99_e2e_us: u64,
+    /// Peak API-server pool size (telemetry gauge).
+    pub pool_peak: i64,
+    /// Reactive scale-up actions.
+    pub scale_ups: u64,
+    /// Predictive pre-warm actions (0 in reactive mode).
+    pub prewarms: u64,
+    /// Scale-down actions.
+    pub scale_downs: u64,
+    /// Milliseconds from surge onset to the first pool growth
+    /// (scale-up or prewarm) at or after it; -1 if the pool never grew.
+    pub first_grow_ms_after_surge: i64,
+    /// Burn-rate alerts fired by the plane.
+    pub alerts_fired: u64,
+    /// Burn-rate alerts cleared.
+    pub alerts_cleared: u64,
+}
+
+/// The whole experiment: the same diurnal schedule run reactively and
+/// predictively at an equal hardware ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsOutput {
+    /// Seed the schedule and both runs derive from.
+    pub seed: u64,
+    /// Quick (CI) sizing.
+    pub quick: bool,
+    /// Surge onset, ms from run start.
+    pub surge_start_ms: u64,
+    /// Surge end, ms from run start.
+    pub surge_end_ms: u64,
+    /// Total launches in the schedule.
+    pub launches: u64,
+    /// The reactive (breach-driven) run.
+    pub reactive: ModeStats,
+    /// The predictive (ramp-prewarm, attribution-gated) run.
+    pub predictive: ModeStats,
+    /// The predictive run's dashboard (`ObsReport::dashboard_json`).
+    pub dashboard: String,
+}
+
+/// The observability plane both runs attach: 2 s windows so the 10×
+/// surge clears the ramp detector's minimum-arrivals floor well inside
+/// one window, everything else at the paper defaults (2 s SLO, 10%
+/// budget, 2/8 burn windows).
+fn obs_config() -> ObsConfig {
+    ObsConfig::paper_default().with_window(Dur::from_secs(2))
+}
+
+/// The fleet under test — the sweep's: 2 GPUs, autoscaling 1→4 API
+/// servers per GPU, admission-controlled, 3 s queue-age shed bound.
+/// `predictive` only toggles the autoscaler mode; the hardware ceiling
+/// is identical.
+fn ramp_config(seed: u64, predictive: bool) -> PlatformConfig {
+    let mut auto = AutoscaleConfig::new(1, 4)
+        .with_target_queue_delay(Dur::from_millis(250))
+        .with_up_ticks(4)
+        .with_idle_ttl(Dur::from_secs(3))
+        .with_cooldown(Dur::from_millis(600));
+    if predictive {
+        auto = auto.with_predictive(PredictiveConfig::default());
+    }
+    PlatformConfig::paper_default()
+        .with_seed(seed)
+        .with_server(
+            GpuServerConfig::paper_default()
+                .gpus(2)
+                .sharing(4)
+                .with_autoscale(auto),
+        )
+        .with_max_inflight(24)
+        .with_max_queue_age(Dur::from_millis(1_400))
+        .with_obs(obs_config())
+}
+
+/// Poisson arrivals at `rate_milli_rps` filling `[start, start + len)`:
+/// a seeded exponential-gap stream truncated to the segment. Deterministic
+/// per seed.
+fn segment(seed: u64, start: SimTime, len: Dur, rate_milli_rps: u64) -> Vec<(SimTime, usize)> {
+    let mean = Dur(1_000_000_000_000 / rate_milli_rps);
+    let expect = (len.as_nanos() as u128 * rate_milli_rps as u128 / 1_000_000_000_000) as usize;
+    let over = expect * 2 + 16; // generous overdraw, then truncate
+    let s = Schedule::mixed(seed, 1, over, ArrivalPattern::Exponential { mean });
+    s.entries
+        .into_iter()
+        .filter(|(t, _)| t.since(SimTime::ZERO) < len)
+        .map(|(t, w)| (start + t.since(SimTime::ZERO), w))
+        .collect()
+}
+
+/// The diurnal ramp: low → 10× surge → low. Returns the schedule plus the
+/// surge's `[start, end)` in ms.
+fn diurnal(seed: u64, quick: bool) -> (Schedule, u64, u64) {
+    let (low_ms, surge_ms) = if quick {
+        (16_000u64, 20_000u64)
+    } else {
+        (30_000, 40_000)
+    };
+    let sub = |k: u64| seed.wrapping_add((k + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut entries = segment(
+        sub(0),
+        SimTime::ZERO,
+        Dur::from_millis(low_ms),
+        LOW_RPS_MILLI,
+    );
+    entries.extend(segment(
+        sub(1),
+        SimTime::ZERO + Dur::from_millis(low_ms),
+        Dur::from_millis(surge_ms),
+        HIGH_RPS_MILLI,
+    ));
+    entries.extend(segment(
+        sub(2),
+        SimTime::ZERO + Dur::from_millis(low_ms + surge_ms),
+        Dur::from_millis(low_ms),
+        LOW_RPS_MILLI,
+    ));
+    (Schedule { entries }, low_ms, low_ms + surge_ms)
+}
+
+/// Nearest-rank percentile of a sorted slice (q in permille).
+fn percentile_sorted(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = ((n * q_permille).div_ceil(1000)).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Run the ramp once in one mode; returns the stats and the plane's report.
+fn run_mode(
+    seed: u64,
+    schedule: &Schedule,
+    surge_start_ms: u64,
+    predictive: bool,
+) -> (ModeStats, ObsReport) {
+    let suite: Vec<Arc<dyn Workload>> = vec![Arc::new(Spin)];
+    let cfg = ramp_config(seed, predictive);
+    let (out, tel) = Testbed::run_platform_schedule_traced(&cfg, &suite, schedule);
+    let report = out.obs.clone().expect("obs plane was configured");
+    let mut e2e_us: Vec<u64> = out
+        .results
+        .iter()
+        .filter(|r| r.succeeded())
+        .map(|r| r.e2e().as_nanos() / 1_000)
+        .collect();
+    e2e_us.sort_unstable();
+    let surge_start = SimTime::ZERO + Dur::from_millis(surge_start_ms);
+    let first_grow_ms_after_surge = tel
+        .instants()
+        .iter()
+        .filter(|e| (e.name == "scale-up" || e.name == "prewarm") && e.at >= surge_start)
+        .map(|e| (e.at.since(surge_start).as_nanos() / 1_000_000) as i64)
+        .min()
+        .unwrap_or(-1);
+    let fired = report.fired().count() as u64;
+    let stats = ModeStats {
+        launched: out.results.len() as u64,
+        completed: out.completed() as u64,
+        shed: out.shed() as u64,
+        failed: out.failed() as u64,
+        p50_e2e_us: percentile_sorted(&e2e_us, 500),
+        p99_e2e_us: percentile_sorted(&e2e_us, 990),
+        pool_peak: tel.gauge_peak("monitor.pool_size").unwrap_or(
+            // pool never moved: it stayed at the provisioned baseline
+            cfg.server.total_api_servers() as i64,
+        ),
+        scale_ups: tel.counter("autoscale.scale_ups"),
+        prewarms: tel.counter("autoscale.prewarms"),
+        scale_downs: tel.counter("autoscale.scale_downs"),
+        first_grow_ms_after_surge,
+        alerts_fired: fired,
+        alerts_cleared: report.alerts.len() as u64 - fired,
+    };
+    (stats, report)
+}
+
+/// Run the full experiment: one diurnal schedule, two modes, one
+/// dashboard. Deterministic per `(seed, quick)`.
+pub fn obs(seed: u64, quick: bool) -> ObsOutput {
+    let (schedule, surge_start_ms, surge_end_ms) = diurnal(seed, quick);
+    let (reactive, _) = run_mode(seed, &schedule, surge_start_ms, false);
+    let (predictive, report) = run_mode(seed, &schedule, surge_start_ms, true);
+    ObsOutput {
+        seed,
+        quick,
+        surge_start_ms,
+        surge_end_ms,
+        launches: schedule.len() as u64,
+        reactive,
+        predictive,
+        dashboard: report.dashboard_json(),
+    }
+}
+
+fn mode_json(out: &mut String, label: &str, m: &ModeStats) {
+    out.push_str(&format!(
+        "  \"{label}\": {{\"launched\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \"p50_e2e_us\": {}, \"p99_e2e_us\": {}, \"pool_peak\": {}, \"scale_ups\": {}, \"prewarms\": {}, \"scale_downs\": {}, \"first_grow_ms_after_surge\": {}, \"alerts_fired\": {}, \"alerts_cleared\": {}}}",
+        m.launched,
+        m.completed,
+        m.shed,
+        m.failed,
+        m.p50_e2e_us,
+        m.p99_e2e_us,
+        m.pool_peak,
+        m.scale_ups,
+        m.prewarms,
+        m.scale_downs,
+        m.first_grow_ms_after_surge,
+        m.alerts_fired,
+        m.alerts_cleared,
+    ));
+}
+
+/// Render the mode comparison as JSON. Integers only — byte-identical per
+/// seed. The dashboard is a separate artifact (`dashboard.json`).
+pub fn obs_json(o: &ObsOutput) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", o.seed));
+    out.push_str(&format!(
+        "  \"surge_start_ms\": {}, \"surge_end_ms\": {},\n",
+        o.surge_start_ms, o.surge_end_ms
+    ));
+    out.push_str(&format!("  \"launches\": {},\n", o.launches));
+    mode_json(&mut out, "reactive", &o.reactive);
+    out.push_str(",\n");
+    mode_json(&mut out, "predictive", &o.predictive);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Write `BENCH_obs.json` and the predictive run's `dashboard.json` into
+/// `out_dir`; returns the `BENCH_obs.json` path.
+pub fn write_obs(out_dir: &Path, o: &ObsOutput) -> io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("BENCH_obs.json");
+    fs::write(&path, obs_json(o))?;
+    fs::write(out_dir.join("dashboard.json"), &o.dashboard)?;
+    Ok(path)
+}
+
+/// Human-readable comparison table.
+pub fn obs_text(o: &ObsOutput) -> String {
+    let mut t = TextTable::new(vec![
+        "mode",
+        "launched",
+        "completed",
+        "shed",
+        "p50 e2e",
+        "p99 e2e",
+        "pool peak",
+        "ups/pre/downs",
+        "grow after surge",
+        "alerts",
+    ]);
+    for (label, m) in [("reactive", &o.reactive), ("predictive", &o.predictive)] {
+        t.row(vec![
+            label.to_string(),
+            m.launched.to_string(),
+            m.completed.to_string(),
+            m.shed.to_string(),
+            format!("{:.2}s", m.p50_e2e_us as f64 / 1e6),
+            format!("{:.2}s", m.p99_e2e_us as f64 / 1e6),
+            m.pool_peak.to_string(),
+            format!("{}/{}/{}", m.scale_ups, m.prewarms, m.scale_downs),
+            if m.first_grow_ms_after_surge < 0 {
+                "never".to_string()
+            } else {
+                format!("{}ms", m.first_grow_ms_after_surge)
+            },
+            format!("{}+{}", m.alerts_fired, m.alerts_cleared),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_schedule_is_sorted_dense_in_surge_and_deterministic() {
+        let (s, surge_start, surge_end) = diurnal(42, true);
+        assert!(s.entries.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        let in_surge = |t: &SimTime| {
+            let ms = t.as_nanos() / 1_000_000;
+            ms >= surge_start && ms < surge_end
+        };
+        let surge = s.entries.iter().filter(|(t, _)| in_surge(t)).count() as u64;
+        let low = s.len() as u64 - surge;
+        // The surge *rate* must be several-fold the off-peak rate; the
+        // off-peak shoulders together span longer than the surge, so
+        // normalize by span length rather than comparing raw counts.
+        let surge_span_ms = surge_end - surge_start;
+        let low_span_ms = s.entries.last().unwrap().0.as_nanos() / 1_000_000 - surge_span_ms;
+        assert!(
+            surge * low_span_ms > 4 * low * surge_span_ms,
+            "surge {surge}/{surge_span_ms}ms vs off-peak {low}/{low_span_ms}ms — ramp is not 10×"
+        );
+        assert_eq!(s, diurnal(42, true).0, "schedule must be seed-stable");
+        assert_ne!(s, diurnal(43, true).0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v = [10u64, 20, 30, 40, 50];
+        assert_eq!(percentile_sorted(&v, 500), 30);
+        assert_eq!(percentile_sorted(&v, 990), 50);
+        assert_eq!(percentile_sorted(&[], 500), 0);
+    }
+}

@@ -81,13 +81,13 @@ pub mod prelude {
     pub use dgsf_cuda::{CostTable, CudaApi, HostBuf, KernelArgs, LaunchConfig, ModuleRegistry};
     pub use dgsf_remoting::{NetProfile, OptConfig};
     pub use dgsf_server::{
-        AutoscaleConfig, FleetPolicy, GpuServerConfig, MqfqConfig, PlacementPolicy, QueuePolicy,
-        ShedPolicy,
+        AutoscaleConfig, FleetPolicy, GpuServerConfig, MqfqConfig, PlacementPolicy,
+        PredictiveConfig, QueuePolicy, ShedPolicy,
     };
     pub use dgsf_serverless::{
         AdmissionConfig, ArrivalPattern, ClusterBalancer, FailureClass, FairShedConfig,
         InvokeOptions, Invoker, Phase, PhaseRecorder, RetryPolicy, Schedule, StickyConfig,
         Tenanted, Workload,
     };
-    pub use dgsf_sim::{Dur, Sim, SimTime};
+    pub use dgsf_sim::{Dur, ObsConfig, ObsPlane, ObsReport, Sim, SimTime};
 }

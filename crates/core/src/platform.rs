@@ -26,6 +26,7 @@
 use dgsf_remoting::OptConfig;
 use dgsf_server::{FleetPolicy, GpuServerConfig, MqfqConfig, QueuePolicy, ShedPolicy};
 use dgsf_serverless::{AdmissionConfig, FairShedConfig, RetryPolicy, StickyConfig};
+use dgsf_sim::ObsConfig;
 
 use crate::testbed::{BackendRunConfig, TestbedConfig};
 
@@ -58,6 +59,9 @@ pub enum ConfigError {
     /// Pipelined host→GPU transfers are enabled with zero DMA engines, so
     /// no transfer could ever start.
     ZeroDmaEngines,
+    /// The observability-plane configuration is internally inconsistent
+    /// (zero window, inverted burn-window pair, zero budget, ...).
+    BadObsConfig(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -93,6 +97,7 @@ impl std::fmt::Display for ConfigError {
                 "h2d_pipelined is set with h2d_dma_engines 0: pipelined \
                  transfers need at least one DMA engine to run on"
             ),
+            ConfigError::BadObsConfig(reason) => write!(f, "obs config rejected: {reason}"),
         }
     }
 }
@@ -121,6 +126,10 @@ pub struct PlatformConfig {
     pub sticky: Option<StickyConfig>,
     /// Guest-library optimization level.
     pub opts: OptConfig,
+    /// Optional online observability plane: streaming windowed
+    /// aggregation, burn-rate alerting, health scoring, and the signals a
+    /// predictive autoscaler consumes.
+    pub obs: Option<ObsConfig>,
 }
 
 impl PlatformConfig {
@@ -136,6 +145,7 @@ impl PlatformConfig {
             admission: None,
             sticky: None,
             opts: OptConfig::full(),
+            obs: None,
         }
     }
 
@@ -232,6 +242,15 @@ impl PlatformConfig {
         self
     }
 
+    /// Builder-style: enable the online observability plane. The runner
+    /// builds one [`dgsf_sim::ObsPlane`] per run, feeds it from the
+    /// backend and every monitor, and attaches its [`dgsf_sim::ObsReport`]
+    /// to the run output.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Check the configuration for inconsistencies that would silently
     /// distort a run: zero (or zero-total) fairness weights, a zero MQFQ
     /// provisional charge, an out-of-range sticky share. The platform
@@ -260,6 +279,9 @@ impl PlatformConfig {
             if self.server.costs.h2d_dma_engines == 0 {
                 return Err(ConfigError::ZeroDmaEngines);
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.validate().map_err(ConfigError::BadObsConfig)?;
         }
         Ok(())
     }
@@ -292,6 +314,7 @@ impl PlatformConfig {
             admission: self.admission.clone(),
             sticky: self.sticky.clone(),
             opts: self.opts,
+            obs: self.obs.clone(),
         }
     }
 }
@@ -348,6 +371,7 @@ impl From<BackendRunConfig> for PlatformConfig {
             admission: b.admission,
             sticky: b.sticky,
             opts: b.opts,
+            obs: b.obs,
         }
     }
 }

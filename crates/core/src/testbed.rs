@@ -16,7 +16,7 @@ use dgsf_serverless::{
     invoke_cpu, invoke_native, AdmissionConfig, Backend, FleetPolicy, FunctionResult,
     InvokeOptions, Invoker, ObjectStore, RetryPolicy, Schedule, StickyConfig, Workload,
 };
-use dgsf_sim::{Dur, Sim, SimTime, Telemetry, Timeline};
+use dgsf_sim::{Dur, ObsConfig, ObsPlane, ObsReport, Sim, SimTime, Telemetry, Timeline};
 use parking_lot::Mutex;
 
 /// Configuration of one experiment run.
@@ -128,6 +128,11 @@ pub struct BackendRunConfig {
     pub sticky: Option<StickyConfig>,
     /// Guest-library optimization level.
     pub opts: OptConfig,
+    /// Optional online observability plane (windows, burn-rate alerts,
+    /// health timeline). When set, every monitor and the backend feed one
+    /// shared [`ObsPlane`] and the run's [`BackendRunOutput::obs`] report
+    /// is populated.
+    pub obs: Option<ObsConfig>,
 }
 
 impl BackendRunConfig {
@@ -143,6 +148,7 @@ impl BackendRunConfig {
             admission: None,
             sticky: None,
             opts: OptConfig::full(),
+            obs: None,
         }
     }
 }
@@ -164,6 +170,9 @@ pub struct BackendRunOutput {
     pub first_launch: SimTime,
     /// When the last function finished (completed or shed).
     pub all_done: SimTime,
+    /// Observability report (windows, alerts, health) when the run was
+    /// configured with [`BackendRunConfig::obs`]; `None` otherwise.
+    pub obs: Option<ObsReport>,
 }
 
 impl BackendRunOutput {
@@ -378,10 +387,15 @@ impl Testbed {
         let n_functions = schedule.len();
         let results2 = Arc::clone(&results);
         let out2 = Arc::clone(&out);
+        let plane = cfg.obs.clone().map(|o| Arc::new(ObsPlane::new(o)));
+        let plane2 = plane.clone();
         let h2 = h.clone();
         sim.spawn("platform-root", move |p| {
             let fleet: Vec<Arc<GpuServer>> = (0..cfg2.num_servers)
-                .map(|_| GpuServer::provision(p, &h2, cfg2.server.clone()))
+                .map(|i| {
+                    let obs = plane2.clone().map(|pl| (pl, format!("srv{i}")));
+                    GpuServer::provision_observed(p, &h2, cfg2.server.clone(), obs)
+                })
                 .collect();
             let mut backend = Backend::new(fleet.clone(), cfg2.policy).with_retry(cfg2.retry);
             if let Some(adm) = cfg2.admission.clone() {
@@ -389,6 +403,9 @@ impl Testbed {
             }
             if let Some(sticky) = cfg2.sticky.clone() {
                 backend = backend.with_sticky(sticky);
+            }
+            if let Some(pl) = plane2.clone() {
+                backend = backend.with_obs(pl);
             }
             let backend = Arc::new(backend);
             let done_count = Arc::new(Mutex::new(0usize));
@@ -438,6 +455,7 @@ impl Testbed {
             .map(|r| r.finished_at)
             .max()
             .unwrap_or(SimTime::ZERO);
+        let obs = plane.map(|pl| pl.report());
         (
             BackendRunOutput {
                 results,
@@ -446,6 +464,7 @@ impl Testbed {
                 pool_sizes,
                 first_launch,
                 all_done,
+                obs,
             },
             telemetry,
         )

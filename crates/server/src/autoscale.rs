@@ -10,8 +10,47 @@
 //! spawning and retiring API servers (contexts, handle pools, overhead
 //! accounting) live in the monitor; this type is pure policy, so the
 //! hysteresis behaviour is unit-testable without a simulation.
+//!
+//! ## Predictive mode
+//!
+//! [`AutoscaleConfig::predictive`] layers the online observability plane
+//! ([`dgsf_sim::ObsPlane`]) on top of the reactive policy. Each tick the
+//! monitor feeds the scaler two streamed signals
+//! ([`Autoscaler::observe_signals`]): whether the arrival rate is ramping
+//! (current window vs. the EWMA estimate) and the queue-attributed share
+//! of tail latency. Two behaviours change:
+//!
+//! * **Pre-warm** ([`Autoscaler::prewarm_due`]): while the ramp signal
+//!   holds, the pool grows *without* waiting for queue-delay breaches —
+//!   capacity arrives ahead of the queue forming, only rate-limited by
+//!   the cooldown.
+//! * **Attribution gate**: a reactive (breach-driven) scale-up is
+//!   suppressed when the obs plane attributes less than
+//!   [`PredictiveConfig::queue_share_gate_permille`] of tail latency to
+//!   queueing — if requests are slow because of exec or transport, more
+//!   servers will not help. When no attribution data exists yet the gate
+//!   stays open (reactive behaviour), so a cold start can never deadlock.
 
 use dgsf_sim::{Dur, SimTime};
+
+/// Knobs for the predictive layer of the autoscaler.
+#[derive(Debug, Clone)]
+pub struct PredictiveConfig {
+    /// Minimum queue-attributed share (permille) of tail latency the obs
+    /// plane must report before a *reactive* scale-up is allowed. Ramps
+    /// (pre-warms) bypass this gate; a tick with no attribution data
+    /// leaves the gate open.
+    pub queue_share_gate_permille: u64,
+}
+
+impl Default for PredictiveConfig {
+    /// Gate reactive scale-ups on ≥ 300‰ queue-attributed tail share.
+    fn default() -> PredictiveConfig {
+        PredictiveConfig {
+            queue_share_gate_permille: 300,
+        }
+    }
+}
 
 /// Autoscaling policy knobs. All decisions are driven by the monitor's
 /// tick (so they are deterministic in virtual time, like everything else).
@@ -35,6 +74,10 @@ pub struct AutoscaleConfig {
     /// Minimum gap between any two scaling actions (up or down) — the rate
     /// limit that prevents flapping.
     pub cooldown: Dur,
+    /// When set, the scaler runs in predictive mode: pre-warm on the obs
+    /// plane's rate-ramp signal, and gate reactive scale-ups on the
+    /// queue-attributed tail share. `None` is the classic reactive policy.
+    pub predictive: Option<PredictiveConfig>,
 }
 
 impl AutoscaleConfig {
@@ -51,7 +94,27 @@ impl AutoscaleConfig {
             up_ticks: 2,
             idle_ttl: Dur::from_secs(5),
             cooldown: Dur::from_secs(1),
+            predictive: None,
         }
+    }
+
+    /// Like [`AutoscaleConfig::new`] but in predictive mode with default
+    /// [`PredictiveConfig`] knobs: pre-warm on rate ramps, gate reactive
+    /// growth on queue attribution. Requires an obs plane to be wired into
+    /// the monitor; without one the policy degrades to plain reactive.
+    pub fn predictive(min_per_gpu: u32, max_per_gpu: u32) -> AutoscaleConfig {
+        AutoscaleConfig::new(min_per_gpu, max_per_gpu).with_predictive(PredictiveConfig::default())
+    }
+
+    /// Builder-style: enable predictive mode with explicit knobs.
+    pub fn with_predictive(mut self, p: PredictiveConfig) -> Self {
+        self.predictive = Some(p);
+        self
+    }
+
+    /// Whether the predictive layer is enabled.
+    pub fn is_predictive(&self) -> bool {
+        self.predictive.is_some()
     }
 
     /// Builder-style: set the queue-delay target that triggers growth.
@@ -88,6 +151,11 @@ pub struct Autoscaler {
     breach_ticks: u32,
     /// When the last scaling action (either direction) fired.
     last_action: Option<SimTime>,
+    /// Latest streamed rate-ramp signal (predictive mode only).
+    rate_ramp: bool,
+    /// Latest streamed queue-attributed tail share, `None` while the obs
+    /// plane has no tail data.
+    tail_queue_share: Option<u64>,
 }
 
 impl Autoscaler {
@@ -97,6 +165,8 @@ impl Autoscaler {
             cfg,
             breach_ticks: 0,
             last_action: None,
+            rate_ramp: false,
+            tail_queue_share: None,
         }
     }
 
@@ -123,10 +193,39 @@ impl Autoscaler {
         }
     }
 
+    /// Feed one tick's streamed observability signals (predictive mode):
+    /// whether the arrival rate is ramping, and the queue-attributed
+    /// share of tail latency (`None` while no tail data exists).
+    pub fn observe_signals(&mut self, rate_ramp: bool, tail_queue_share_permille: Option<u64>) {
+        self.rate_ramp = rate_ramp;
+        self.tail_queue_share = tail_queue_share_permille;
+    }
+
+    /// True when a predictive pre-warm should fire now: predictive mode
+    /// is on, the last observed tick signalled a rate ramp, and the
+    /// cooldown elapsed. Pre-warms skip the breach hysteresis entirely —
+    /// that is the point: capacity ahead of the queue.
+    pub fn prewarm_due(&self, now: SimTime) -> bool {
+        self.cfg.predictive.is_some() && self.rate_ramp && self.cooled(now)
+    }
+
+    /// True when predictive mode should *suppress* a reactive scale-up:
+    /// the obs plane has tail attribution data and it puts the queueing
+    /// share below the gate. With no data the gate stays open.
+    pub fn suppressed_by_attribution(&self) -> bool {
+        match (&self.cfg.predictive, self.tail_queue_share) {
+            (Some(p), Some(share)) => share < p.queue_share_gate_permille,
+            _ => false,
+        }
+    }
+
     /// True when a scale-up should fire now: the delay target has been
-    /// breached for `up_ticks` consecutive ticks and the cooldown elapsed.
+    /// breached for `up_ticks` consecutive ticks, the cooldown elapsed,
+    /// and (in predictive mode) the attribution gate does not veto it.
     pub fn scale_up_due(&self, now: SimTime) -> bool {
-        self.breach_ticks >= self.cfg.up_ticks && self.cooled(now)
+        self.breach_ticks >= self.cfg.up_ticks
+            && self.cooled(now)
+            && !self.suppressed_by_attribution()
     }
 
     /// True when a server continuously idle since `idle_since` should be
@@ -230,5 +329,51 @@ mod tests {
     #[should_panic(expected = "max must be >= min")]
     fn inverted_bounds_panic() {
         let _ = AutoscaleConfig::new(3, 2);
+    }
+
+    fn predictive_scaler() -> Autoscaler {
+        Autoscaler::new(
+            AutoscaleConfig::predictive(1, 4)
+                .with_up_ticks(3)
+                .with_cooldown(Dur::from_secs(2)),
+        )
+    }
+
+    #[test]
+    fn prewarm_fires_on_ramp_without_breaches() {
+        let mut s = predictive_scaler();
+        assert!(!s.prewarm_due(t(1)), "no ramp yet");
+        s.observe_signals(true, None);
+        assert!(s.prewarm_due(t(1)), "ramp + cooled = pre-warm, no breaches");
+        s.record_action(t(1));
+        assert!(!s.prewarm_due(t(2)), "cooldown gates pre-warms too");
+        assert!(s.prewarm_due(t(3)));
+        // Reactive scalers never pre-warm, whatever the signals say.
+        let mut r = scaler();
+        r.observe_signals(true, Some(1000));
+        assert!(!r.prewarm_due(t(1)));
+    }
+
+    #[test]
+    fn attribution_gate_vetoes_reactive_scale_up() {
+        let mut s = predictive_scaler();
+        for _ in 0..3 {
+            s.observe_queue(Some(Dur::from_secs(1)));
+        }
+        assert!(s.scale_up_due(t(10)), "no attribution data: gate open");
+        s.observe_signals(false, Some(100));
+        assert!(
+            !s.scale_up_due(t(10)),
+            "tail latency not queue-caused: more servers will not help"
+        );
+        s.observe_signals(false, Some(800));
+        assert!(s.scale_up_due(t(10)), "queue-caused: scale");
+        // The gate never applies to a reactive policy.
+        let mut r = scaler();
+        for _ in 0..3 {
+            r.observe_queue(Some(Dur::from_secs(1)));
+        }
+        r.observe_signals(false, Some(0));
+        assert!(r.scale_up_due(t(10)));
     }
 }

@@ -29,7 +29,7 @@ pub mod policy;
 mod server;
 
 pub use api_server::{ApiServerShared, MigrationRecord};
-pub use autoscale::{AutoscaleConfig, Autoscaler};
+pub use autoscale::{AutoscaleConfig, Autoscaler, PredictiveConfig};
 pub use config::GpuServerConfig;
 pub use fairqueue::{MqfqConfig, MqfqQueues};
 pub use monitor::InvocationRecord;

@@ -21,7 +21,9 @@ use std::sync::Arc;
 use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{NetLink, RpcClient};
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime, TraceCtx};
+use dgsf_sim::{
+    Dur, ObsPlane, ProcCtx, RecvError, SimHandle, SimReceiver, SimSender, SimTime, TraceCtx,
+};
 use parking_lot::Mutex;
 
 use crate::api_server::{
@@ -230,6 +232,10 @@ pub(crate) struct MonitorArgs {
     /// Ids of API servers whose lease expired, shared with
     /// [`crate::GpuServer`] so the cluster balancer can see dead capacity.
     pub failed_servers: Arc<Mutex<HashSet<u32>>>,
+    /// Online observability plane plus this server's stable label (e.g.
+    /// `srv0`). When present the monitor feeds per-GPU health scores each
+    /// tick and a predictive autoscaler reads its streamed signals.
+    pub obs: Option<(Arc<ObsPlane>, String)>,
 }
 
 /// Immutable monitor context shared by the helpers below.
@@ -244,6 +250,7 @@ struct MonCtx {
     migration_log: Arc<Mutex<Vec<MigrationRecord>>>,
     registry: Arc<Mutex<Vec<Arc<ApiServerShared>>>>,
     failed_servers: Arc<Mutex<HashSet<u32>>>,
+    obs: Option<(Arc<ObsPlane>, String)>,
 }
 
 /// Body of the monitor process.
@@ -261,6 +268,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         migration_log,
         registry,
         failed_servers,
+        obs,
     } = args;
     let a = MonCtx {
         h,
@@ -273,6 +281,7 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
         migration_log,
         registry,
         failed_servers,
+        obs,
     };
     let spawn_time = p.now();
     let mut servers: Vec<SrvBook> = servers
@@ -452,27 +461,36 @@ pub(crate) fn run_monitor(p: &ProcCtx, args: MonitorArgs) {
     }
 }
 
-/// Sample per-GPU memory and utilization timelines for telemetry. The
-/// utilization is the busy fraction of the since-last-sample window in
-/// integer basis points (floats never reach an export).
+/// Sample per-GPU memory and utilization timelines for telemetry, and —
+/// when an obs plane is wired — derive per-GPU health scores from the same
+/// gauges. The utilization is the busy fraction of the since-last-sample
+/// window in integer basis points (floats never reach an export); health is
+/// `1000 − max(mem_permille, util_permille)`, so a GPU scores low when
+/// either memory or compute is saturated.
 fn sample_gpus(p: &ProcCtx, a: &MonCtx, last_sample: &mut SimTime) {
     let now = p.now();
     let since = *last_sample;
     *last_sample = now;
     let tel = p.telemetry();
-    if !tel.is_enabled() {
+    if !tel.is_enabled() && a.obs.is_none() {
         return;
     }
     let window = now.since(since).as_nanos();
     for (i, gpu) in a.gpus.iter().enumerate() {
-        tel.gauge_set(
-            &format!("gpu.{i}.mem_used_bytes"),
-            now,
-            gpu.used_mem() as i64,
-        );
+        let used = gpu.used_mem();
+        if tel.is_enabled() {
+            tel.gauge_set(&format!("gpu.{i}.mem_used_bytes"), now, used as i64);
+        }
         let busy = gpu.busy_between(since, now).as_nanos();
-        if let Some(util_bp) = busy.saturating_mul(10_000).checked_div(window) {
+        let util_bp = busy.saturating_mul(10_000).checked_div(window);
+        if let (true, Some(util_bp)) = (tel.is_enabled(), util_bp) {
             tel.gauge_set(&format!("gpu.{i}.util_bp"), now, util_bp as i64);
+        }
+        if let Some((obs, label)) = &a.obs {
+            let mem_permille = used.saturating_mul(1000) / gpu.total_mem().max(1);
+            let util_permille = util_bp.unwrap_or(0) / 10;
+            let score = 1000u64.saturating_sub(mem_permille.max(util_permille).min(1000));
+            obs.record_health(now, &format!("{label}.gpu{i}"), score);
         }
     }
 }
@@ -714,9 +732,17 @@ fn autoscale_tick(
         .filter(|r| !r.cancelled.load(Ordering::Relaxed))
         .map(|r| now.since(r.requested_at))
         .max();
+    // Predictive mode reads the obs plane's streamed signals: the
+    // arrival-rate ramp (pre-warm trigger) and the queue-attributed share
+    // of tail latency (reactive-growth gate).
+    if let Some((obs, _)) = &a.obs {
+        scaler.observe_signals(obs.rate_ramp(now), obs.tail_queue_share_permille(now));
+    }
     scaler.observe_queue(oldest_wait);
     let idle_fp = a.cfg.costs.idle_worker_mem();
-    if scaler.scale_up_due(now) {
+    let reactive_up = scaler.scale_up_due(now);
+    let prewarm = scaler.prewarm_due(now);
+    if reactive_up || prewarm {
         // Home the new server on the GPU with the most declared free
         // memory among those under the per-GPU ceiling that still fit the
         // 755 MB idle footprint (ties: lowest GPU id).
@@ -742,6 +768,13 @@ fn autoscale_tick(
         if let Some((gpu, _)) = best {
             if spawn_server(p, a, servers, overhead, known_ctxs, next_server_id, gpu) {
                 scaler.record_action(now);
+                let tel = p.telemetry();
+                if prewarm && !reactive_up && tel.is_enabled() {
+                    // Capacity added purely on the rate-ramp forecast,
+                    // before any queue-delay breach.
+                    tel.counter_add("autoscale.prewarms", 1);
+                    tel.instant(p.name(), "prewarm", now, &[("gpu", gpu.0.to_string())]);
+                }
                 return; // one action per tick
             }
         }

@@ -17,7 +17,7 @@ use std::sync::atomic::AtomicBool;
 use dgsf_cuda::{CostTable, CudaContext, ModuleRegistry};
 use dgsf_gpu::{Gpu, GpuId};
 use dgsf_remoting::{FaultStats, LinkFaults, NetLink, RpcClient};
-use dgsf_sim::{Dur, ProcCtx, RecvError, SimHandle, SimSender, SimTime, TraceCtx};
+use dgsf_sim::{Dur, ObsPlane, ProcCtx, RecvError, SimHandle, SimSender, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::api_server::{
@@ -140,6 +140,20 @@ impl GpuServer {
     /// sibling processes and are ready immediately (warm pool — the paper
     /// always measures warm starts, §VI).
     pub fn provision(p: &ProcCtx, h: &SimHandle, cfg: GpuServerConfig) -> Arc<GpuServer> {
+        GpuServer::provision_observed(p, h, cfg, None)
+    }
+
+    /// Like [`GpuServer::provision`], but wires an online observability
+    /// plane into the monitor under a stable server label (e.g. `srv0`):
+    /// the monitor feeds per-GPU health scores each tick, and a predictive
+    /// autoscaler ([`crate::AutoscaleConfig::predictive`]) reads the
+    /// plane's streamed rate-ramp and queue-attribution signals.
+    pub fn provision_observed(
+        p: &ProcCtx,
+        h: &SimHandle,
+        cfg: GpuServerConfig,
+        obs: Option<(Arc<ObsPlane>, String)>,
+    ) -> Arc<GpuServer> {
         let mut cfg = cfg;
         // Chaos implies hardening: a faulted run must terminate even when
         // requests or replies vanish, so installing a fault plan fills in
@@ -212,6 +226,7 @@ impl GpuServer {
             migration_log: Arc::clone(&migration_log),
             registry: Arc::clone(&servers),
             failed_servers: Arc::clone(&failed_servers),
+            obs,
         };
         h.spawn("monitor", move |pp| run_monitor(pp, margs));
 

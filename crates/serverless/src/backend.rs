@@ -20,14 +20,14 @@ use std::sync::Arc;
 
 use dgsf_remoting::OptConfig;
 use dgsf_server::{FleetPolicy, GpuServer, InvocationOutcome, ShedPolicy};
-use dgsf_sim::{Dur, ProcCtx, TraceCtx};
+use dgsf_sim::{Dur, ObsPlane, ProcCtx, SimTime, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::cluster::ClusterBalancer;
 use crate::invoke::{
     record_request_span, FailureClass, FunctionResult, InvokeFailure, InvokeOptions, Invoker,
 };
-use crate::phases::PhaseRecorder;
+use crate::phases::{phase, PhaseRecorder};
 use crate::store::ObjectStore;
 use crate::tenant::{FairShedConfig, FairShedder};
 use crate::workload::Workload;
@@ -200,6 +200,11 @@ pub struct Backend {
     retry: RetryPolicy,
     admission: Option<AdmissionConfig>,
     admitted: Mutex<AdmissionState>,
+    /// Online observability plane: fed one arrival per invocation and one
+    /// completion per terminal outcome (with the queue wait summed across
+    /// every attempt, matching the offline trace decomposition), and
+    /// consulted for per-tenant burn-rate shedding.
+    obs: Option<Arc<ObsPlane>>,
 }
 
 impl Backend {
@@ -215,7 +220,18 @@ impl Backend {
             retry: RetryPolicy::default(),
             admission: None,
             admitted: Mutex::new(AdmissionState::default()),
+            obs: None,
         }
+    }
+
+    /// Feed the online observability plane: every invocation records an
+    /// arrival on entry and a completion (with its attempt-summed queue
+    /// wait) on any terminal outcome, and — when the plane's shed
+    /// threshold is configured — new work from a tenant burning its SLO
+    /// budget on queueing is refused at the front door.
+    pub fn with_obs(mut self, obs: Arc<ObsPlane>) -> Backend {
+        self.obs = Some(obs);
+        self
     }
 
     /// Override the retry policy.
@@ -305,6 +321,9 @@ impl Backend {
         let launched_at = p.now();
         let tel = p.telemetry();
         tel.counter_add("backend.invocations", 1);
+        if let Some(obs) = &self.obs {
+            obs.record_arrival(launched_at);
+        }
         // One causal trace per request, spanning every retry attempt; the
         // id rides the admission slot, the monitor queue and the RPC
         // envelopes so every layer's spans share it.
@@ -317,6 +336,10 @@ impl Backend {
         let max_queue_age = self.admission.as_ref().and_then(|a| a.max_queue_age);
         let mut avoid = None;
         let mut attempt = 1;
+        // Queue wait summed across every attempt — the same total the
+        // offline trace decomposition assigns to the "queue" segment, so
+        // online burn alerts reconcile with post-hoc attribution.
+        let mut queue_wait = Dur::ZERO;
         let last: InvokeFailure = loop {
             // Routing: the balancer never hands out a lease-expired
             // server. A fully expired fleet is a permanent failure, not a
@@ -332,6 +355,7 @@ impl Backend {
                     "failed",
                     attempt - 1,
                 );
+                self.observe_completion(p.now(), w.tenant(), launched_at, queue_wait, false);
                 return FunctionResult {
                     name: w.name().to_string(),
                     tenant: w.tenant().to_string(),
@@ -369,9 +393,17 @@ impl Backend {
                         "completed",
                         attempt,
                     );
+                    self.observe_completion(
+                        r.finished_at,
+                        w.tenant(),
+                        launched_at,
+                        queue_wait + r.phases.get(phase::QUEUE),
+                        true,
+                    );
                     return r;
                 }
                 Err(f) => {
+                    queue_wait += f.phases.get(phase::QUEUE);
                     // Exactly-once fence: from here a lost *reply* is
                     // indistinguishable from a lost request. If the server's
                     // own record says the invocation completed, the work
@@ -404,6 +436,16 @@ impl Backend {
                                     p.now(),
                                     "completed",
                                     attempt,
+                                );
+                                // `queue_wait` already includes this
+                                // attempt's wait (summed on entry to the
+                                // Err arm).
+                                self.observe_completion(
+                                    p.now(),
+                                    w.tenant(),
+                                    launched_at,
+                                    queue_wait,
+                                    true,
                                 );
                                 return FunctionResult {
                                     name: w.name().to_string(),
@@ -483,6 +525,7 @@ impl Backend {
         } else {
             last.error.to_string()
         };
+        self.observe_completion(p.now(), w.tenant(), launched_at, queue_wait, false);
         FunctionResult {
             name: w.name().to_string(),
             tenant: w.tenant().to_string(),
@@ -500,12 +543,35 @@ impl Backend {
         }
     }
 
+    /// Feed one terminal outcome to the obs plane (no-op without one).
+    fn observe_completion(
+        &self,
+        now: SimTime,
+        tenant: &str,
+        launched_at: SimTime,
+        queue_wait: Dur,
+        completed: bool,
+    ) {
+        if let Some(obs) = &self.obs {
+            obs.record_completion(now, tenant, now.since(launched_at), queue_wait, completed);
+        }
+    }
+
     /// Claim an admission slot for `w`, or say why it was refused.
     fn try_admit(
         &self,
         p: &ProcCtx,
         w: &dyn Workload,
     ) -> Result<Option<AdmissionSlot<'_>>, String> {
+        // Burn-rate shedding: when the obs plane says this tenant is
+        // burning its SLO budget on queueing faster than the configured
+        // threshold, refuse new work before it joins the queue and makes
+        // the burn worse. Independent of classic admission control.
+        if let Some(obs) = &self.obs {
+            if obs.shed_due(p.now(), w.tenant()) {
+                return Err(format!("tenant '{}' over SLO burn-rate budget", w.tenant()));
+            }
+        }
         let Some(adm) = &self.admission else {
             return Ok(None); // no admission control: everything enters
         };
@@ -575,6 +641,7 @@ impl Backend {
             );
         }
         record_request_span(p, trace, w.name(), launched_at, p.now(), "shed", 0);
+        self.observe_completion(p.now(), w.tenant(), launched_at, Dur::ZERO, false);
         FunctionResult {
             name: w.name().to_string(),
             tenant: w.tenant().to_string(),

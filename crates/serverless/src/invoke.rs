@@ -8,10 +8,7 @@
 //! function (possibly on another GPU server); the native and CPU baselines
 //! run on dedicated fault-free hardware and stay infallible.
 //!
-//! [`Invoker`] is the single DGSF entry point; the old
-//! `invoke_dgsf` / `invoke_dgsf_attempt` / `invoke_dgsf_bounded` trio
-//! survives as deprecated shims for one PR so external callers migrate
-//! mechanically.
+//! [`Invoker`] is the single DGSF entry point.
 
 use std::sync::Arc;
 
@@ -559,65 +556,6 @@ fn drive(
     rec.close(p);
     w.run(p, api, rec)?;
     api.finish(p)
-}
-
-/// Single-shot DGSF invocation. Deprecated shim over [`Invoker`]; migrate
-/// to `Invoker::new(server, store).invoke(p, w, InvokeOptions::new(opts))`.
-#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions`")]
-pub fn invoke_dgsf(
-    p: &ProcCtx,
-    server: &GpuServer,
-    store: &ObjectStore,
-    w: &dyn Workload,
-    opts: OptConfig,
-) -> Result<FunctionResult, InvokeFailure> {
-    Invoker::new(server, store).invoke(p, w, InvokeOptions::new(opts))
-}
-
-/// One DGSF attempt, labelled `attempt` (1-based) in the server's
-/// invocation records. Deprecated shim over [`Invoker`]; migrate to
-/// [`InvokeOptions::with_attempt`] + [`InvokeOptions::with_trace`].
-#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions::with_attempt`")]
-pub fn invoke_dgsf_attempt(
-    p: &ProcCtx,
-    server: &GpuServer,
-    store: &ObjectStore,
-    w: &dyn Workload,
-    opts: OptConfig,
-    attempt: u32,
-) -> Result<FunctionResult, InvokeFailure> {
-    let trace = TraceCtx::new(p.telemetry().next_trace_id(), w.tenant()).with_attempt(attempt);
-    Invoker::new(server, store).invoke(
-        p,
-        w,
-        InvokeOptions::new(opts)
-            .with_attempt(attempt)
-            .with_trace(trace),
-    )
-}
-
-/// Bounded DGSF attempt with a caller-owned trace. Deprecated shim over
-/// [`Invoker`]; migrate to [`InvokeOptions`] with `max_queue_age` + trace.
-#[deprecated(note = "use `Invoker::invoke` with `InvokeOptions`")]
-#[allow(clippy::too_many_arguments)]
-pub fn invoke_dgsf_bounded(
-    p: &ProcCtx,
-    server: &GpuServer,
-    store: &ObjectStore,
-    w: &dyn Workload,
-    opts: OptConfig,
-    attempt: u32,
-    max_queue_age: Option<Dur>,
-    trace: TraceCtx,
-) -> Result<FunctionResult, InvokeFailure> {
-    Invoker::new(server, store).invoke(
-        p,
-        w,
-        InvokeOptions::new(opts)
-            .with_attempt(attempt)
-            .with_max_queue_age(max_queue_age)
-            .with_trace(trace),
-    )
 }
 
 /// Run `w` natively: a dedicated machine with a local GPU, paying CUDA

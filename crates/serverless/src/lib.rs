@@ -33,8 +33,6 @@ pub use invoke::{
     invoke_cpu, invoke_native, DagResult, FailureClass, FunctionResult, InvokeFailure,
     InvokeOptions, Invoker,
 };
-#[allow(deprecated)]
-pub use invoke::{invoke_dgsf, invoke_dgsf_attempt, invoke_dgsf_bounded};
 pub use phases::{phase, Phase, PhaseRecorder};
 pub use store::ObjectStore;
 pub use tenant::{FairRefusal, FairShedConfig, FairShedder, Tenanted};

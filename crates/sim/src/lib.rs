@@ -42,6 +42,7 @@
 mod channel;
 pub mod invariants;
 mod kernel;
+pub mod obs;
 mod resource;
 pub mod rng;
 pub mod stats;
@@ -54,6 +55,9 @@ pub use invariants::{
     InvariantReport, InvocationFacts, MigrationFacts, RequestFacts, RequestOutcome, Violation,
 };
 pub use kernel::{ProcCtx, ProcId, ShutdownSignal, Sim, SimHandle};
+pub use obs::{
+    AlertEvent, AlertKind, ObsConfig, ObsPlane, ObsReport, QuantileSketch, TenantBurnRow, WindowRow,
+};
 pub use resource::{FifoResource, GpsResource, Timeline};
 pub use stats::{moving_average, percentile_sorted, Summary};
 pub use telemetry::{EventRecord, Histogram, SpanRecord, Telemetry, TelemetryExport, TraceCtx};

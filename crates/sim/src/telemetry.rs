@@ -535,14 +535,19 @@ impl Telemetry {
             }
             out.push_str("\n    ");
             json_str(&mut out, k);
-            out.push_str(": [");
+            out.push_str(": {\"samples\": [");
             for (j, (at, v)) in samples.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
                 }
                 out.push_str(&format!("[{},{}]", at.as_nanos(), v));
             }
-            out.push(']');
+            let min = samples.iter().map(|&(_, v)| v).min().unwrap_or(0);
+            let peak = samples.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            out.push_str(&format!(
+                "], \"min\": {min}, \"peak\": {peak}, \"twa\": {}}}",
+                gauge_twa(samples)
+            ));
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (k, h)) in st.histograms.iter().enumerate() {
@@ -653,6 +658,30 @@ impl Telemetry {
     }
 }
 
+/// Time-weighted mean of a gauge timeline over `[first sample, last
+/// sample)` — the step-function integral [`Telemetry::gauge_time_weighted_mean`]
+/// computes, with `until` fixed at the gauge's own last sample so the
+/// export needs no external clock. A single sample (or all samples at one
+/// instant) yields the last value; an empty timeline yields 0 (unreachable
+/// from the exporter: gauges exist only once touched).
+fn gauge_twa(samples: &[(SimTime, i64)]) -> i64 {
+    let (Some(&(t0, _)), Some(&(until, last_v))) = (samples.first(), samples.last()) else {
+        return 0;
+    };
+    if until <= t0 {
+        return last_v;
+    }
+    let mut weighted: i128 = 0;
+    let mut cur: Option<(SimTime, i64)> = None;
+    for &(t, v) in samples {
+        if let Some((ct, cv)) = cur {
+            weighted += i128::from(cv) * i128::from(t.since(ct).as_nanos());
+        }
+        cur = Some((t, v));
+    }
+    (weighted / i128::from(until.since(t0).as_nanos())) as i64
+}
+
 fn sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
@@ -759,6 +788,10 @@ mod tests {
         assert_eq!(a, b, "same recording order must export byte-identically");
         assert!(a.metrics_json.contains("\"a\": 2"));
         assert!(a.metrics_json.contains("[[1500,-3]]"));
+        // Single-sample gauge: min = peak = twa = the one value.
+        assert!(a
+            .metrics_json
+            .contains("{\"samples\": [[1500,-3]], \"min\": -3, \"peak\": -3, \"twa\": -3}"));
         assert!(a.chrome_trace_json.contains("\"ts\": 0.000"));
         assert!(a.chrome_trace_json.contains("\"dur\": 2.500"));
         assert!(a.chrome_trace_json.contains("trk\\\"x"));

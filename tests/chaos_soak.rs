@@ -108,6 +108,7 @@ fn soak_cfg(seed: u64, faults: Option<FaultPlan>) -> BackendRunConfig {
         admission: None,
         sticky: None,
         opts: OptConfig::full(),
+        obs: None,
     }
 }
 
